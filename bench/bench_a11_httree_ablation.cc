@@ -1,0 +1,75 @@
+// A11 — ablation of the HT-tree's two accelerators (DESIGN.md §4):
+//   * indirect addressing (load0): merges the bucket dereference with the
+//     item read — the §4.1 hardware proposal;
+//   * client bucket-head hints: let stores CAS against a predicted head —
+//     the §3 "data caches at clients" component.
+// Rows show far accesses per Get and per Put with each knob on/off;
+// this isolates how much of the headline 1-access/2-access behaviour comes
+// from the hardware vs the structure vs the client cache.
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/ht_tree.h"
+
+namespace fmds {
+namespace {
+
+constexpr uint64_t kKeys = 50000;
+constexpr int kProbes = 3000;
+
+struct AblationRow {
+  double get_far;
+  double put_far;
+};
+
+AblationRow Run(bool use_indirect, bool use_head_hints) {
+  BenchEnv env(DefaultFabric());
+  auto& client = env.NewClient();
+  HtTree::Options options;
+  options.buckets_per_table = 8192;
+  options.use_indirect = use_indirect;
+  options.use_head_hints = use_head_hints;
+  auto map = CheckOk(HtTree::Create(&client, &env.alloc(), options), "map");
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    CheckOk(map.Put(k, k), "load");
+  }
+  Rng rng(17);
+  AblationRow row;
+  {
+    const uint64_t before = client.stats().far_ops;
+    for (int i = 0; i < kProbes; ++i) {
+      CheckOk(map.Get(rng.NextInRange(1, kKeys)).status(), "get");
+    }
+    row.get_far =
+        static_cast<double>(client.stats().far_ops - before) / kProbes;
+  }
+  {
+    const uint64_t before = client.stats().far_ops;
+    for (int i = 0; i < kProbes; ++i) {
+      // Overwrites of existing keys: the paper's "store" case.
+      CheckOk(map.Put(rng.NextInRange(1, kKeys), i), "put");
+    }
+    row.put_far =
+        static_cast<double>(client.stats().far_ops - before) / kProbes;
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace fmds
+
+int main() {
+  using namespace fmds;
+  Table table({"indirect (load0)", "head hints", "far/Get", "far/Put"});
+  for (bool indirect : {true, false}) {
+    for (bool hints : {true, false}) {
+      auto row = Run(indirect, hints);
+      table.AddRow({indirect ? "on" : "off", hints ? "on" : "off",
+                    Table::Cell(row.get_far, 2),
+                    Table::Cell(row.put_far, 2)});
+    }
+  }
+  table.Print(std::cout,
+              "A11: HT-tree ablation — the hardware primitive buys the "
+              "1-access Get; the client hint cache buys the 2-access Put");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E1 — §2/§3.1 cost-model validation: far accesses are ~10x near accesses
+// and cannot hide behind processor caches; 1 KB moves in ~1 µs.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/common/bytes.h"
+
+namespace fmds {
+namespace {
+
+void PrintLatencyGap() {
+  BenchEnv env(DefaultFabric());
+  auto& client = env.NewClient();
+  const LatencyModel& model = env.fabric().options().latency;
+
+  Table table({"transfer", "near_ns", "far_ns", "far/near"});
+  for (uint64_t bytes : {8ull, 64ull, 256ull, 1024ull, 4096ull, 65536ull}) {
+    // Near cost: the data-structure cache touch(es) a local lookup needs.
+    const uint64_t near_ns = model.near_ns;
+    // Far cost: measured off the simulated clock, not just the formula.
+    std::vector<std::byte> buf(bytes);
+    const uint64_t t0 = client.clock().now_ns();
+    CheckOk(client.Read(1 << 20, buf), "read");
+    const uint64_t far_ns = client.clock().now_ns() - t0;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+    table.AddRow({label, Table::Cell(near_ns), Table::Cell(far_ns),
+                  Table::Cell(static_cast<double>(far_ns) /
+                                  static_cast<double>(near_ns),
+                              1)});
+  }
+  table.Print(std::cout,
+              "E1: near vs far access latency (paper: far ~ O(1us), near ~ "
+              "O(100ns), 1KB in ~1us)");
+
+  // The paper's key arithmetic: an operation needing k far accesses vs an
+  // RPC (1 round trip + server CPU).
+  Table ops({"operation shape", "sim_ns"});
+  for (int k : {1, 2, 4, 8}) {
+    uint64_t total = 0;
+    for (int i = 0; i < k; ++i) {
+      const uint64_t t0 = client.clock().now_ns();
+      uint64_t w;
+      CheckOk(client.Read(1 << 20, AsBytes(w)), "read");
+      total += client.clock().now_ns() - t0;
+    }
+    char label[48];
+    std::snprintf(label, sizeof(label), "one-sided, %d far accesses", k);
+    ops.AddRow({label, Table::Cell(total)});
+  }
+  ops.AddRow({"RPC (1 RTT + server CPU)",
+              Table::Cell(model.RpcNs(16, 16))});
+  ops.Print(std::cout,
+            "E1b: why operations must take O(1) far accesses (§3.1)");
+}
+
+void BM_FarRead8(benchmark::State& state) {
+  BenchEnv env(DefaultFabric());
+  auto& client = env.NewClient();
+  uint64_t w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Read(1 << 20, AsBytes(w)));
+  }
+}
+BENCHMARK(BM_FarRead8);
+
+void BM_FarRead1K(benchmark::State& state) {
+  BenchEnv env(DefaultFabric());
+  auto& client = env.NewClient();
+  std::vector<std::byte> buf(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Read(1 << 20, buf));
+  }
+}
+BENCHMARK(BM_FarRead1K);
+
+}  // namespace
+}  // namespace fmds
+
+int main(int argc, char** argv) {
+  fmds::PrintLatencyGap();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,206 @@
+// E5 — §5.3: queue operation costs. The faai/saai queue's fast path is ONE
+// far access; the best today's verbs manage is two (FAA + slot); locks cost
+// ~5 plus contention; RPC costs server CPU. Also: slow-path frequency as
+// the ring wraps, and throughput-vs-clients curves from the measured costs.
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/baselines/simple_queues.h"
+#include "src/core/far_queue.h"
+#include "src/perfmodel/throughput_model.h"
+#include "src/rpc/queue_service.h"
+
+namespace fmds {
+namespace {
+
+constexpr int kOpsPairs = 20000;
+constexpr double kMemNodeServiceNs = 60.0;
+
+struct Cost {
+  double far_per_op;
+  double bg_per_op;
+  double latency_ns;
+  double slow_fraction;
+};
+
+}  // namespace
+}  // namespace fmds
+
+int main() {
+  using namespace fmds;
+
+  // ---- FarQueue (faai/saai) ----
+  Cost faai_cost{};
+  {
+    BenchEnv env(DefaultFabric());
+    auto& client = env.NewClient();
+    FarQueue::Options options;
+    options.capacity = 4096;
+    options.max_clients = 2;
+    auto queue = CheckOk(FarQueue::Create(&client, &env.alloc(), options),
+                         "farqueue");
+    // Steady-state: keep ~half full.
+    for (int i = 1; i <= 2048; ++i) {
+      CheckOk(queue.Enqueue(i), "prefill");
+    }
+    const ClientStats before = client.stats();
+    const uint64_t t0 = client.clock().now_ns();
+    for (int i = 1; i <= kOpsPairs; ++i) {
+      CheckOk(queue.Enqueue(i), "enq");
+      CheckOk(queue.Dequeue().status(), "deq");
+    }
+    const ClientStats delta = client.stats().Delta(before);
+    faai_cost.far_per_op =
+        static_cast<double>(delta.far_ops) / (2.0 * kOpsPairs);
+    faai_cost.bg_per_op =
+        static_cast<double>(delta.background_ops) / (2.0 * kOpsPairs);
+    faai_cost.latency_ns =
+        static_cast<double>(client.clock().now_ns() - t0) /
+        (2.0 * kOpsPairs);
+    faai_cost.slow_fraction =
+        static_cast<double>(delta.slow_path_ops) / (2.0 * kOpsPairs);
+  }
+
+  // ---- Ticket queue (2x FAA-era accesses) ----
+  Cost ticket_cost{};
+  {
+    BenchEnv env(DefaultFabric());
+    auto& client = env.NewClient();
+    auto queue = CheckOk(TicketFarQueue::Create(&client, &env.alloc(), 4096),
+                         "ticket");
+    for (int i = 1; i <= 2048; ++i) {
+      CheckOk(queue.Enqueue(i), "prefill");
+    }
+    const ClientStats before = client.stats();
+    const uint64_t t0 = client.clock().now_ns();
+    for (int i = 1; i <= kOpsPairs; ++i) {
+      CheckOk(queue.Enqueue(i), "enq");
+      CheckOk(queue.Dequeue().status(), "deq");
+    }
+    const ClientStats delta = client.stats().Delta(before);
+    ticket_cost.far_per_op =
+        static_cast<double>(delta.far_ops) / (2.0 * kOpsPairs);
+    ticket_cost.bg_per_op =
+        static_cast<double>(delta.background_ops) / (2.0 * kOpsPairs);
+    ticket_cost.latency_ns =
+        static_cast<double>(client.clock().now_ns() - t0) /
+        (2.0 * kOpsPairs);
+  }
+
+  // ---- Lock queue ----
+  Cost lock_cost{};
+  {
+    BenchEnv env(DefaultFabric());
+    auto& client = env.NewClient();
+    auto queue = CheckOk(LockFarQueue::Create(&client, &env.alloc(), 4096),
+                         "lockq");
+    for (int i = 1; i <= 2048; ++i) {
+      CheckOk(queue.Enqueue(i), "prefill");
+    }
+    const ClientStats before = client.stats();
+    const uint64_t t0 = client.clock().now_ns();
+    for (int i = 1; i <= kOpsPairs / 4; ++i) {
+      CheckOk(queue.Enqueue(i), "enq");
+      CheckOk(queue.Dequeue().status(), "deq");
+    }
+    const ClientStats delta = client.stats().Delta(before);
+    lock_cost.far_per_op =
+        static_cast<double>(delta.far_ops) / (2.0 * kOpsPairs / 4);
+    lock_cost.latency_ns =
+        static_cast<double>(client.clock().now_ns() - t0) /
+        (2.0 * kOpsPairs / 4);
+  }
+
+  // ---- RPC queue ----
+  Cost rpc_cost{};
+  double rpc_service_ns = 0.0;
+  {
+    BenchEnv env(DefaultFabric());
+    auto& client = env.NewClient();
+    RpcServer server;
+    QueueService service(&server);
+    QueueStub stub{RpcClient(&client, &server)};
+    const uint64_t t0 = client.clock().now_ns();
+    for (int i = 1; i <= kOpsPairs / 4; ++i) {
+      CheckOk(stub.Enqueue(i), "enq");
+      CheckOk(stub.Dequeue().status(), "deq");
+    }
+    rpc_cost.latency_ns = static_cast<double>(client.clock().now_ns() - t0) /
+                          (2.0 * kOpsPairs / 4);
+    rpc_service_ns = static_cast<double>(server.busy_ns()) /
+                     static_cast<double>(server.calls());
+  }
+
+  Table costs({"queue", "far/op", "bg/op", "slow_frac", "1-client ns/op"});
+  costs.AddRow({"faai/saai FarQueue (§5.3)",
+                Table::Cell(faai_cost.far_per_op, 3),
+                Table::Cell(faai_cost.bg_per_op, 3),
+                Table::Cell(faai_cost.slow_fraction, 4),
+                Table::Cell(faai_cost.latency_ns, 0)});
+  costs.AddRow({"ticket (FAA + write)", Table::Cell(ticket_cost.far_per_op, 3),
+                Table::Cell(ticket_cost.bg_per_op, 3), "-",
+                Table::Cell(ticket_cost.latency_ns, 0)});
+  costs.AddRow({"far-mutex locked", Table::Cell(lock_cost.far_per_op, 3), "-",
+                "-", Table::Cell(lock_cost.latency_ns, 0)});
+  costs.AddRow({"RPC queue", "0", "-", "-",
+                Table::Cell(rpc_cost.latency_ns, 0)});
+  costs.Print(std::cout,
+              "E5a: far accesses per queue operation (paper: faai/saai -> "
+              "1 in the fast path)");
+
+  // ---- Slow-path frequency vs capacity (wrap rate) ----
+  Table wraps({"capacity", "ops", "slow_entries", "wraps",
+               "slow_frac"});
+  for (uint64_t capacity : {64ull, 256ull, 1024ull, 4096ull}) {
+    BenchEnv env(DefaultFabric());
+    auto& client = env.NewClient();
+    FarQueue::Options options;
+    options.capacity = capacity;
+    options.max_clients = 2;
+    auto queue = CheckOk(FarQueue::Create(&client, &env.alloc(), options),
+                         "farqueue");
+    const int pairs = 20000;
+    for (int i = 1; i <= pairs; ++i) {
+      CheckOk(queue.Enqueue(i), "enq");
+      CheckOk(queue.Dequeue().status(), "deq");
+    }
+    const auto& stats = queue.op_stats();
+    wraps.AddRow({Table::Cell(capacity), Table::Cell(uint64_t{2} * pairs),
+                  Table::Cell(stats.slow_enqueues + stats.slow_dequeues),
+                  Table::Cell(stats.wraps),
+                  Table::Cell(static_cast<double>(stats.slow_enqueues +
+                                                  stats.slow_dequeues) /
+                                  (2.0 * pairs),
+                              4)});
+  }
+  wraps.Print(std::cout,
+              "E5b: slow-path frequency vs ring capacity (wrap fixups "
+              "amortize as 1/capacity)");
+
+  // ---- Throughput model ----
+  WorkloadCost faai_model{faai_cost.latency_ns,
+                          (faai_cost.far_per_op + faai_cost.bg_per_op) *
+                              kMemNodeServiceNs,
+                          1};
+  WorkloadCost ticket_model{ticket_cost.latency_ns,
+                            (ticket_cost.far_per_op + ticket_cost.bg_per_op) *
+                                kMemNodeServiceNs,
+                            1};
+  WorkloadCost rpc_model{rpc_cost.latency_ns - rpc_service_ns,
+                         rpc_service_ns, 1};
+  Table curve({"clients", "faai_Mops", "ticket_Mops", "rpc_Mops"});
+  for (uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    curve.AddRow({Table::Cell(static_cast<uint64_t>(n)),
+                  Table::Cell(SolveClosedSystem(faai_model, n).ops_per_sec /
+                                  1e6,
+                              3),
+                  Table::Cell(SolveClosedSystem(ticket_model, n).ops_per_sec /
+                                  1e6,
+                              3),
+                  Table::Cell(SolveClosedSystem(rpc_model, n).ops_per_sec /
+                                  1e6,
+                              3)});
+  }
+  curve.Print(std::cout, "E5c: modelled queue throughput vs clients");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// E6 — §5.4: refreshable vector refresh traffic vs update rate, for the
+// three policies (always-poll, always-notify, dynamic kAuto). The workload
+// is the paper's distributed-ML shape: the update rate decays as the model
+// converges; kAuto should track the better of the two static policies and
+// shift to notifications in the quiet tail.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/refreshable_vector.h"
+
+namespace fmds {
+namespace {
+
+constexpr uint64_t kSize = 4096;
+constexpr uint64_t kGroup = 64;
+constexpr int kRounds = 14;
+
+struct RoundCost {
+  uint64_t far_ops;
+  uint64_t bytes;
+  uint64_t notifications;
+};
+
+std::vector<RoundCost> RunPolicy(RefreshableVector::RefreshMode mode,
+                                 bool* ended_in_notify) {
+  BenchEnv env(DefaultFabric());
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  RefreshableVector::Options options;
+  options.size = kSize;
+  options.group_size = kGroup;
+  auto vec_w =
+      CheckOk(RefreshableVector::Create(&writer, &env.alloc(), options),
+              "create");
+  auto vec_r = CheckOk(RefreshableVector::Attach(&reader, vec_w.header()),
+                       "attach");
+  CheckOk(vec_r.EnableReader(mode), "reader");
+  Rng rng(11);
+  std::vector<RoundCost> costs;
+  for (int round = 0; round < kRounds; ++round) {
+    const int updates =
+        static_cast<int>(2048.0 / std::pow(2.0, round));  // decay
+    for (int i = 0; i < updates; ++i) {
+      CheckOk(vec_w.UpdateScatter(rng.NextBelow(kSize), round * 10 + i),
+              "update");
+    }
+    const ClientStats before = reader.stats();
+    CheckOk(vec_r.Refresh(), "refresh");
+    const ClientStats delta = reader.stats().Delta(before);
+    costs.push_back(
+        RoundCost{delta.far_ops, delta.bytes_read, delta.notifications});
+  }
+  if (ended_in_notify != nullptr) {
+    *ended_in_notify = vec_r.refresh_stats().notify_active;
+  }
+  return costs;
+}
+
+}  // namespace
+}  // namespace fmds
+
+int main() {
+  using namespace fmds;
+  bool auto_notify = false;
+  auto poll = RunPolicy(RefreshableVector::RefreshMode::kPollVersions,
+                        nullptr);
+  auto notify = RunPolicy(RefreshableVector::RefreshMode::kNotify, nullptr);
+  auto dynamic =
+      RunPolicy(RefreshableVector::RefreshMode::kAuto, &auto_notify);
+
+  Table table({"round", "updates", "poll far/B", "notify far/B/evts",
+               "auto far/B/evts"});
+  for (int round = 0; round < kRounds; ++round) {
+    const int updates = static_cast<int>(2048.0 / std::pow(2.0, round));
+    char poll_cell[48];
+    char notify_cell[48];
+    char auto_cell[48];
+    std::snprintf(poll_cell, sizeof(poll_cell), "%llu / %llu",
+                  static_cast<unsigned long long>(poll[round].far_ops),
+                  static_cast<unsigned long long>(poll[round].bytes));
+    std::snprintf(notify_cell, sizeof(notify_cell), "%llu / %llu / %llu",
+                  static_cast<unsigned long long>(notify[round].far_ops),
+                  static_cast<unsigned long long>(notify[round].bytes),
+                  static_cast<unsigned long long>(
+                      notify[round].notifications));
+    std::snprintf(auto_cell, sizeof(auto_cell), "%llu / %llu / %llu",
+                  static_cast<unsigned long long>(dynamic[round].far_ops),
+                  static_cast<unsigned long long>(dynamic[round].bytes),
+                  static_cast<unsigned long long>(
+                      dynamic[round].notifications));
+    table.AddRow({Table::Cell(static_cast<int64_t>(round)),
+                  Table::Cell(static_cast<int64_t>(updates)), poll_cell,
+                  notify_cell, auto_cell});
+  }
+  table.Print(std::cout,
+              "E6: refresh cost per round under a converging (decaying) "
+              "update stream — far ops / bytes read");
+  std::cout << "kAuto finished in "
+            << (auto_notify ? "notification" : "polling")
+            << " mode (paper: shifts to notifications as updates slow)\n";
+
+  // Totals (the headline series).
+  auto total = [](const std::vector<RoundCost>& costs) {
+    RoundCost sum{0, 0, 0};
+    for (const auto& cost : costs) {
+      sum.far_ops += cost.far_ops;
+      sum.bytes += cost.bytes;
+      sum.notifications += cost.notifications;
+    }
+    return sum;
+  };
+  const RoundCost poll_sum = total(poll);
+  const RoundCost notify_sum = total(notify);
+  const RoundCost auto_sum = total(dynamic);
+  Table totals({"policy", "total far ops", "total bytes read",
+                "notification events"});
+  totals.AddRow({"poll versions", Table::Cell(poll_sum.far_ops),
+                 Table::Cell(poll_sum.bytes),
+                 Table::Cell(poll_sum.notifications)});
+  totals.AddRow({"notifications", Table::Cell(notify_sum.far_ops),
+                 Table::Cell(notify_sum.bytes),
+                 Table::Cell(notify_sum.notifications)});
+  totals.AddRow({"dynamic (kAuto)", Table::Cell(auto_sum.far_ops),
+                 Table::Cell(auto_sum.bytes),
+                 Table::Cell(auto_sum.notifications)});
+  totals.Print(std::cout, "E6b: whole-run refresh traffic by policy");
+
+  // Group-size ablation: bigger groups mean fewer version words but more
+  // false sharing per changed group.
+  Table groups({"group_size", "far ops", "bytes read"});
+  for (uint64_t group : {8ull, 32ull, 128ull, 512ull}) {
+    BenchEnv env(DefaultFabric());
+    auto& writer = env.NewClient();
+    auto& reader = env.NewClient();
+    RefreshableVector::Options options;
+    options.size = kSize;
+    options.group_size = group;
+    auto vec_w =
+        CheckOk(RefreshableVector::Create(&writer, &env.alloc(), options),
+                "create");
+    auto vec_r = CheckOk(RefreshableVector::Attach(&reader, vec_w.header()),
+                         "attach");
+    CheckOk(vec_r.EnableReader(RefreshableVector::RefreshMode::kPollVersions),
+            "reader");
+    Rng rng(13);
+    const ClientStats before = reader.stats();
+    for (int round = 0; round < 10; ++round) {
+      for (int i = 0; i < 64; ++i) {
+        CheckOk(vec_w.UpdateScatter(rng.NextBelow(kSize), i), "update");
+      }
+      CheckOk(vec_r.Refresh(), "refresh");
+    }
+    const ClientStats delta = reader.stats().Delta(before);
+    groups.AddRow({Table::Cell(group), Table::Cell(delta.far_ops),
+                   Table::Cell(delta.bytes_read)});
+  }
+  groups.Print(std::cout,
+               "E6c: group-size ablation (version metadata vs refresh "
+               "amplification)");
+  return 0;
+}

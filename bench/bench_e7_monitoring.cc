@@ -1,0 +1,111 @@
+// E7 — §6: far-memory transfers for the monitoring case study.
+// Naive sample shipping costs (k+1)·N transfers; the histogram design costs
+// N producer accesses plus m << N notification-driven consumer accesses.
+// Sweep the number of consumers k and the alarm-range sample fraction.
+#include "bench/bench_util.h"
+#include "src/apps/monitoring/monitoring.h"
+#include "src/common/rng.h"
+
+namespace fmds {
+namespace {
+
+constexpr int kSamples = 2000;
+
+MonitorConfig Config() {
+  MonitorConfig config;
+  config.num_bins = 64;
+  config.min_value = 0.0;
+  config.max_value = 100.0;
+  config.num_windows = 2;
+  config.warn_bin = 48;
+  config.critical_bin = 56;
+  config.failure_bin = 62;
+  config.alarm_duration = 3;
+  return config;
+}
+
+double SampleValue(Rng& rng, double alarm_fraction) {
+  return rng.NextBool(alarm_fraction) ? 80.0 + rng.NextDouble() * 19.0
+                                      : rng.NextDouble() * 70.0;
+}
+
+}  // namespace
+}  // namespace fmds
+
+int main() {
+  using namespace fmds;
+  Table table({"consumers", "alarm_frac", "naive transfers",
+               "smart transfers", "notifications", "reduction"});
+  for (int consumers : {1, 2, 4, 8}) {
+    for (double alarm_fraction : {0.0, 0.01, 0.10}) {
+      // ---- naive ----
+      uint64_t naive = 0;
+      {
+        BenchEnv env(DefaultFabric());
+        auto& producer_client = env.NewClient();
+        auto log = CheckOk(
+            NaiveMonitor::Create(&producer_client, &env.alloc(), kSamples),
+            "naive");
+        Rng rng(91);
+        for (int i = 0; i < kSamples; ++i) {
+          CheckOk(log.Record(&producer_client,
+                             SampleValue(rng, alarm_fraction)),
+                  "record");
+        }
+        naive += producer_client.stats().far_ops;
+        for (int c = 0; c < consumers; ++c) {
+          auto& consumer_client = env.NewClient();
+          uint64_t cursor = 0;
+          CheckOk(log.PollSamples(&consumer_client, &cursor, nullptr)
+                      .status(),
+                  "poll");
+          naive += consumer_client.stats().far_ops;
+        }
+      }
+      // ---- histogram + notifications ----
+      uint64_t smart = 0;
+      uint64_t notifications = 0;
+      {
+        BenchEnv env(DefaultFabric());
+        auto& producer_client = env.NewClient();
+        auto store = CheckOk(
+            MonitorStore::Create(&producer_client, &env.alloc(), Config()),
+            "store");
+        MetricProducer producer(&store, &producer_client);
+        std::vector<FarClient*> clients;
+        std::vector<std::unique_ptr<MetricConsumer>> consumer_objs;
+        std::vector<uint64_t> setup_ops;
+        for (int c = 0; c < consumers; ++c) {
+          clients.push_back(&env.NewClient());
+          consumer_objs.push_back(std::make_unique<MetricConsumer>(
+              &store, clients.back(), AlarmSeverity::kWarning));
+          CheckOk(consumer_objs.back()->Subscribe(), "subscribe");
+          setup_ops.push_back(clients.back()->stats().far_ops);
+        }
+        const uint64_t producer_setup = producer_client.stats().far_ops;
+        Rng rng(91);
+        for (int i = 0; i < kSamples; ++i) {
+          CheckOk(producer.Record(SampleValue(rng, alarm_fraction)),
+                  "record");
+        }
+        smart += producer_client.stats().far_ops - producer_setup;
+        for (int c = 0; c < consumers; ++c) {
+          CheckOk(consumer_objs[c]->Poll().status(), "poll");
+          smart += clients[c]->stats().far_ops - setup_ops[c];
+          notifications += clients[c]->stats().notifications;
+        }
+      }
+      table.AddRow({Table::Cell(static_cast<int64_t>(consumers)),
+                    Table::Cell(alarm_fraction, 2), Table::Cell(naive),
+                    Table::Cell(smart), Table::Cell(notifications),
+                    Table::Cell(static_cast<double>(naive) /
+                                    static_cast<double>(std::max<uint64_t>(
+                                        smart + notifications, 1)),
+                                1)});
+    }
+  }
+  table.Print(std::cout,
+              "E7: §6 monitoring — naive (k+1)N sample shipping vs "
+              "histogram+notifications (N producer ops + m<N events)");
+  return 0;
+}

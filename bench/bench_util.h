@@ -1,0 +1,64 @@
+// Shared helpers for the experiment harness. Every bench binary prints
+// paper-shaped tables (fmds::Table) built from exact ClientStats counters
+// and the simulated clock; google-benchmark provides wall-time microbenches
+// where those add signal (F1/E1).
+#ifndef FMDS_BENCH_BENCH_UTIL_H_
+#define FMDS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "src/alloc/far_allocator.h"
+#include "src/common/table.h"
+#include "src/fabric/fabric.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+class BenchEnv {
+ public:
+  explicit BenchEnv(FabricOptions options = FabricOptions())
+      : fabric_(options), alloc_(&fabric_) {}
+
+  Fabric& fabric() { return fabric_; }
+  FarAllocator& alloc() { return alloc_; }
+  FarClient& NewClient() {
+    clients_.push_back(
+        std::make_unique<FarClient>(&fabric_, clients_.size() + 1));
+    return *clients_.back();
+  }
+
+ private:
+  Fabric fabric_;
+  FarAllocator alloc_;
+  std::vector<std::unique_ptr<FarClient>> clients_;
+};
+
+inline FabricOptions DefaultFabric(uint64_t capacity = 512ull << 20) {
+  FabricOptions options;
+  options.num_nodes = 1;
+  options.node_capacity = capacity;
+  return options;
+}
+
+// Aborts the bench with a message if a Status is not OK — experiment code
+// treats any infrastructure failure as fatal.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+}  // namespace fmds
+
+#endif  // FMDS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// §6 case study end-to-end: a producer samples CPU utilization into a
+// far-memory histogram (one far access per sample, via add2 through the
+// current-window pointer); consumers with different alarm thresholds react
+// to notifications only — normal samples cause zero consumer traffic.
+#include <cstdio>
+
+#include "src/apps/monitoring/monitoring.h"
+#include "src/common/rng.h"
+
+int main() {
+  using namespace fmds;
+
+  Fabric fabric(FabricOptions{});
+  FarAllocator alloc(&fabric);
+  FarClient producer_client(&fabric, 1);
+  FarClient ops_team(&fabric, 2);       // warnings and up
+  FarClient pager_duty(&fabric, 3);     // failures only
+
+  MonitorConfig config;
+  config.num_bins = 100;           // 1% CPU per bin
+  config.min_value = 0.0;
+  config.max_value = 100.0;
+  config.num_windows = 4;          // 4 sliding windows
+  config.warn_bin = 80;
+  config.critical_bin = 90;
+  config.failure_bin = 98;
+  config.alarm_duration = 3;       // 3 exceedances within a window
+
+  auto store = MonitorStore::Create(&producer_client, &alloc, config);
+  MetricProducer producer(&*store, &producer_client);
+  MetricConsumer ops(&*store, &ops_team, AlarmSeverity::kWarning);
+  MetricConsumer pager(&*store, &pager_duty, AlarmSeverity::kFailure);
+  (void)ops.Subscribe();
+  (void)pager.Subscribe();
+
+  // Simulate a day: mostly-normal load with an incident in window 2.
+  Rng rng(2024);
+  const char* phases[] = {"calm", "busy", "incident", "recovered"};
+  for (int window = 0; window < 4; ++window) {
+    for (int i = 0; i < 500; ++i) {
+      double cpu;
+      switch (window) {
+        case 0:
+          cpu = 20.0 + rng.NextDouble() * 30.0;  // calm
+          break;
+        case 1:
+          cpu = 50.0 + rng.NextDouble() * 35.0;  // busy, some warnings
+          break;
+        case 2:
+          cpu = 85.0 + rng.NextDouble() * 15.0;  // incident
+          break;
+        default:
+          cpu = 25.0 + rng.NextDouble() * 25.0;  // recovered
+      }
+      (void)producer.Record(cpu);
+    }
+    auto ops_alarms = ops.Poll();
+    auto pager_alarms = pager.Poll();
+    std::printf("window %d (%-9s): ops alarms=%zu pager alarms=%zu\n",
+                window, phases[window], ops_alarms->size(),
+                pager_alarms->size());
+    for (const Alarm& alarm : *ops_alarms) {
+      const char* severity =
+          alarm.severity == AlarmSeverity::kFailure    ? "FAILURE"
+          : alarm.severity == AlarmSeverity::kCritical ? "CRITICAL"
+                                                       : "warning";
+      std::printf("   [%s] bin %llu reached count %llu\n", severity,
+                  static_cast<unsigned long long>(alarm.bin),
+                  static_cast<unsigned long long>(alarm.count));
+    }
+    (void)producer.RotateWindow();
+  }
+
+  std::printf("\nfar-memory traffic (the §6 claim):\n");
+  std::printf("  producer:   %llu far ops for 2000 samples (1 per sample)\n",
+              static_cast<unsigned long long>(
+                  producer_client.stats().far_ops));
+  std::printf("  ops team:   %llu notifications, %llu far ops\n",
+              static_cast<unsigned long long>(ops_team.stats().notifications),
+              static_cast<unsigned long long>(ops_team.stats().far_ops));
+  std::printf("  pager duty: %llu notifications, %llu far ops\n",
+              static_cast<unsigned long long>(
+                  pager_duty.stats().notifications),
+              static_cast<unsigned long long>(pager_duty.stats().far_ops));
+  std::printf("  (naive sample-shipping would be (k+1)*N = %d transfers)\n",
+              3 * 2000);
+  return 0;
+}

@@ -1,0 +1,322 @@
+#include "src/baselines/btree.h"
+
+#include <algorithm>
+
+#include "src/common/bytes.h"
+
+namespace fmds {
+
+Result<FarBTree> FarBTree::Create(FarClient* client, FarAllocator* alloc,
+                                  Options options) {
+  if (options.fanout < 3) {
+    return Status(StatusCode::kInvalidArgument, "fanout must be >= 3");
+  }
+  FarBTree tree(client, alloc);
+  tree.options_ = options;
+  tree.fanout_ = options.fanout;
+  FMDS_ASSIGN_OR_RETURN(tree.header_, alloc->Allocate(kHeaderBytes));
+  Node root;
+  root.leaf = true;
+  root.count = 0;
+  root.keys.assign(options.fanout, 0);
+  root.ptrs.assign(options.fanout + 1, 0);
+  FMDS_ASSIGN_OR_RETURN(FarAddr root_addr, tree.AllocNode(root));
+  const uint64_t hdr[4] = {root_addr, options.fanout, 0, 1};
+  FMDS_RETURN_IF_ERROR(client->Write(
+      tree.header_, std::as_bytes(std::span<const uint64_t>(hdr))));
+  tree.lock_ = FarMutex::Attach(tree.header_ + 16);
+  tree.height_ = 1;
+  return tree;
+}
+
+Result<FarBTree> FarBTree::Attach(FarClient* client, FarAllocator* alloc,
+                                  FarAddr header) {
+  FarBTree tree(client, alloc);
+  tree.header_ = header;
+  uint64_t hdr[4];
+  FMDS_RETURN_IF_ERROR(client->Read(
+      header, std::as_writable_bytes(std::span<uint64_t>(hdr))));
+  tree.fanout_ = hdr[1];
+  tree.options_.fanout = hdr[1];
+  tree.height_ = hdr[3];
+  tree.lock_ = FarMutex::Attach(header + 16);
+  return tree;
+}
+
+Result<FarBTree::Node> FarBTree::ReadNode(FarAddr addr, bool count_access) {
+  std::vector<uint64_t> words(node_words());
+  FMDS_RETURN_IF_ERROR(client_->Read(
+      addr, std::as_writable_bytes(std::span<uint64_t>(words))));
+  if (count_access) {
+    ++last_get_accesses_;
+  }
+  Node node;
+  node.leaf = (words[0] & 1) != 0;
+  node.count = words[0] >> 8;
+  node.keys.assign(words.begin() + 1, words.begin() + 1 + fanout_);
+  node.ptrs.assign(words.begin() + 1 + fanout_, words.end());
+  return node;
+}
+
+Status FarBTree::WriteNode(FarAddr addr, const Node& node) {
+  std::vector<uint64_t> words(node_words(), 0);
+  words[0] = (node.leaf ? 1 : 0) | (node.count << 8);
+  std::copy(node.keys.begin(), node.keys.end(), words.begin() + 1);
+  std::copy(node.ptrs.begin(), node.ptrs.end(),
+            words.begin() + 1 + fanout_);
+  Invalidate(addr);
+  return client_->Write(addr,
+                        std::as_bytes(std::span<const uint64_t>(words)));
+}
+
+Result<FarAddr> FarBTree::AllocNode(const Node& node) {
+  FMDS_ASSIGN_OR_RETURN(FarAddr addr, alloc_->Allocate(node_bytes()));
+  FMDS_RETURN_IF_ERROR(WriteNode(addr, node));
+  return addr;
+}
+
+Result<FarBTree::Node> FarBTree::ReadInternal(FarAddr addr) {
+  if (options_.cache_internal) {
+    auto it = cache_.find(addr);
+    if (it != cache_.end()) {
+      client_->AccountNear(1);
+      return it->second;
+    }
+  }
+  FMDS_ASSIGN_OR_RETURN(Node node, ReadNode(addr));
+  if (options_.cache_internal && !node.leaf) {
+    cache_[addr] = node;
+  }
+  return node;
+}
+
+Result<uint64_t> FarBTree::Get(uint64_t key) {
+  last_get_accesses_ = 0;
+  FMDS_ASSIGN_OR_RETURN(FarAddr cursor, client_->ReadWord(header_));
+  ++last_get_accesses_;
+  for (uint64_t level = 0; level < 64; ++level) {
+    FMDS_ASSIGN_OR_RETURN(Node node, ReadInternal(cursor));
+    if (node.leaf) {
+      for (uint64_t i = 0; i < node.count; ++i) {
+        if (node.keys[i] == key) {
+          return node.ptrs[i];
+        }
+      }
+      return Status(StatusCode::kNotFound, "key absent");
+    }
+    uint64_t slot = 0;
+    while (slot < node.count && key >= node.keys[slot]) {
+      ++slot;
+    }
+    cursor = node.ptrs[slot];
+  }
+  return Status(StatusCode::kInternal, "tree too deep");
+}
+
+Status FarBTree::SplitChild(FarAddr parent_addr, Node& parent, uint64_t slot,
+                            FarAddr child_addr, Node& child) {
+  const uint64_t mid = child.count / 2;
+  Node right;
+  right.leaf = child.leaf;
+  right.keys.assign(fanout_, 0);
+  right.ptrs.assign(fanout_ + 1, 0);
+  uint64_t promoted;
+  if (child.leaf) {
+    // Leaf split: upper half moves right; the first right key is promoted
+    // (copied, B+tree style).
+    right.count = child.count - mid;
+    for (uint64_t i = 0; i < right.count; ++i) {
+      right.keys[i] = child.keys[mid + i];
+      right.ptrs[i] = child.ptrs[mid + i];
+    }
+    promoted = right.keys[0];
+    child.count = mid;
+    // Maintain the leaf chain (last ptr slot).
+    right.ptrs[fanout_] = child.ptrs[fanout_];
+  } else {
+    // Internal split: middle key moves up.
+    promoted = child.keys[mid];
+    right.count = child.count - mid - 1;
+    for (uint64_t i = 0; i < right.count; ++i) {
+      right.keys[i] = child.keys[mid + 1 + i];
+      right.ptrs[i] = child.ptrs[mid + 1 + i];
+    }
+    right.ptrs[right.count] = child.ptrs[child.count];
+    child.count = mid;
+  }
+  FMDS_ASSIGN_OR_RETURN(FarAddr right_addr, AllocNode(right));
+  if (child.leaf) {
+    child.ptrs[fanout_] = right_addr;
+  }
+  FMDS_RETURN_IF_ERROR(WriteNode(child_addr, child));
+  // Insert promoted key + right pointer into the parent at `slot`.
+  for (uint64_t i = parent.count; i > slot; --i) {
+    parent.keys[i] = parent.keys[i - 1];
+    parent.ptrs[i + 1] = parent.ptrs[i];
+  }
+  parent.keys[slot] = promoted;
+  parent.ptrs[slot + 1] = right_addr;
+  ++parent.count;
+  return WriteNode(parent_addr, parent);
+}
+
+Status FarBTree::Put(uint64_t key, uint64_t value) {
+  FMDS_RETURN_IF_ERROR(lock_.Lock(*client_, MutexWaitStrategy::kPoll));
+  Status result = OkStatus();
+  do {
+    auto root_r = client_->ReadWord(header_);
+    if (!root_r.ok()) {
+      result = root_r.status();
+      break;
+    }
+    FarAddr cursor = *root_r;
+    auto node_r = ReadNode(cursor);
+    if (!node_r.ok()) {
+      result = node_r.status();
+      break;
+    }
+    Node node = *node_r;
+    // Preemptive root split keeps every descent single-pass.
+    if (node.count == fanout_) {
+      Node new_root;
+      new_root.leaf = false;
+      new_root.count = 0;
+      new_root.keys.assign(fanout_, 0);
+      new_root.ptrs.assign(fanout_ + 1, 0);
+      new_root.ptrs[0] = cursor;
+      auto new_root_addr = AllocNode(new_root);
+      if (!new_root_addr.ok()) {
+        result = new_root_addr.status();
+        break;
+      }
+      result = SplitChild(*new_root_addr, new_root, 0, cursor, node);
+      if (!result.ok()) {
+        break;
+      }
+      result = client_->WriteWord(header_, *new_root_addr);
+      if (!result.ok()) {
+        break;
+      }
+      ++height_;
+      result = client_->WriteWord(header_ + 24, height_);
+      if (!result.ok()) {
+        break;
+      }
+      cursor = *new_root_addr;
+      node = new_root;
+    }
+    // Single-pass descent: split any full child before entering it.
+    while (!node.leaf) {
+      uint64_t slot = 0;
+      while (slot < node.count && key >= node.keys[slot]) {
+        ++slot;
+      }
+      FarAddr child_addr = node.ptrs[slot];
+      auto child_r = ReadNode(child_addr);
+      if (!child_r.ok()) {
+        result = child_r.status();
+        break;
+      }
+      Node child = *child_r;
+      if (child.count == fanout_) {
+        result = SplitChild(cursor, node, slot, child_addr, child);
+        if (!result.ok()) {
+          break;
+        }
+        // Re-pick the side of the split.
+        if (key >= node.keys[slot]) {
+          child_addr = node.ptrs[slot + 1];
+          auto reread = ReadNode(child_addr);
+          if (!reread.ok()) {
+            result = reread.status();
+            break;
+          }
+          child = *reread;
+        }
+      }
+      cursor = child_addr;
+      node = child;
+    }
+    if (!result.ok()) {
+      break;
+    }
+    // Leaf insert (sorted; replaces an existing key's value in place).
+    uint64_t pos = 0;
+    while (pos < node.count && node.keys[pos] < key) {
+      ++pos;
+    }
+    if (pos < node.count && node.keys[pos] == key) {
+      node.ptrs[pos] = value;
+    } else {
+      for (uint64_t i = node.count; i > pos; --i) {
+        node.keys[i] = node.keys[i - 1];
+        node.ptrs[i] = node.ptrs[i - 1];
+      }
+      node.keys[pos] = key;
+      node.ptrs[pos] = value;
+      ++node.count;
+    }
+    result = WriteNode(cursor, node);
+  } while (false);
+  FMDS_RETURN_IF_ERROR(lock_.Unlock(*client_));
+  return result;
+}
+
+Status FarBTree::Remove(uint64_t key) {
+  FMDS_RETURN_IF_ERROR(lock_.Lock(*client_, MutexWaitStrategy::kPoll));
+  Status result = OkStatus();
+  do {
+    auto root_r = client_->ReadWord(header_);
+    if (!root_r.ok()) {
+      result = root_r.status();
+      break;
+    }
+    FarAddr cursor = *root_r;
+    Node node;
+    while (true) {
+      auto node_r = ReadNode(cursor);
+      if (!node_r.ok()) {
+        result = node_r.status();
+        break;
+      }
+      node = *node_r;
+      if (node.leaf) {
+        break;
+      }
+      uint64_t slot = 0;
+      while (slot < node.count && key >= node.keys[slot]) {
+        ++slot;
+      }
+      cursor = node.ptrs[slot];
+    }
+    if (!result.ok()) {
+      break;
+    }
+    // Lazy deletion: remove the entry, never rebalance.
+    uint64_t pos = 0;
+    while (pos < node.count && node.keys[pos] != key) {
+      ++pos;
+    }
+    if (pos == node.count) {
+      result = NotFound("key absent");
+      break;
+    }
+    for (uint64_t i = pos; i + 1 < node.count; ++i) {
+      node.keys[i] = node.keys[i + 1];
+      node.ptrs[i] = node.ptrs[i + 1];
+    }
+    --node.count;
+    result = WriteNode(cursor, node);
+  } while (false);
+  FMDS_RETURN_IF_ERROR(lock_.Unlock(*client_));
+  return result;
+}
+
+uint64_t FarBTree::cache_bytes() const {
+  // Each cached node: key/ptr vectors + map node overhead.
+  const uint64_t per_node =
+      node_bytes() + sizeof(Node) + sizeof(FarAddr) + 2 * sizeof(void*);
+  return cache_.size() * per_node;
+}
+
+}  // namespace fmds

@@ -1,0 +1,122 @@
+#include "src/baselines/chained_hash.h"
+
+#include "src/common/bytes.h"
+
+namespace fmds {
+
+Result<ChainedHash> ChainedHash::Create(FarClient* client,
+                                        FarAllocator* alloc,
+                                        Options options) {
+  if (options.buckets == 0) {
+    return Status(StatusCode::kInvalidArgument, "buckets must be > 0");
+  }
+  ChainedHash table(client, alloc);
+  table.options_ = options;
+  table.nbuckets_ = options.buckets;
+  FMDS_ASSIGN_OR_RETURN(table.header_, alloc->Allocate(kHeaderBytes));
+  FMDS_ASSIGN_OR_RETURN(table.buckets_,
+                        alloc->Allocate(options.buckets * kWordSize));
+  std::vector<uint64_t> zeros(options.buckets, 0);
+  FMDS_RETURN_IF_ERROR(client->Write(
+      table.buckets_, std::as_bytes(std::span<const uint64_t>(zeros))));
+  const uint64_t hdr[2] = {table.buckets_, options.buckets};
+  FMDS_RETURN_IF_ERROR(client->Write(
+      table.header_, std::as_bytes(std::span<const uint64_t>(hdr))));
+  return table;
+}
+
+Result<ChainedHash> ChainedHash::Attach(FarClient* client,
+                                        FarAllocator* alloc, FarAddr header) {
+  ChainedHash table(client, alloc);
+  table.header_ = header;
+  uint64_t hdr[2];
+  FMDS_RETURN_IF_ERROR(client->Read(
+      header, std::as_writable_bytes(std::span<uint64_t>(hdr))));
+  table.buckets_ = hdr[0];
+  table.nbuckets_ = hdr[1];
+  return table;
+}
+
+Result<FarAddr> ChainedHash::AllocItemSlot() {
+  if (arena_left_ == 0) {
+    FMDS_ASSIGN_OR_RETURN(
+        arena_next_, alloc_->Allocate(options_.arena_batch * kItemBytes));
+    arena_left_ = options_.arena_batch;
+  }
+  const FarAddr slot = arena_next_;
+  arena_next_ += kItemBytes;
+  --arena_left_;
+  client_->AccountNear(1);
+  return slot;
+}
+
+Result<uint64_t> ChainedHash::Get(uint64_t key) {
+  ++gets_;
+  const FarAddr bucket = BucketAddr(key);
+  Item item;
+  FarAddr cursor;
+  if (options_.use_indirect) {
+    // Proposed hardware: one access merges bucket dereference + item read.
+    auto head = client_->Load0(bucket, AsBytes(item));
+    if (!head.ok()) {
+      if (head.status().code() == StatusCode::kFailedPrecondition) {
+        return Status(StatusCode::kNotFound, "empty bucket");
+      }
+      return head.status();
+    }
+    cursor = *head;
+  } else {
+    // Today's verbs: bucket word first, then the item — two round trips
+    // before we even see a key.
+    FMDS_ASSIGN_OR_RETURN(cursor, client_->ReadWord(bucket));
+    if (cursor == kNullFarAddr) {
+      return Status(StatusCode::kNotFound, "empty bucket");
+    }
+    FMDS_RETURN_IF_ERROR(client_->Read(cursor, AsBytes(item)));
+  }
+  while (true) {
+    if (item.key == key) {
+      if ((item.flags & kFlagTombstone) != 0) {
+        return Status(StatusCode::kNotFound, "key removed");
+      }
+      return item.value;
+    }
+    if (item.next == kNullFarAddr) {
+      return Status(StatusCode::kNotFound, "key absent");
+    }
+    cursor = item.next;
+    FMDS_RETURN_IF_ERROR(client_->Read(cursor, AsBytes(item)));
+    ++chain_hops_;
+  }
+}
+
+Status ChainedHash::InsertAtHead(uint64_t key, uint64_t value,
+                                 uint64_t flags) {
+  const FarAddr bucket = BucketAddr(key);
+  FMDS_ASSIGN_OR_RETURN(FarAddr slot, AllocItemSlot());
+  // Optimistically expect an empty bucket; the CAS returns the real head on
+  // a miss and we relink.
+  FarAddr predicted = kNullFarAddr;
+  Item item{key, value, flags, predicted};
+  FMDS_RETURN_IF_ERROR(client_->Write(slot, AsConstBytes(item)));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    FMDS_ASSIGN_OR_RETURN(uint64_t old,
+                          client_->CompareSwap(bucket, predicted, slot));
+    if (old == predicted) {
+      return OkStatus();
+    }
+    predicted = old;
+    FMDS_RETURN_IF_ERROR(client_->WriteWord(slot + 24, predicted));
+  }
+  return Aborted("chained-hash insert retries exhausted");
+}
+
+Status ChainedHash::Put(uint64_t key, uint64_t value) {
+  return InsertAtHead(key, value, 0);
+}
+
+Status ChainedHash::Remove(uint64_t key) {
+  return InsertAtHead(key, 0, kFlagTombstone);
+}
+
+}  // namespace fmds

@@ -1,0 +1,47 @@
+#include "src/baselines/linked_list.h"
+
+#include "src/common/bytes.h"
+
+namespace fmds {
+
+Result<FarLinkedList> FarLinkedList::Create(FarClient* client,
+                                            FarAllocator* alloc) {
+  FMDS_ASSIGN_OR_RETURN(FarAddr head, alloc->Allocate(kWordSize));
+  FMDS_RETURN_IF_ERROR(client->WriteWord(head, 0));
+  return FarLinkedList(client, alloc, head);
+}
+
+Status FarLinkedList::PushFront(uint64_t key, uint64_t value) {
+  FMDS_ASSIGN_OR_RETURN(FarAddr slot, alloc_->Allocate(sizeof(Node)));
+  FarAddr predicted = kNullFarAddr;
+  Node node{key, value, predicted, 0};
+  FMDS_RETURN_IF_ERROR(client_->Write(slot, AsConstBytes(node)));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    FMDS_ASSIGN_OR_RETURN(uint64_t old,
+                          client_->CompareSwap(head_, predicted, slot));
+    if (old == predicted) {
+      return OkStatus();
+    }
+    predicted = old;
+    FMDS_RETURN_IF_ERROR(client_->WriteWord(slot + 16, predicted));
+  }
+  return Aborted("list push retries exhausted");
+}
+
+Result<uint64_t> FarLinkedList::Find(uint64_t key) {
+  last_find_accesses_ = 0;
+  FMDS_ASSIGN_OR_RETURN(FarAddr cursor, client_->ReadWord(head_));
+  ++last_find_accesses_;
+  while (cursor != kNullFarAddr) {
+    Node node;
+    FMDS_RETURN_IF_ERROR(client_->Read(cursor, AsBytes(node)));
+    ++last_find_accesses_;
+    if (node.key == key) {
+      return node.value;
+    }
+    cursor = node.next;
+  }
+  return Status(StatusCode::kNotFound, "key absent");
+}
+
+}  // namespace fmds

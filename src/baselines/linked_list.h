@@ -1,0 +1,48 @@
+// Baseline: singly linked list in far memory — §1's O(n)-far-accesses
+// cautionary tale. Insert-at-head is cheap (2 far accesses); Find walks the
+// chain at one far access per node.
+#ifndef FMDS_SRC_BASELINES_LINKED_LIST_H_
+#define FMDS_SRC_BASELINES_LINKED_LIST_H_
+
+#include <cstdint>
+
+#include "src/alloc/far_allocator.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+class FarLinkedList {
+ public:
+  static Result<FarLinkedList> Create(FarClient* client, FarAllocator* alloc);
+  static FarLinkedList Attach(FarClient* client, FarAllocator* alloc,
+                              FarAddr head) {
+    return FarLinkedList(client, alloc, head);
+  }
+
+  FarAddr head() const { return head_; }
+
+  Status PushFront(uint64_t key, uint64_t value);
+  Result<uint64_t> Find(uint64_t key);  // O(n) far accesses
+
+  uint64_t last_find_far_accesses() const { return last_find_accesses_; }
+
+ private:
+  struct Node {
+    uint64_t key;
+    uint64_t value;
+    FarAddr next;
+    uint64_t pad;
+  };
+
+  FarLinkedList(FarClient* client, FarAllocator* alloc, FarAddr head)
+      : client_(client), alloc_(alloc), head_(head) {}
+
+  FarClient* client_;
+  FarAllocator* alloc_;
+  FarAddr head_;  // far word holding the first-node pointer
+  uint64_t last_find_accesses_ = 0;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_BASELINES_LINKED_LIST_H_

@@ -1,0 +1,114 @@
+#include "src/baselines/neighborhood_hash.h"
+
+#include "src/common/bytes.h"
+
+namespace fmds {
+
+Result<NeighborhoodHash> NeighborhoodHash::Create(FarClient* client,
+                                                  FarAllocator* alloc,
+                                                  Options options) {
+  if (options.buckets == 0 || options.neighborhood == 0) {
+    return Status(StatusCode::kInvalidArgument, "bad neighborhood options");
+  }
+  NeighborhoodHash table(client);
+  table.buckets_ = options.buckets;
+  table.neighborhood_ = options.neighborhood;
+  // The slot array is padded by one neighborhood so windows never wrap.
+  const uint64_t total_slots = options.buckets + options.neighborhood;
+  FMDS_ASSIGN_OR_RETURN(table.header_, alloc->Allocate(kHeaderBytes));
+  FMDS_ASSIGN_OR_RETURN(table.slots_,
+                        alloc->Allocate(total_slots * kSlotBytes));
+  std::vector<uint64_t> zeros(total_slots * 2, 0);
+  FMDS_RETURN_IF_ERROR(client->Write(
+      table.slots_, std::as_bytes(std::span<const uint64_t>(zeros))));
+  const uint64_t hdr[3] = {table.slots_, options.buckets,
+                           options.neighborhood};
+  FMDS_RETURN_IF_ERROR(client->Write(
+      table.header_, std::as_bytes(std::span<const uint64_t>(hdr))));
+  return table;
+}
+
+Result<NeighborhoodHash> NeighborhoodHash::Attach(FarClient* client,
+                                                  FarAddr header) {
+  NeighborhoodHash table(client);
+  table.header_ = header;
+  uint64_t hdr[3];
+  FMDS_RETURN_IF_ERROR(client->Read(
+      header, std::as_writable_bytes(std::span<uint64_t>(hdr))));
+  table.slots_ = hdr[0];
+  table.buckets_ = hdr[1];
+  table.neighborhood_ = hdr[2];
+  return table;
+}
+
+Result<uint64_t> NeighborhoodHash::Get(uint64_t key) {
+  if (key == 0) {
+    return Status(StatusCode::kInvalidArgument, "key 0 reserved");
+  }
+  // ONE far access: the whole neighborhood in a single read.
+  std::vector<Slot> window(neighborhood_);
+  FMDS_RETURN_IF_ERROR(client_->Read(
+      SlotAddr(HomeBucket(key)),
+      std::as_writable_bytes(std::span<Slot>(window))));
+  client_->AccountNear(neighborhood_ / 4 + 1);  // local scan
+  for (const Slot& slot : window) {
+    if (slot.key == key) {
+      return slot.value;
+    }
+  }
+  return Status(StatusCode::kNotFound, "key absent");
+}
+
+Status NeighborhoodHash::Put(uint64_t key, uint64_t value) {
+  if (key == 0) {
+    return InvalidArgument("key 0 reserved");
+  }
+  const uint64_t home = HomeBucket(key);
+  std::vector<Slot> window(neighborhood_);
+  FMDS_RETURN_IF_ERROR(client_->Read(
+      SlotAddr(home), std::as_writable_bytes(std::span<Slot>(window))));
+  // Existing key: in-place value update.
+  for (uint64_t i = 0; i < neighborhood_; ++i) {
+    if (window[i].key == key) {
+      return client_->WriteWord(SlotAddr(home + i) + kWordSize, value);
+    }
+  }
+  // Claim a free slot with a CAS on its key word, then write the value.
+  for (uint64_t i = 0; i < neighborhood_; ++i) {
+    if (window[i].key != 0) {
+      continue;
+    }
+    FMDS_ASSIGN_OR_RETURN(
+        uint64_t old, client_->CompareSwap(SlotAddr(home + i), 0, key));
+    if (old == 0) {
+      return client_->WriteWord(SlotAddr(home + i) + kWordSize, value);
+    }
+    if (old == key) {  // concurrent insert of the same key
+      return client_->WriteWord(SlotAddr(home + i) + kWordSize, value);
+    }
+  }
+  return ResourceExhausted("neighborhood full");
+}
+
+Status NeighborhoodHash::Remove(uint64_t key) {
+  if (key == 0) {
+    return InvalidArgument("key 0 reserved");
+  }
+  const uint64_t home = HomeBucket(key);
+  std::vector<Slot> window(neighborhood_);
+  FMDS_RETURN_IF_ERROR(client_->Read(
+      SlotAddr(home), std::as_writable_bytes(std::span<Slot>(window))));
+  for (uint64_t i = 0; i < neighborhood_; ++i) {
+    if (window[i].key == key) {
+      FMDS_ASSIGN_OR_RETURN(
+          uint64_t old, client_->CompareSwap(SlotAddr(home + i), key, 0));
+      if (old == key) {
+        return OkStatus();
+      }
+      return Aborted("slot changed during remove");
+    }
+  }
+  return NotFound("key absent");
+}
+
+}  // namespace fmds

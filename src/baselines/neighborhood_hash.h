@@ -1,0 +1,71 @@
+// Baseline: FaRM-style neighborhood (Hopscotch-flavoured) hash table [11].
+// Colliding key-value pairs are inlined in a window of H consecutive slots
+// after the home bucket, so a lookup reads the whole neighborhood in ONE far
+// access — the trade §8 describes: one round trip, but it "consumes
+// additional bandwidth to transfer items that will not be used".
+//
+// Inserts claim a slot in the neighborhood with a CAS on the key word
+// (read neighborhood + CAS + value write = 3 far accesses); a full
+// neighborhood fails the insert (kResourceExhausted) — sized appropriately
+// this is rare, and keeping the baseline honest matters more than absorbing
+// overflow with extra machinery the original also lacks per-object.
+#ifndef FMDS_SRC_BASELINES_NEIGHBORHOOD_HASH_H_
+#define FMDS_SRC_BASELINES_NEIGHBORHOOD_HASH_H_
+
+#include <cstdint>
+
+#include "src/alloc/far_allocator.h"
+#include "src/common/hash.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+class NeighborhoodHash {
+ public:
+  struct Options {
+    uint64_t buckets = 4096;       // home positions
+    uint64_t neighborhood = 8;     // H: slots scanned per lookup
+  };
+
+  static Result<NeighborhoodHash> Create(FarClient* client,
+                                         FarAllocator* alloc,
+                                         Options options);
+  static Result<NeighborhoodHash> Attach(FarClient* client, FarAddr header);
+
+  FarAddr header() const { return header_; }
+
+  Result<uint64_t> Get(uint64_t key);
+  Status Put(uint64_t key, uint64_t value);
+  Status Remove(uint64_t key);
+
+  // Payload bytes a single lookup moves (the bandwidth cost of inlining).
+  uint64_t lookup_bytes() const { return neighborhood_ * kSlotBytes; }
+
+ private:
+  // Slot: [0] key (0 = free), [8] value. Key 0 is reserved.
+  static constexpr uint64_t kSlotBytes = 16;
+  // Header: [0] slot base, [8] buckets, [16] neighborhood.
+  static constexpr uint64_t kHeaderBytes = 24;
+
+  struct Slot {
+    uint64_t key;
+    uint64_t value;
+  };
+
+  explicit NeighborhoodHash(FarClient* client) : client_(client) {}
+
+  uint64_t HomeBucket(uint64_t key) const { return Mix64(key) % buckets_; }
+  FarAddr SlotAddr(uint64_t index) const {
+    return slots_ + index * kSlotBytes;
+  }
+
+  FarClient* client_;
+  FarAddr header_ = kNullFarAddr;
+  FarAddr slots_ = kNullFarAddr;
+  uint64_t buckets_ = 0;
+  uint64_t neighborhood_ = 0;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_BASELINES_NEIGHBORHOOD_HASH_H_

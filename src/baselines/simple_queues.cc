@@ -1,0 +1,172 @@
+#include "src/baselines/simple_queues.h"
+
+#include <thread>
+
+#include "src/common/bytes.h"
+
+namespace fmds {
+
+namespace {
+constexpr int kSpinLimit = 1 << 20;
+}
+
+// ------------------------------ LockFarQueue ------------------------------
+
+Result<LockFarQueue> LockFarQueue::Create(FarClient* client,
+                                          FarAllocator* alloc,
+                                          uint64_t capacity) {
+  if (capacity == 0) {
+    return Status(StatusCode::kInvalidArgument, "capacity must be > 0");
+  }
+  FMDS_ASSIGN_OR_RETURN(
+      FarAddr header,
+      alloc->Allocate(kHeaderBytes + capacity * kWordSize));
+  const FarAddr ring = header + kHeaderBytes;
+  std::vector<uint64_t> image(kHeaderBytes / 8 + capacity, 0);
+  image[3] = ring;
+  image[4] = capacity;
+  FMDS_RETURN_IF_ERROR(client->Write(
+      header, std::as_bytes(std::span<const uint64_t>(image))));
+  LockFarQueue queue(client, header);
+  queue.ring_ = ring;
+  queue.capacity_ = capacity;
+  queue.lock_ = FarMutex::Attach(header + 16);
+  return queue;
+}
+
+Result<LockFarQueue> LockFarQueue::Attach(FarClient* client, FarAddr header) {
+  uint64_t hdr[5];
+  FMDS_RETURN_IF_ERROR(client->Read(
+      header, std::as_writable_bytes(std::span<uint64_t>(hdr))));
+  LockFarQueue queue(client, header);
+  queue.ring_ = hdr[3];
+  queue.capacity_ = hdr[4];
+  queue.lock_ = FarMutex::Attach(header + 16);
+  return queue;
+}
+
+Status LockFarQueue::Enqueue(uint64_t value) {
+  FMDS_RETURN_IF_ERROR(lock_.Lock(*client_, MutexWaitStrategy::kPoll));
+  Status result = OkStatus();
+  do {
+    auto head = client_->ReadWord(header_);
+    auto tail = client_->ReadWord(header_ + 8);
+    if (!head.ok() || !tail.ok()) {
+      result = head.ok() ? tail.status() : head.status();
+      break;
+    }
+    if (*tail - *head >= capacity_) {
+      result = ResourceExhausted("queue full");
+      break;
+    }
+    result = client_->WriteWord(ring_ + (*tail % capacity_) * kWordSize,
+                                value);
+    if (!result.ok()) {
+      break;
+    }
+    result = client_->WriteWord(header_ + 8, *tail + 1);
+  } while (false);
+  FMDS_RETURN_IF_ERROR(lock_.Unlock(*client_));
+  return result;
+}
+
+Result<uint64_t> LockFarQueue::Dequeue() {
+  FMDS_RETURN_IF_ERROR(lock_.Lock(*client_, MutexWaitStrategy::kPoll));
+  Result<uint64_t> result = Status(StatusCode::kNotFound, "queue empty");
+  do {
+    auto head = client_->ReadWord(header_);
+    auto tail = client_->ReadWord(header_ + 8);
+    if (!head.ok() || !tail.ok()) {
+      result = head.ok() ? tail.status() : head.status();
+      break;
+    }
+    if (*tail == *head) {
+      break;  // empty
+    }
+    auto value = client_->ReadWord(ring_ + (*head % capacity_) * kWordSize);
+    if (!value.ok()) {
+      result = value.status();
+      break;
+    }
+    Status st = client_->WriteWord(header_, *head + 1);
+    if (!st.ok()) {
+      result = st;
+      break;
+    }
+    result = *value;
+  } while (false);
+  FMDS_RETURN_IF_ERROR(lock_.Unlock(*client_));
+  return result;
+}
+
+// ----------------------------- TicketFarQueue -----------------------------
+
+Result<TicketFarQueue> TicketFarQueue::Create(FarClient* client,
+                                              FarAllocator* alloc,
+                                              uint64_t capacity) {
+  if (capacity == 0) {
+    return Status(StatusCode::kInvalidArgument, "capacity must be > 0");
+  }
+  FMDS_ASSIGN_OR_RETURN(
+      FarAddr header,
+      alloc->Allocate(kHeaderBytes + capacity * kWordSize));
+  const FarAddr ring = header + kHeaderBytes;
+  std::vector<uint64_t> image(kHeaderBytes / 8 + capacity, 0);
+  image[2] = ring;
+  image[3] = capacity;
+  FMDS_RETURN_IF_ERROR(client->Write(
+      header, std::as_bytes(std::span<const uint64_t>(image))));
+  TicketFarQueue queue(client, header);
+  queue.ring_ = ring;
+  queue.capacity_ = capacity;
+  return queue;
+}
+
+Result<TicketFarQueue> TicketFarQueue::Attach(FarClient* client,
+                                              FarAddr header) {
+  uint64_t hdr[4];
+  FMDS_RETURN_IF_ERROR(client->Read(
+      header, std::as_writable_bytes(std::span<uint64_t>(hdr))));
+  TicketFarQueue queue(client, header);
+  queue.ring_ = hdr[2];
+  queue.capacity_ = hdr[3];
+  return queue;
+}
+
+Status TicketFarQueue::Enqueue(uint64_t value) {
+  if (value == 0) {
+    return InvalidArgument("queue values must be non-zero");
+  }
+  // Two far accesses — this is the best today's verbs can do: the FAA
+  // reserves a ticket, a second round trip stores the item.
+  FMDS_ASSIGN_OR_RETURN(uint64_t ticket, client_->FetchAdd(header_ + 8, 1));
+  return client_->WriteWord(SlotAddr(ticket), value);
+}
+
+Result<uint64_t> TicketFarQueue::Dequeue() {
+  FMDS_ASSIGN_OR_RETURN(uint64_t ticket, client_->FetchAdd(header_, 1));
+  const FarAddr slot = SlotAddr(ticket);
+  FMDS_ASSIGN_OR_RETURN(uint64_t value, client_->ReadWord(slot));
+  if (value != 0) {
+    FMDS_RETURN_IF_ERROR(client_->PostWriteWordBackground(slot, 0));
+    return value;
+  }
+  // Raced an in-flight or absent producer: consume when the slot fills, or
+  // unwind the ticket LIFO (same discipline as FarQueue's empty race).
+  for (int spin = 0; spin < kSpinLimit; ++spin) {
+    FMDS_ASSIGN_OR_RETURN(uint64_t v, client_->ReadWord(slot));
+    if (v != 0) {
+      FMDS_RETURN_IF_ERROR(client_->PostWriteWordBackground(slot, 0));
+      return v;
+    }
+    FMDS_ASSIGN_OR_RETURN(uint64_t old,
+                          client_->CompareSwap(header_, ticket + 1, ticket));
+    if (old == ticket + 1) {
+      return Status(StatusCode::kNotFound, "queue empty");
+    }
+    std::this_thread::yield();
+  }
+  return Status(StatusCode::kAborted, "ticket unwind did not settle");
+}
+
+}  // namespace fmds

@@ -1,0 +1,79 @@
+// Baseline queues for E5 (§5.3):
+//
+//  * LockFarQueue — a far mutex around head/tail/slot updates: ~5 far
+//    accesses per op plus lock contention ("costly concurrency control").
+//  * TicketFarQueue — lock-free with plain fetch-add: TWO far accesses per
+//    op (FAA on a ticket word, then the slot read/write), i.e. exactly what
+//    you can do with today's RDMA atomics and what faai/saai halve.
+//
+// Both use logical monotonically increasing tickets mapped to ring slots
+// client-side, so they need no slack region — the contrast with FarQueue's
+// physical-pointer scheme is the point of the experiment.
+#ifndef FMDS_SRC_BASELINES_SIMPLE_QUEUES_H_
+#define FMDS_SRC_BASELINES_SIMPLE_QUEUES_H_
+
+#include <cstdint>
+
+#include "src/alloc/far_allocator.h"
+#include "src/core/far_mutex.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+class LockFarQueue {
+ public:
+  static Result<LockFarQueue> Create(FarClient* client, FarAllocator* alloc,
+                                     uint64_t capacity);
+  static Result<LockFarQueue> Attach(FarClient* client, FarAddr header);
+
+  FarAddr header() const { return header_; }
+  Status Enqueue(uint64_t value);
+  Result<uint64_t> Dequeue();
+
+ private:
+  // Header: [0] head ticket, [8] tail ticket, [16] lock, [24] ring base,
+  // [32] capacity.
+  static constexpr uint64_t kHeaderBytes = 40;
+
+  LockFarQueue(FarClient* client, FarAddr header)
+      : client_(client), header_(header) {}
+
+  FarClient* client_;
+  FarAddr header_;
+  FarAddr ring_ = kNullFarAddr;
+  uint64_t capacity_ = 0;
+  FarMutex lock_ = FarMutex::Attach(kNullFarAddr);
+};
+
+class TicketFarQueue {
+ public:
+  static Result<TicketFarQueue> Create(FarClient* client,
+                                       FarAllocator* alloc,
+                                       uint64_t capacity);
+  static Result<TicketFarQueue> Attach(FarClient* client, FarAddr header);
+
+  FarAddr header() const { return header_; }
+  Status Enqueue(uint64_t value);   // 2 far accesses
+  Result<uint64_t> Dequeue();       // 2 far accesses (+ spin when racing)
+
+ private:
+  // Header: [0] head ticket, [8] tail ticket, [16] ring base,
+  // [24] capacity.
+  static constexpr uint64_t kHeaderBytes = 32;
+
+  TicketFarQueue(FarClient* client, FarAddr header)
+      : client_(client), header_(header) {}
+
+  FarAddr SlotAddr(uint64_t ticket) const {
+    return ring_ + (ticket % capacity_) * kWordSize;
+  }
+
+  FarClient* client_;
+  FarAddr header_;
+  FarAddr ring_ = kNullFarAddr;
+  uint64_t capacity_ = 0;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_BASELINES_SIMPLE_QUEUES_H_

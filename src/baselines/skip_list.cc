@@ -1,0 +1,173 @@
+#include "src/baselines/skip_list.h"
+
+#include "src/common/bytes.h"
+
+namespace fmds {
+
+Result<FarSkipList> FarSkipList::Create(FarClient* client,
+                                        FarAllocator* alloc, uint64_t seed) {
+  FMDS_ASSIGN_OR_RETURN(FarAddr header,
+                        alloc->Allocate(kHeaderWords * kWordSize));
+  std::vector<uint64_t> zeros(kHeaderWords, 0);
+  FMDS_RETURN_IF_ERROR(client->Write(
+      header, std::as_bytes(std::span<const uint64_t>(zeros))));
+  FarSkipList list(client, alloc, header, seed);
+  list.lock_ = FarMutex::Attach(header);
+  return list;
+}
+
+Result<FarSkipList> FarSkipList::Attach(FarClient* client,
+                                        FarAllocator* alloc, FarAddr header,
+                                        uint64_t seed) {
+  FarSkipList list(client, alloc, header, seed);
+  list.lock_ = FarMutex::Attach(header);
+  return list;
+}
+
+uint32_t FarSkipList::RandomHeight() {
+  uint32_t height = 1;
+  while (height < kMaxHeight && rng_.NextBool(0.5)) {
+    ++height;
+  }
+  return height;
+}
+
+Result<FarSkipList::Node> FarSkipList::ReadNode(FarAddr addr, bool count) {
+  Node node;
+  FMDS_RETURN_IF_ERROR(client_->Read(addr, AsBytes(node)));
+  if (count) {
+    ++last_get_accesses_;
+  }
+  return node;
+}
+
+Result<uint64_t> FarSkipList::Get(uint64_t key) {
+  last_get_accesses_ = 0;
+  // Walk down the head tower, then right along each level; every pointer
+  // hop that lands on a node costs one far access.
+  FarAddr pred_node = kNullFarAddr;  // 0 = the head tower
+  Node pred{};
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    while (true) {
+      FarAddr next;
+      if (pred_node == kNullFarAddr) {
+        FMDS_ASSIGN_OR_RETURN(next, client_->ReadWord(head_tower(level)));
+        ++last_get_accesses_;
+      } else {
+        next = pred.next[level];
+        client_->AccountNear(1);
+      }
+      if (next == kNullFarAddr) {
+        break;
+      }
+      FMDS_ASSIGN_OR_RETURN(Node node, ReadNode(next));
+      if (node.key == key) {
+        return node.value;
+      }
+      if (node.key > key) {
+        break;
+      }
+      pred_node = next;
+      pred = node;
+    }
+  }
+  return Status(StatusCode::kNotFound, "key absent");
+}
+
+Status FarSkipList::Put(uint64_t key, uint64_t value) {
+  FMDS_RETURN_IF_ERROR(lock_.Lock(*client_, MutexWaitStrategy::kPoll));
+  Status result = OkStatus();
+  do {
+    // Collect the predecessor pointer cell at each level.
+    FarAddr update_cells[kMaxHeight];
+    FarAddr pred_node = kNullFarAddr;
+    Node pred{};
+    bool replaced = false;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (true) {
+        FarAddr cell = pred_node == kNullFarAddr
+                           ? head_tower(level)
+                           : pred_node + kWordSize * (3 + level);
+        FarAddr next;
+        if (pred_node == kNullFarAddr) {
+          auto r = client_->ReadWord(cell);
+          if (!r.ok()) {
+            result = r.status();
+            break;
+          }
+          next = *r;
+        } else {
+          next = pred.next[level];
+        }
+        if (next == kNullFarAddr) {
+          update_cells[level] = cell;
+          break;
+        }
+        auto node = ReadNode(next, /*count=*/false);
+        if (!node.ok()) {
+          result = node.status();
+          break;
+        }
+        if (node->key == key) {
+          // In-place value update.
+          result = client_->WriteWord(next + kWordSize, value);
+          replaced = true;
+          break;
+        }
+        if (node->key > key) {
+          update_cells[level] = cell;
+          break;
+        }
+        pred_node = next;
+        pred = *node;
+      }
+      if (!result.ok() || replaced) {
+        break;
+      }
+    }
+    if (!result.ok() || replaced) {
+      break;
+    }
+    const uint32_t height = RandomHeight();
+    Node fresh{};
+    fresh.key = key;
+    fresh.value = value;
+    fresh.height = height;
+    // Link: read each predecessor cell's current target into the new node,
+    // then point the cells at the new node.
+    FarAddr node_addr;
+    {
+      auto a = alloc_->Allocate(kNodeWords * kWordSize);
+      if (!a.ok()) {
+        result = a.status();
+        break;
+      }
+      node_addr = *a;
+    }
+    for (uint32_t level = 0; level < height; ++level) {
+      auto cur = client_->ReadWord(update_cells[level]);
+      if (!cur.ok()) {
+        result = cur.status();
+        break;
+      }
+      fresh.next[level] = *cur;
+    }
+    if (!result.ok()) {
+      break;
+    }
+    result = client_->Write(node_addr, AsConstBytes(fresh));
+    if (!result.ok()) {
+      break;
+    }
+    for (uint32_t level = 0; level < height; ++level) {
+      result = client_->WriteWord(update_cells[level], node_addr);
+      if (!result.ok()) {
+        break;
+      }
+    }
+  } while (false);
+  FMDS_RETURN_IF_ERROR(lock_.Unlock(*client_));
+  return result;
+}
+
+}  // namespace fmds

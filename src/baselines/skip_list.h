@@ -1,0 +1,66 @@
+// Baseline: skip list in far memory — the other O(log n) structure §1 rules
+// out. Single-writer (far mutex) inserts; lookups pay roughly one far access
+// per horizontal/vertical hop.
+#ifndef FMDS_SRC_BASELINES_SKIP_LIST_H_
+#define FMDS_SRC_BASELINES_SKIP_LIST_H_
+
+#include <cstdint>
+
+#include "src/alloc/far_allocator.h"
+#include "src/common/rng.h"
+#include "src/core/far_mutex.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+class FarSkipList {
+ public:
+  static constexpr uint32_t kMaxHeight = 16;
+
+  static Result<FarSkipList> Create(FarClient* client, FarAllocator* alloc,
+                                    uint64_t seed = 99);
+  static Result<FarSkipList> Attach(FarClient* client, FarAllocator* alloc,
+                                    FarAddr header, uint64_t seed = 99);
+
+  FarAddr header() const { return header_; }
+
+  Status Put(uint64_t key, uint64_t value);
+  Result<uint64_t> Get(uint64_t key);
+
+  uint64_t last_get_far_accesses() const { return last_get_accesses_; }
+
+ private:
+  // Node layout (words): [0] key, [1] value, [2] height,
+  // [3..3+kMaxHeight) next pointers.
+  static constexpr uint64_t kNodeWords = 3 + kMaxHeight;
+  // Header: lock word + head tower (kMaxHeight next pointers).
+  static constexpr uint64_t kHeaderWords = 1 + kMaxHeight;
+
+  struct Node {
+    uint64_t key;
+    uint64_t value;
+    uint64_t height;
+    uint64_t next[kMaxHeight];
+  };
+
+  FarSkipList(FarClient* client, FarAllocator* alloc, FarAddr header,
+              uint64_t seed)
+      : client_(client), alloc_(alloc), header_(header), rng_(seed) {}
+
+  FarAddr head_tower(uint32_t level) const {
+    return header_ + kWordSize * (1 + level);
+  }
+  uint32_t RandomHeight();
+  Result<Node> ReadNode(FarAddr addr, bool count = true);
+
+  FarClient* client_;
+  FarAllocator* alloc_;
+  FarAddr header_;
+  Rng rng_;
+  FarMutex lock_ = FarMutex::Attach(kNullFarAddr);
+  uint64_t last_get_accesses_ = 0;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_BASELINES_SKIP_LIST_H_

@@ -1,0 +1,74 @@
+// Small helpers for treating POD values as byte spans when moving them
+// through the fabric, plus iovec-style buffer descriptors shared by the
+// scatter-gather primitives.
+#ifndef FMDS_SRC_COMMON_BYTES_H_
+#define FMDS_SRC_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace fmds {
+
+// Mutable / const views of a trivially-copyable value as raw bytes.
+template <typename T>
+std::span<std::byte> AsBytes(T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::span<std::byte>(reinterpret_cast<std::byte*>(&value), sizeof(T));
+}
+
+template <typename T>
+std::span<const std::byte> AsConstBytes(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&value), sizeof(T));
+}
+
+// Read a trivially-copyable T out of a byte span at `offset`.
+template <typename T>
+T LoadAs(std::span<const std::byte> bytes, size_t offset = 0) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T out;
+  std::memcpy(&out, bytes.data() + offset, sizeof(T));
+  return out;
+}
+
+template <typename T>
+void StoreAs(std::span<std::byte> bytes, const T& value, size_t offset = 0) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(bytes.data() + offset, &value, sizeof(T));
+}
+
+// A local buffer descriptor (client memory) for scatter-gather.
+struct LocalBuf {
+  std::byte* data;
+  size_t len;
+};
+
+struct ConstLocalBuf {
+  const std::byte* data;
+  size_t len;
+};
+
+inline size_t TotalLen(std::span<const LocalBuf> iov) {
+  size_t n = 0;
+  for (const auto& b : iov) {
+    n += b.len;
+  }
+  return n;
+}
+
+inline size_t TotalLen(std::span<const ConstLocalBuf> iov) {
+  size_t n = 0;
+  for (const auto& b : iov) {
+    n += b.len;
+  }
+  return n;
+}
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_COMMON_BYTES_H_

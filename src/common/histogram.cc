@@ -1,0 +1,104 @@
+#include "src/common/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace fmds {
+
+LogHistogram::LogHistogram(int sub_bucket_bits)
+    : sub_bits_(sub_bucket_bits), sub_count_(1ULL << sub_bucket_bits) {
+  // 63 log2 buckets x sub_count_ linear sub-buckets.
+  buckets_.assign(63 * sub_count_, 0);
+}
+
+size_t LogHistogram::BucketIndex(uint64_t value) const {
+  if (value < sub_count_) {
+    return static_cast<size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - sub_bits_;
+  const uint64_t sub = (value >> shift) - sub_count_;  // in [0, sub_count_)
+  const size_t base = static_cast<size_t>(msb - sub_bits_ + 1) * sub_count_;
+  const size_t idx = base + static_cast<size_t>(sub);
+  return std::min(idx, buckets_.size() - 1);
+}
+
+uint64_t LogHistogram::BucketLowerBound(size_t index) const {
+  if (index < sub_count_) {
+    return index;
+  }
+  const size_t log = index / sub_count_;        // >= 1
+  const uint64_t sub = index % sub_count_;
+  const int shift = static_cast<int>(log) - 1;
+  return (sub_count_ + sub) << shift;
+}
+
+void LogHistogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)]++;
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.sub_bits_ != sub_bits_) {
+    // Different resolutions: re-record bucket lower bounds (rare; tests only
+    // merge like-configured histograms).
+    for (size_t i = 0; i < other.buckets_.size(); ++i) {
+      for (uint64_t c = 0; c < other.buckets_[i]; ++c) {
+        Record(other.BucketLowerBound(i));
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LogHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+uint64_t LogHistogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketLowerBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p99=%llu p999=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(Percentile(0.999)),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace fmds

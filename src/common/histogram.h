@@ -1,0 +1,83 @@
+// Streaming statistics helpers for the benchmark harness: a fixed-resolution
+// log-bucket latency histogram (HdrHistogram-lite) and a simple running
+// mean/min/max accumulator.
+#ifndef FMDS_SRC_COMMON_HISTOGRAM_H_
+#define FMDS_SRC_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fmds {
+
+// Log2-bucketed histogram with linear sub-buckets, covering [1, 2^62).
+// Records integer values (typically nanoseconds or access counts) with
+// bounded relative error set by sub_bucket_bits.
+class LogHistogram {
+ public:
+  explicit LogHistogram(int sub_bucket_bits = 5);
+
+  void Record(uint64_t value);
+  void Merge(const LogHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
+                                   static_cast<double>(count_);
+  }
+
+  // Value at quantile q in [0, 1], e.g. 0.5 / 0.99 / 0.999.
+  uint64_t Percentile(double q) const;
+
+  // "count=... mean=... p50=... p99=... max=..." one-liner.
+  std::string Summary() const;
+
+ private:
+  size_t BucketIndex(uint64_t value) const;
+  uint64_t BucketLowerBound(size_t index) const;
+
+  int sub_bits_;
+  uint64_t sub_count_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+// Mean/min/max/stddev accumulator for doubles.
+class RunningStat {
+ public:
+  void Record(double v) {
+    ++n_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,86 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace fmds {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : rng_(seed), n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta >= 0.0 && theta < 1.0);
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  threshold1_ = 1.0 / zetan_;
+  threshold2_ = (1.0 + std::pow(0.5, theta_)) / zetan_;
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) const {
+  double sum = 0.0;
+  // Exact for small n; for very large n use the Euler-Maclaurin approximation
+  // so constructing generators over huge keyspaces stays O(1)-ish.
+  constexpr uint64_t kExactLimit = 10'000'000;
+  if (n <= kExactLimit) {
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+  for (uint64_t i = 1; i <= kExactLimit; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  // Integral tail from kExactLimit to n of x^-theta dx.
+  const double a = static_cast<double>(kExactLimit);
+  const double b = static_cast<double>(n);
+  sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double x = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t value = static_cast<uint64_t>(x);
+  if (value >= n_) {
+    value = n_ - 1;
+  }
+  return value;
+}
+
+DiscreteChoice::DiscreteChoice(std::vector<double> weights, uint64_t seed)
+    : rng_(seed) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  assert(total > 0.0);
+  double acc = 0.0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against FP drift
+}
+
+size_t DiscreteChoice::Next() {
+  const double u = rng_.NextDouble();
+  for (size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u < cumulative_[i]) {
+      return i;
+    }
+  }
+  return cumulative_.size() - 1;
+}
+
+}  // namespace fmds

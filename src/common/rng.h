@@ -1,0 +1,116 @@
+// Deterministic pseudo-random generators used throughout the simulator and
+// the workload generators. Everything here is seedable so experiments and
+// tests are exactly reproducible.
+#ifndef FMDS_SRC_COMMON_RNG_H_
+#define FMDS_SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fmds {
+
+// SplitMix64: used to expand a small seed into full-entropy state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**-style generator: fast, good quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    assert(bound > 0);
+    // Multiply-shift rejection-free mapping (Lemire); tiny bias acceptable
+    // for workload generation.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4] = {};
+};
+
+// Zipf-distributed integers in [0, n), with skew parameter theta in [0, 1).
+// theta = 0 is uniform; YCSB uses theta = 0.99. Uses the Gray et al. /
+// YCSB-style rejection-free inversion with precomputed constants, so Next()
+// is O(1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  Rng rng_;
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double threshold1_;  // probability mass of item 0
+  double threshold2_;  // probability mass of items {0, 1}
+};
+
+// A weighted choice over a small fixed set of alternatives (e.g. op mix:
+// 90% lookup / 10% insert).
+class DiscreteChoice {
+ public:
+  DiscreteChoice(std::vector<double> weights, uint64_t seed = 7);
+
+  // Returns index of the chosen alternative.
+  size_t Next();
+
+ private:
+  Rng rng_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_COMMON_RNG_H_

@@ -1,0 +1,38 @@
+// ASCII table printer used by the benchmark harness to emit paper-shaped
+// rows/series (EXPERIMENTS.md pastes these directly).
+#ifndef FMDS_SRC_COMMON_TABLE_H_
+#define FMDS_SRC_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fmds {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  // Row cells are strings; use the Cell() helpers for numeric formatting.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders with a header rule and right-aligned numeric-looking cells.
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+  static std::string Cell(uint64_t v);
+  static std::string Cell(int64_t v);
+  static std::string Cell(int v) { return Cell(static_cast<int64_t>(v)); }
+  static std::string Cell(double v, int precision = 2);
+  static std::string Cell(const std::string& s) { return s; }
+  static std::string Cell(const char* s) { return s; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_COMMON_TABLE_H_

@@ -1,0 +1,105 @@
+// YCSB-style key-value workload generator: standard mixes (A-F) over a
+// Zipf-distributed keyspace, used by the mixed-workload benches to compare
+// map designs under realistic skew rather than uniform point lookups.
+#ifndef FMDS_SRC_COMMON_WORKLOAD_H_
+#define FMDS_SRC_COMMON_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace fmds {
+
+enum class KvOp : uint8_t { kRead = 0, kUpdate = 1, kInsert = 2, kRmw = 3 };
+
+struct KvRequest {
+  KvOp op;
+  uint64_t key;
+};
+
+// The classic YCSB core mixes.
+enum class YcsbMix : uint8_t {
+  kA = 0,  // 50% read / 50% update
+  kB,      // 95% read / 5% update
+  kC,      // 100% read
+  kD,      // 95% read (latest) / 5% insert
+  kF,      // 50% read / 50% read-modify-write
+};
+
+const char* YcsbMixName(YcsbMix mix);
+
+class YcsbGenerator {
+ public:
+  // `records` existing keys [1, records]; inserts extend the keyspace.
+  YcsbGenerator(YcsbMix mix, uint64_t records, double theta = 0.99,
+                uint64_t seed = 1234)
+      : mix_(mix),
+        rng_(seed),
+        zipf_(records, theta, seed * 3 + 1),
+        next_insert_(records + 1) {}
+
+  KvRequest Next() {
+    KvRequest request;
+    const double p = rng_.NextDouble();
+    switch (mix_) {
+      case YcsbMix::kA:
+        request.op = p < 0.5 ? KvOp::kRead : KvOp::kUpdate;
+        request.key = ZipfKey();
+        break;
+      case YcsbMix::kB:
+        request.op = p < 0.95 ? KvOp::kRead : KvOp::kUpdate;
+        request.key = ZipfKey();
+        break;
+      case YcsbMix::kC:
+        request.op = KvOp::kRead;
+        request.key = ZipfKey();
+        break;
+      case YcsbMix::kD:
+        if (p < 0.95) {
+          request.op = KvOp::kRead;
+          // "Latest" distribution: skewed towards recent inserts.
+          const uint64_t back = zipf_.Next();
+          request.key = next_insert_ > back + 1 ? next_insert_ - 1 - back : 1;
+        } else {
+          request.op = KvOp::kInsert;
+          request.key = next_insert_++;
+        }
+        break;
+      case YcsbMix::kF:
+        request.op = p < 0.5 ? KvOp::kRead : KvOp::kRmw;
+        request.key = ZipfKey();
+        break;
+    }
+    return request;
+  }
+
+  uint64_t inserted_high_water() const { return next_insert_ - 1; }
+
+ private:
+  uint64_t ZipfKey() { return zipf_.Next() + 1; }
+
+  YcsbMix mix_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  uint64_t next_insert_;
+};
+
+inline const char* YcsbMixName(YcsbMix mix) {
+  switch (mix) {
+    case YcsbMix::kA:
+      return "A (50r/50u)";
+    case YcsbMix::kB:
+      return "B (95r/5u)";
+    case YcsbMix::kC:
+      return "C (100r)";
+    case YcsbMix::kD:
+      return "D (95r-latest/5i)";
+    case YcsbMix::kF:
+      return "F (50r/50rmw)";
+  }
+  return "?";
+}
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_COMMON_WORKLOAD_H_

@@ -1,0 +1,60 @@
+#include "src/core/blob_store.h"
+
+#include <cstring>
+
+#include "src/common/bytes.h"
+
+namespace fmds {
+
+Result<HtBlobStore> HtBlobStore::Create(FarClient* client,
+                                        FarAllocator* alloc,
+                                        HtTree::Options options) {
+  FMDS_ASSIGN_OR_RETURN(HtTree map, HtTree::Create(client, alloc, options));
+  return HtBlobStore(std::move(map), client, alloc);
+}
+
+Result<HtBlobStore> HtBlobStore::Attach(FarClient* client,
+                                        FarAllocator* alloc,
+                                        FarAddr header) {
+  FMDS_ASSIGN_OR_RETURN(HtTree map, HtTree::Attach(client, alloc, header));
+  return HtBlobStore(std::move(map), client, alloc);
+}
+
+Status HtBlobStore::Put(uint64_t key, std::span<const std::byte> value) {
+  // Blob layout: [0] length word, then the bytes.
+  const uint64_t blob_bytes = kWordSize + value.size();
+  FMDS_ASSIGN_OR_RETURN(FarAddr blob, alloc_->Allocate(blob_bytes));
+  std::vector<std::byte> image(blob_bytes);
+  const uint64_t len = value.size();
+  std::memcpy(image.data(), &len, kWordSize);
+  std::memcpy(image.data() + kWordSize, value.data(), value.size());
+  FMDS_RETURN_IF_ERROR(client_->Write(blob, image));  // 1 far access
+  // Publish through the map (2 far accesses). A replaced blob becomes
+  // unreachable; its memory is reclaimed through allocator epochs by the
+  // application's maintenance cadence.
+  return map_.Put(key, blob);
+}
+
+Result<std::vector<std::byte>> HtBlobStore::Get(uint64_t key,
+                                                uint64_t size_hint) {
+  FMDS_ASSIGN_OR_RETURN(uint64_t blob, map_.Get(key));  // 1 far access
+  const uint64_t first_fetch =
+      kWordSize + (size_hint > 0 ? size_hint : kInlineFetch - kWordSize);
+  std::vector<std::byte> buf(first_fetch);
+  FMDS_RETURN_IF_ERROR(client_->Read(blob, buf));  // 1 far access
+  const uint64_t len = LoadAs<uint64_t>(buf);
+  std::vector<std::byte> value(len);
+  const uint64_t have = std::min<uint64_t>(len, first_fetch - kWordSize);
+  std::memcpy(value.data(), buf.data() + kWordSize, have);
+  if (have < len) {
+    // Large value beyond the speculative fetch: one more far access.
+    FMDS_RETURN_IF_ERROR(client_->Read(
+        blob + kWordSize + have,
+        std::span<std::byte>(value).subspan(have)));
+  }
+  return value;
+}
+
+Status HtBlobStore::Remove(uint64_t key) { return map_.Remove(key); }
+
+}  // namespace fmds

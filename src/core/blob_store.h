@@ -1,0 +1,55 @@
+// Variable-size values over the HT-tree (§5.2 stores fixed words; §7.1
+// mentions "very large keys or values" placed data-structure-aware).
+//
+// HtBlobStore maps uint64 keys to byte strings: the HT-tree value is a far
+// pointer to a length-prefixed blob. Reading costs the map's one far access
+// plus ONE blob read (the item tells us the address; the length prefix
+// rides in the same read via a conservative first fetch, or the caller
+// passes a size hint). Blobs are immutable — an overwrite allocates a new
+// blob and republishes the pointer through the map's usual bucket CAS, so
+// concurrent readers always see a complete old or new blob, never a torn
+// one. Old blobs are quarantined via the allocator's epochs.
+#ifndef FMDS_SRC_CORE_BLOB_STORE_H_
+#define FMDS_SRC_CORE_BLOB_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/ht_tree.h"
+
+namespace fmds {
+
+class HtBlobStore {
+ public:
+  // First fetch size when the caller has no size hint: covers the length
+  // prefix plus typical small values in one far access.
+  static constexpr uint64_t kInlineFetch = 256;
+
+  static Result<HtBlobStore> Create(FarClient* client, FarAllocator* alloc,
+                                    HtTree::Options options = HtTree::Options());
+  static Result<HtBlobStore> Attach(FarClient* client, FarAllocator* alloc,
+                                    FarAddr header);
+
+  FarAddr header() const { return map_.header(); }
+
+  // Writes the blob (1 far access) + the map store (2) = 3 far accesses.
+  Status Put(uint64_t key, std::span<const std::byte> value);
+  // Map lookup (1) + blob read (1, or 2 when the value exceeds
+  // kInlineFetch and no hint was given) = 2-3 far accesses.
+  Result<std::vector<std::byte>> Get(uint64_t key, uint64_t size_hint = 0);
+  Status Remove(uint64_t key);
+
+  HtTree& map() { return map_; }
+
+ private:
+  HtBlobStore(HtTree map, FarClient* client, FarAllocator* alloc)
+      : map_(std::move(map)), client_(client), alloc_(alloc) {}
+
+  HtTree map_;
+  FarClient* client_;
+  FarAllocator* alloc_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_CORE_BLOB_STORE_H_

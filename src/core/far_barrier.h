@@ -1,0 +1,49 @@
+// Far-memory barrier (§5.1): "Barriers use a far memory decreasing counter
+// initialized to the number of participants. As each participant reaches the
+// barrier, it uses an atomic decrement... Equality notifications against 0
+// (notifye) indicate when all participants complete the barrier."
+//
+// This implementation is reusable across rounds: alongside the count word it
+// keeps a generation word. The last arriver of a round resets the count and
+// bumps the generation; waiters subscribe notifye(generation == my_round).
+// Layout: [0] count, [8] generation, [16] participants.
+#ifndef FMDS_SRC_CORE_FAR_BARRIER_H_
+#define FMDS_SRC_CORE_FAR_BARRIER_H_
+
+#include "src/alloc/far_allocator.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+class FarBarrier {
+ public:
+  static Result<FarBarrier> Create(FarClient& client, FarAllocator& alloc,
+                                   uint64_t participants);
+
+  // Attaching reads the participant count (one far access).
+  static Result<FarBarrier> Attach(FarClient& client, FarAddr base);
+
+  FarAddr base() const { return base_; }
+  uint64_t participants() const { return participants_; }
+
+  // Blocks (bounded) until all participants of the current round arrive.
+  // Each handle tracks its own round count locally, so repeated Arrive()
+  // calls implement successive barrier rounds.
+  Status Arrive(FarClient& client, uint64_t timeout_ms = 5000);
+
+ private:
+  FarBarrier(FarAddr base, uint64_t participants)
+      : base_(base), participants_(participants) {}
+
+  FarAddr count_addr() const { return base_; }
+  FarAddr gen_addr() const { return base_ + kWordSize; }
+  FarAddr participants_addr() const { return base_ + 2 * kWordSize; }
+
+  FarAddr base_;
+  uint64_t participants_;
+  uint64_t local_round_ = 0;  // rounds this handle has completed
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_CORE_FAR_BARRIER_H_

@@ -1,0 +1,82 @@
+// Far-memory mutex (§5.1): "Mutexes use a far memory location initialized
+// to 0. Clients acquire the mutex using a compare-and-swap. If the CAS
+// fails, equality notifications against 0 (notifye) indicate when the mutex
+// is free."
+//
+// Two waiting strategies are provided so E10 can compare them:
+//   * kNotify — subscribe notifye(lock, 0) and block until the holder's
+//     release write fires it (few far accesses under contention);
+//   * kPoll — classic CAS spinning (one far access per retry).
+#ifndef FMDS_SRC_CORE_FAR_MUTEX_H_
+#define FMDS_SRC_CORE_FAR_MUTEX_H_
+
+#include "src/alloc/far_allocator.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+enum class MutexWaitStrategy : uint8_t { kNotify = 0, kPoll = 1 };
+
+class FarMutex {
+ public:
+  static Result<FarMutex> Create(FarClient& client, FarAllocator& alloc) {
+    FMDS_ASSIGN_OR_RETURN(FarAddr addr, alloc.Allocate(kWordSize));
+    FMDS_RETURN_IF_ERROR(client.WriteWord(addr, 0));
+    return FarMutex(addr);
+  }
+
+  static FarMutex Attach(FarAddr addr) { return FarMutex(addr); }
+
+  FarAddr addr() const { return addr_; }
+
+  // Acquires the mutex for `client`; blocks (bounded, ~timeout) while held
+  // elsewhere. Returns kUnavailable on timeout.
+  Status Lock(FarClient& client,
+              MutexWaitStrategy strategy = MutexWaitStrategy::kNotify,
+              uint64_t timeout_ms = 5000) const;
+
+  // Single CAS attempt: true if acquired.
+  Result<bool> TryLock(FarClient& client) const;
+
+  // Releases; undefined if the caller does not hold the mutex.
+  Status Unlock(FarClient& client) const;
+
+ private:
+  explicit FarMutex(FarAddr addr) : addr_(addr) {}
+
+  // The stored owner tag: client id + 1 so id 0 is distinguishable from
+  // "free" (0).
+  static uint64_t OwnerTag(const FarClient& client) {
+    return client.id() + 1;
+  }
+
+  FarAddr addr_;
+};
+
+// RAII guard for scoped acquisition in application code.
+class FarMutexGuard {
+ public:
+  FarMutexGuard(const FarMutex& mutex, FarClient& client,
+                MutexWaitStrategy strategy = MutexWaitStrategy::kNotify)
+      : mutex_(mutex), client_(client) {
+    status_ = mutex_.Lock(client_, strategy);
+  }
+  ~FarMutexGuard() {
+    if (status_.ok()) {
+      (void)mutex_.Unlock(client_);
+    }
+  }
+  FarMutexGuard(const FarMutexGuard&) = delete;
+  FarMutexGuard& operator=(const FarMutexGuard&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  const FarMutex& mutex_;
+  FarClient& client_;
+  Status status_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_CORE_FAR_MUTEX_H_

@@ -1,0 +1,292 @@
+#include "src/core/far_queue.h"
+
+#include <thread>
+
+#include "src/common/bytes.h"
+
+namespace fmds {
+
+namespace {
+// Bounded spin for a slot whose assigned producer is in flight.
+constexpr int kSlotSpinLimit = 1 << 20;
+}  // namespace
+
+FarQueue::FarQueue(FarClient* client, FarAddr header)
+    : client_(client), header_(header) {}
+
+Result<FarQueue> FarQueue::Create(FarClient* client, FarAllocator* alloc,
+                                  Options options) {
+  if (options.capacity < 4 * (options.max_clients + 1)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "capacity must be >= 4*(max_clients+1)");
+  }
+  // Header + ring + slack (+1 guard word), one contiguous block.
+  const uint64_t slack_slots = options.max_clients + 2;
+  const uint64_t total =
+      kHeaderBytes + (options.capacity + slack_slots) * kWordSize;
+  FMDS_ASSIGN_OR_RETURN(FarAddr header, alloc->Allocate(total));
+  const FarAddr ring_base = header + kHeaderBytes;
+
+  std::vector<uint64_t> image(total / kWordSize, 0);
+  image[kHdrHead / 8] = ring_base;
+  image[kHdrTail / 8] = ring_base;
+  image[kHdrLock / 8] = 0;
+  image[kHdrRingBase / 8] = ring_base;
+  image[kHdrCapacity / 8] = options.capacity;
+  image[kHdrMaxClients / 8] = options.max_clients;
+  FMDS_RETURN_IF_ERROR(client->Write(
+      header, std::as_bytes(std::span<const uint64_t>(image))));
+
+  FarQueue queue(client, header);
+  queue.ring_base_ = ring_base;
+  queue.capacity_ = options.capacity;
+  queue.max_clients_ = options.max_clients;
+  queue.refresh_every_ = options.refresh_every;
+  queue.lock_ = FarMutex::Attach(header + kHdrLock);
+  queue.est_head_ = ring_base;
+  queue.est_tail_ = ring_base;
+  return queue;
+}
+
+Result<FarQueue> FarQueue::Attach(FarClient* client, FarAddr header) {
+  uint64_t hdr[8];
+  FMDS_RETURN_IF_ERROR(client->Read(
+      header, std::as_writable_bytes(std::span<uint64_t>(hdr))));
+  FarQueue queue(client, header);
+  queue.ring_base_ = hdr[kHdrRingBase / 8];
+  queue.capacity_ = hdr[kHdrCapacity / 8];
+  queue.max_clients_ = hdr[kHdrMaxClients / 8];
+  queue.lock_ = FarMutex::Attach(header + kHdrLock);
+  queue.est_head_ = hdr[kHdrHead / 8];
+  queue.est_tail_ = hdr[kHdrTail / 8];
+  return queue;
+}
+
+Status FarQueue::MaybeRefreshEstimates() {
+  if (ops_since_refresh_ < refresh_every_) {
+    return OkStatus();
+  }
+  ops_since_refresh_ = 0;
+  FMDS_ASSIGN_OR_RETURN(est_head_, client_->ReadWordBackground(head_addr()));
+  FMDS_ASSIGN_OR_RETURN(est_tail_, client_->ReadWordBackground(tail_addr()));
+  return OkStatus();
+}
+
+// Slots between two absolute pointer values, modulo one ring lap.
+static uint64_t LogicalOccSlots(uint64_t head, uint64_t tail,
+                                uint64_t ring_bytes) {
+  int64_t d = static_cast<int64_t>(tail) - static_cast<int64_t>(head);
+  if (d < 0) {
+    d += static_cast<int64_t>(ring_bytes);
+  }
+  return static_cast<uint64_t>(d) / kWordSize;
+}
+
+Status FarQueue::Enqueue(uint64_t value) {
+  if (value == 0) {
+    return InvalidArgument("queue values must be non-zero");
+  }
+  FMDS_RETURN_IF_ERROR(MaybeRefreshEstimates());
+  // Second logical slack (§5.3): when the *estimated* free space dips below
+  // 2n, leave the fast path and read the true head.
+  uint64_t occ = LogicalOccSlots(est_head_, est_tail_,
+                                 capacity_ * kWordSize);
+  if (occ + 2 * max_clients_ >= capacity_) {
+    ++op_stats_.slow_enqueues;
+    ++client_->mutable_stats().slow_path_ops;
+    FMDS_ASSIGN_OR_RETURN(est_head_, client_->ReadWord(head_addr()));
+    occ = LogicalOccSlots(est_head_, est_tail_, capacity_ * kWordSize);
+    if (occ + max_clients_ + 1 >= capacity_) {
+      return ResourceExhausted("queue full");
+    }
+  }
+  // Fast path: ONE far access — bump tail and store the value at the old
+  // tail slot atomically (saai).
+  auto landed = client_->Saai(tail_addr(), kWordSize, AsConstBytes(value));
+  if (!landed.ok()) {
+    return landed.status();
+  }
+  est_tail_ = *landed + kWordSize;
+  ++ops_since_refresh_;
+  if (*landed < ring_end()) {
+    ++op_stats_.fast_enqueues;
+    return OkStatus();
+  }
+  if (*landed >= slack_end()) {
+    return Internal("tail overshot the slack region (protocol violation)");
+  }
+  return FixupTailLanding(*landed, value);
+}
+
+Status FarQueue::FixupTailLanding(FarAddr landed, uint64_t value) {
+  (void)value;  // the slot already holds it; fixup moves it by address
+  ++op_stats_.slow_enqueues;
+  ++client_->mutable_stats().slow_path_ops;
+  FMDS_RETURN_IF_ERROR(lock_.Lock(*client_, MutexWaitStrategy::kPoll));
+  const uint64_t j = (landed - ring_end()) / kWordSize;
+  // Move my item to its wrapped position unless a previous fixup already
+  // did (then my slack slot reads 0).
+  FMDS_ASSIGN_OR_RETURN(uint64_t mine, client_->ReadWord(landed));
+  if (mine != 0) {
+    FMDS_RETURN_IF_ERROR(
+        client_->WriteWord(ring_base_ + j * kWordSize, mine));
+    FMDS_RETURN_IF_ERROR(client_->WriteWord(landed, 0));
+  }
+  // First lander still observing the tail in slack subtracts the lap, after
+  // sweeping every completed slack slot back into the ring.
+  FMDS_ASSIGN_OR_RETURN(uint64_t tail_now, client_->ReadWord(tail_addr()));
+  if (tail_now >= ring_end()) {
+    const uint64_t slack_slots = max_clients_ + 2;
+    std::vector<uint64_t> slack(slack_slots);
+    FMDS_RETURN_IF_ERROR(client_->Read(
+        ring_end(), std::as_writable_bytes(std::span<uint64_t>(slack))));
+    for (uint64_t k = 0; k < slack_slots; ++k) {
+      if (slack[k] != 0) {
+        FMDS_RETURN_IF_ERROR(
+            client_->WriteWord(ring_base_ + k * kWordSize, slack[k]));
+        FMDS_RETURN_IF_ERROR(client_->WriteWord(ring_end() + k * kWordSize,
+                                                0));
+      }
+    }
+    FMDS_RETURN_IF_ERROR(
+        client_->FetchAdd(tail_addr(),
+                          static_cast<uint64_t>(-(capacity_ * kWordSize)))
+            .status());
+    ++op_stats_.wraps;
+  }
+  FMDS_RETURN_IF_ERROR(lock_.Unlock(*client_));
+  ops_since_refresh_ = refresh_every_;  // force a fresh estimate next op
+  return OkStatus();
+}
+
+Result<uint64_t> FarQueue::Dequeue() {
+  FMDS_RETURN_IF_ERROR(MaybeRefreshEstimates());
+  uint64_t occ =
+      LogicalOccSlots(est_head_, est_tail_, capacity_ * kWordSize);
+  if (occ == 0) {
+    // Estimate says maybe-empty: read the true tail before reserving.
+    ++op_stats_.slow_dequeues;
+    ++client_->mutable_stats().slow_path_ops;
+    FMDS_ASSIGN_OR_RETURN(est_tail_, client_->ReadWord(tail_addr()));
+    occ = LogicalOccSlots(est_head_, est_tail_, capacity_ * kWordSize);
+    if (occ == 0) {
+      return Status(StatusCode::kNotFound, "queue empty");
+    }
+  }
+  // Fast path: ONE far access — bump head and load the old head slot (faai).
+  uint64_t value = 0;
+  auto landed = client_->Faai(head_addr(), kWordSize, AsBytes(value));
+  if (!landed.ok()) {
+    return landed.status();
+  }
+  est_head_ = *landed + kWordSize;
+  ++ops_since_refresh_;
+  if (*landed >= slack_end()) {
+    return Status(StatusCode::kInternal,
+                  "head overshot the slack region (protocol violation)");
+  }
+  if (*landed >= ring_end()) {
+    return FixupHeadLanding(*landed, value);
+  }
+  if (value == 0) {
+    // Empty race: we reserved a slot no producer has filled (yet). Either
+    // the producer assigned to this exact slot shows up (slots fill in
+    // order, so ours fills before any later reservation's), or we give the
+    // reservation back with a CAS that only succeeds once every later
+    // reserver has unwound first (LIFO unwind — prevents double-consuming
+    // a slot another dequeuer still owns).
+    ++op_stats_.empty_races;
+    ++op_stats_.slow_dequeues;
+    ++client_->mutable_stats().slow_path_ops;
+    for (int spin = 0; spin < kSlotSpinLimit; ++spin) {
+      FMDS_ASSIGN_OR_RETURN(uint64_t v, client_->ReadWord(*landed));
+      if (v != 0) {
+        FMDS_RETURN_IF_ERROR(client_->PostWriteWordBackground(*landed, 0));
+        return v;
+      }
+      FMDS_ASSIGN_OR_RETURN(
+          uint64_t old,
+          client_->CompareSwap(head_addr(), *landed + kWordSize, *landed));
+      if (old == *landed + kWordSize) {
+        est_head_ = *landed;
+        return Status(StatusCode::kNotFound, "queue empty");
+      }
+      std::this_thread::yield();
+    }
+    return Status(StatusCode::kAborted, "empty-race unwind did not settle");
+  }
+  ++op_stats_.fast_dequeues;
+  // Reset the consumed slot off the critical path so the next lap's empty
+  // detection stays sound.
+  FMDS_RETURN_IF_ERROR(client_->PostWriteWordBackground(*landed, 0));
+  return value;
+}
+
+Result<uint64_t> FarQueue::FixupHeadLanding(FarAddr landed,
+                                            uint64_t faai_value) {
+  ++op_stats_.slow_dequeues;
+  ++client_->mutable_stats().slow_path_ops;
+  const uint64_t j = (landed - ring_end()) / kWordSize;
+  Result<uint64_t> out = Status(StatusCode::kInternal, "unset");
+  if (faai_value != 0) {
+    // Margin violation: the slack slot still held a tail item when our faai
+    // read it. The tail fixup (which runs under the lock) may have since
+    // copied it to its wrapped ring position; under the lock, exactly one
+    // of {slack slot, ring slot} still holds the value — clear both so the
+    // item is consumed exactly once.
+    FMDS_RETURN_IF_ERROR(lock_.Lock(*client_, MutexWaitStrategy::kPoll));
+    FMDS_ASSIGN_OR_RETURN(uint64_t in_slack, client_->ReadWord(landed));
+    if (in_slack == faai_value) {
+      FMDS_RETURN_IF_ERROR(client_->WriteWord(landed, 0));
+    }
+    FMDS_ASSIGN_OR_RETURN(uint64_t in_ring,
+                          client_->ReadWord(ring_base_ + j * kWordSize));
+    if (in_ring == faai_value) {
+      FMDS_RETURN_IF_ERROR(
+          client_->WriteWord(ring_base_ + j * kWordSize, 0));
+    }
+    FMDS_RETURN_IF_ERROR(lock_.Unlock(*client_));
+    out = faai_value;
+  } else {
+    // Normal wrap: my reservation logically names ring slot j; the tail
+    // fixup places the item there. Spin WITHOUT the queue lock — the tail
+    // fixup needs it to perform that very copy.
+    bool got = false;
+    for (int spin = 0; spin < kSlotSpinLimit; ++spin) {
+      FMDS_ASSIGN_OR_RETURN(uint64_t v,
+                            client_->ReadWord(ring_base_ + j * kWordSize));
+      if (v != 0) {
+        FMDS_RETURN_IF_ERROR(
+            client_->WriteWord(ring_base_ + j * kWordSize, 0));
+        out = v;
+        got = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (!got) {
+      out = Status(StatusCode::kAborted, "wrapped slot never filled");
+    }
+  }
+  // Subtract the lap (once) if the head still points into the slack.
+  FMDS_RETURN_IF_ERROR(lock_.Lock(*client_, MutexWaitStrategy::kPoll));
+  auto head_now = client_->ReadWord(head_addr());
+  if (head_now.ok() && *head_now >= ring_end()) {
+    FMDS_RETURN_IF_ERROR(
+        client_->FetchAdd(head_addr(),
+                          static_cast<uint64_t>(-(capacity_ * kWordSize)))
+            .status());
+    ++op_stats_.wraps;
+  }
+  FMDS_RETURN_IF_ERROR(lock_.Unlock(*client_));
+  ops_since_refresh_ = refresh_every_;
+  return out;
+}
+
+Result<uint64_t> FarQueue::SizeSlow() {
+  FMDS_ASSIGN_OR_RETURN(est_head_, client_->ReadWord(head_addr()));
+  FMDS_ASSIGN_OR_RETURN(est_tail_, client_->ReadWord(tail_addr()));
+  return LogicalOccSlots(est_head_, est_tail_, capacity_ * kWordSize);
+}
+
+}  // namespace fmds

@@ -1,0 +1,763 @@
+#include "src/core/ht_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <unordered_set>
+
+#include "src/common/bytes.h"
+#include "src/core/far_mutex.h"
+
+namespace fmds {
+
+namespace {
+constexpr uint32_t kMaxDepth = 40;
+// Stale retries may have to outwait an in-flight split (buckets frozen,
+// trie not yet republished), so the budget is generous and backs off.
+constexpr int kMaxOpRetries = 4096;
+
+uint64_t VersionOf(uint64_t meta) { return meta & 0xffffffffull; }
+
+// Brief real-time backoff between staleness retries: an in-flight split
+// holds the table frozen for many fabric round trips.
+void StaleBackoff(int attempt) {
+  if (attempt < 8) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+}  // namespace
+
+// Far trie node image.
+struct NodeRec {
+  uint64_t meta;
+  uint64_t a;  // left / table
+  uint64_t b;  // right / version
+  uint64_t c;  // unused / sentinel
+
+  bool leaf() const { return (meta & 1) != 0; }
+  uint32_t depth() const { return static_cast<uint32_t>((meta >> 8) & 0xff); }
+};
+
+HtTree::HtTree(FarClient* client, FarAllocator* alloc, FarAddr header,
+               Options options)
+    : client_(client), alloc_(alloc), header_(header), options_(options) {}
+
+Result<HtTree> HtTree::Create(FarClient* client, FarAllocator* alloc,
+                              Options options) {
+  if (options.buckets_per_table == 0 || options.initial_depth > 20) {
+    return Status(StatusCode::kInvalidArgument, "bad HtTree options");
+  }
+  FMDS_ASSIGN_OR_RETURN(FarAddr header, alloc->Allocate(kHeaderBytes));
+  HtTree map(client, alloc, header, options);
+  map.buckets_per_table_ = options.buckets_per_table;
+
+  // Map-wide retired sentinel: the frozen-bucket marker.
+  FMDS_ASSIGN_OR_RETURN(FarAddr retired, alloc->Allocate(kItemBytes));
+  Item retired_item{0, 0, kFlagSentinel | kFlagRetired, kNullFarAddr};
+  FMDS_RETURN_IF_ERROR(client->Write(retired, AsConstBytes(retired_item)));
+  map.retired_sentinel_ = retired;
+
+  // Initial trie: a perfect binary trie of depth initial_depth whose 2^d
+  // leaves each own an empty table (version 1).
+  const std::vector<std::vector<Item>> empty_chains(
+      options.buckets_per_table);
+  struct Pending {
+    uint32_t depth;
+    FarAddr addr;
+  };
+  // Build leaves first.
+  std::vector<FarAddr> level;
+  const uint32_t d = options.initial_depth;
+  const uint64_t leaf_count = 1ull << d;
+  for (uint64_t i = 0; i < leaf_count; ++i) {
+    FMDS_ASSIGN_OR_RETURN(FarAddr table, map.BuildTable(1, empty_chains));
+    FMDS_ASSIGN_OR_RETURN(FarAddr leaf, map.BuildLeafNode(d, table, 1));
+    level.push_back(leaf);
+  }
+  // Internals bottom-up.
+  for (uint32_t depth = d; depth > 0; --depth) {
+    std::vector<FarAddr> next;
+    for (size_t i = 0; i < level.size(); i += 2) {
+      FMDS_ASSIGN_OR_RETURN(FarAddr node, alloc->Allocate(kNodeBytes));
+      NodeRec rec{/*meta=*/static_cast<uint64_t>(depth - 1) << 8, level[i],
+                  level[i + 1], 0};
+      FMDS_RETURN_IF_ERROR(client->Write(node, AsConstBytes(rec)));
+      next.push_back(node);
+    }
+    level = std::move(next);
+  }
+
+  uint64_t hdr[8] = {};
+  hdr[kHdrRoot / 8] = level[0];
+  hdr[kHdrSplits / 8] = 0;
+  hdr[kHdrTableCount / 8] = leaf_count;
+  hdr[kHdrRetired / 8] = retired;
+  hdr[kHdrBuckets / 8] = options.buckets_per_table;
+  hdr[kHdrMaxChain / 8] = options.max_chain;
+  FMDS_RETURN_IF_ERROR(client->Write(
+      header, std::as_bytes(std::span<const uint64_t>(hdr))));
+
+  FMDS_RETURN_IF_ERROR(map.RefreshCache());
+  return map;
+}
+
+Result<HtTree> HtTree::Attach(FarClient* client, FarAllocator* alloc,
+                              FarAddr header) {
+  HtTree map(client, alloc, header, Options{});
+  FMDS_RETURN_IF_ERROR(map.RefreshCache());
+  return map;
+}
+
+Result<FarAddr> HtTree::BuildTable(
+    uint64_t version, const std::vector<std::vector<Item>>& chains) {
+  const uint64_t nb = chains.size();
+  const uint64_t table_bytes = kTableHeaderBytes + nb * kWordSize;
+  FMDS_ASSIGN_OR_RETURN(FarAddr table, alloc_->Allocate(table_bytes));
+  FMDS_ASSIGN_OR_RETURN(FarAddr sentinel, alloc_->Allocate(kItemBytes));
+  Item sentinel_item{0, 0, kFlagSentinel | VersionOf(version), kNullFarAddr};
+  FMDS_RETURN_IF_ERROR(client_->Write(sentinel, AsConstBytes(sentinel_item)));
+
+  // Lay out all items in one contiguous block with pre-linked chains, so
+  // the whole table body is written in two far accesses (items + header
+  // and bucket array).
+  uint64_t total_items = 0;
+  for (const auto& chain : chains) {
+    total_items += chain.size();
+  }
+  FarAddr items_base = kNullFarAddr;
+  std::vector<Item> images;
+  std::vector<uint64_t> heads(nb, sentinel);
+  if (total_items > 0) {
+    FMDS_ASSIGN_OR_RETURN(items_base,
+                          alloc_->Allocate(total_items * kItemBytes));
+    images.reserve(total_items);
+    uint64_t slot = 0;
+    for (uint64_t b = 0; b < nb; ++b) {
+      const auto& chain = chains[b];
+      if (chain.empty()) {
+        continue;
+      }
+      heads[b] = items_base + slot * kItemBytes;
+      for (size_t i = 0; i < chain.size(); ++i) {
+        Item img = chain[i];
+        img.meta = VersionOf(version) | (img.meta & kFlagTombstone);
+        img.next = (i + 1 < chain.size())
+                       ? items_base + (slot + 1) * kItemBytes
+                       : sentinel;
+        images.push_back(img);
+        ++slot;
+      }
+    }
+    FMDS_RETURN_IF_ERROR(client_->Write(
+        items_base, std::as_bytes(std::span<const Item>(images))));
+  }
+
+  std::vector<uint64_t> block(table_bytes / kWordSize, 0);
+  block[kTabVersion / 8] = version;
+  block[kTabLock / 8] = 0;
+  block[kTabCount / 8] = total_items;
+  block[kTabBuckets / 8] = nb;
+  block[kTabSentinel / 8] = sentinel;
+  block[kTabState / 8] = 0;
+  for (uint64_t b = 0; b < nb; ++b) {
+    block[kTableHeaderBytes / 8 + b] = heads[b];
+  }
+  FMDS_RETURN_IF_ERROR(client_->Write(
+      table, std::as_bytes(std::span<const uint64_t>(block))));
+  return table;
+}
+
+Result<FarAddr> HtTree::BuildLeafNode(uint32_t depth, FarAddr table,
+                                      uint64_t version) {
+  FMDS_ASSIGN_OR_RETURN(FarAddr node, alloc_->Allocate(kNodeBytes));
+  // Leaf nodes carry the table's sentinel so attaching clients learn it
+  // without touching the table header.
+  FMDS_ASSIGN_OR_RETURN(uint64_t sentinel,
+                        client_->ReadWord(table + kTabSentinel));
+  NodeRec rec{1 | (static_cast<uint64_t>(depth) << 8), table, version,
+              sentinel};
+  FMDS_RETURN_IF_ERROR(client_->Write(node, AsConstBytes(rec)));
+  return node;
+}
+
+Result<FarAddr> HtTree::AllocItemSlot() {
+  if (arena_left_ == 0) {
+    FMDS_ASSIGN_OR_RETURN(
+        arena_next_, alloc_->Allocate(options_.arena_batch * kItemBytes));
+    arena_left_ = options_.arena_batch;
+  }
+  const FarAddr slot = arena_next_;
+  arena_next_ += kItemBytes;
+  --arena_left_;
+  client_->AccountNear(1);  // slab bookkeeping is a local operation
+  return slot;
+}
+
+int32_t HtTree::DescendCached(uint64_t hash) const {
+  int32_t idx = 0;
+  uint64_t hops = 1;
+  while (!nodes_[idx].leaf) {
+    idx = nodes_[idx].child[HashBit(hash, nodes_[idx].depth)];
+    ++hops;
+  }
+  client_->AccountNear(hops);
+  return idx;
+}
+
+Status HtTree::ReadItem(FarAddr addr, Item* out) {
+  return client_->Read(addr, AsBytes(*out));
+}
+
+Status HtTree::RefreshCache() {
+  // Header: config + root pointer, one far access.
+  uint64_t hdr[8];
+  FMDS_RETURN_IF_ERROR(client_->Read(
+      header_, std::as_writable_bytes(std::span<uint64_t>(hdr))));
+  buckets_per_table_ = hdr[kHdrBuckets / 8];
+  retired_sentinel_ = hdr[kHdrRetired / 8];
+  options_.buckets_per_table = buckets_per_table_;
+  options_.max_chain = hdr[kHdrMaxChain / 8];
+
+  // Level-order traversal, one rgather per level: the whole trie costs
+  // depth+1 round trips to mirror, not one per node.
+  std::vector<CachedNode> fresh;
+  std::vector<std::pair<FarAddr, int32_t>> frontier;  // (far addr, local idx)
+  fresh.push_back(CachedNode{});
+  frontier.emplace_back(hdr[kHdrRoot / 8], 0);
+  while (!frontier.empty()) {
+    std::vector<FarSeg> iov;
+    iov.reserve(frontier.size());
+    for (const auto& [addr, idx] : frontier) {
+      iov.push_back(FarSeg{addr, kNodeBytes});
+    }
+    std::vector<NodeRec> recs(frontier.size());
+    FMDS_RETURN_IF_ERROR(client_->RGather(
+        iov, std::as_writable_bytes(std::span<NodeRec>(recs))));
+    std::vector<std::pair<FarAddr, int32_t>> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      const auto [addr, idx] = frontier[i];
+      const NodeRec& rec = recs[i];
+      // Build locally and assign by index: the push_backs below reallocate
+      // `fresh`, so no reference into it may be held across them.
+      CachedNode node;
+      node.addr = addr;
+      node.depth = rec.depth();
+      if (rec.leaf()) {
+        node.leaf = true;
+        node.table = rec.a;
+        node.version = rec.b;
+        node.sentinel = rec.c;
+      } else {
+        node.leaf = false;
+        node.child[0] = static_cast<int32_t>(fresh.size());
+        fresh.push_back(CachedNode{});
+        node.child[1] = static_cast<int32_t>(fresh.size());
+        fresh.push_back(CachedNode{});
+        next.emplace_back(rec.a, node.child[0]);
+        next.emplace_back(rec.b, node.child[1]);
+      }
+      fresh[idx] = node;
+    }
+    frontier = std::move(next);
+  }
+  nodes_ = std::move(fresh);
+  return OkStatus();
+}
+
+Result<int32_t> HtTree::FetchSubtree(FarAddr addr) {
+  NodeRec rec;
+  FMDS_RETURN_IF_ERROR(client_->Read(addr, AsBytes(rec)));
+  const int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(CachedNode{});
+  CachedNode node;
+  node.addr = addr;
+  node.depth = rec.depth();
+  if (rec.leaf()) {
+    node.leaf = true;
+    node.table = rec.a;
+    node.version = rec.b;
+    node.sentinel = rec.c;
+  } else {
+    node.leaf = false;
+    FMDS_ASSIGN_OR_RETURN(node.child[0], FetchSubtree(rec.a));
+    FMDS_ASSIGN_OR_RETURN(node.child[1], FetchSubtree(rec.b));
+  }
+  nodes_[idx] = node;
+  return idx;
+}
+
+Status HtTree::RefreshPath(uint64_t hash) {
+  ++op_stats_.stale_refreshes;
+  FMDS_ASSIGN_OR_RETURN(FarAddr root, client_->ReadWord(header_ + kHdrRoot));
+  if (nodes_.empty() || nodes_[0].addr != root) {
+    return RefreshCache();
+  }
+  int32_t ci = 0;
+  FarAddr fa = root;
+  for (uint32_t level = 0; level <= kMaxDepth; ++level) {
+    NodeRec rec;
+    FMDS_RETURN_IF_ERROR(client_->Read(fa, AsBytes(rec)));
+    CachedNode& cached = nodes_[ci];
+    if (rec.leaf()) {
+      cached.leaf = true;
+      cached.addr = fa;
+      cached.depth = rec.depth();
+      cached.table = rec.a;
+      cached.version = rec.b;
+      cached.sentinel = rec.c;
+      return OkStatus();
+    }
+    if (cached.leaf) {
+      // The cached view lags a split: pull the whole replacement subtree.
+      FMDS_ASSIGN_OR_RETURN(int32_t sub, FetchSubtree(fa));
+      nodes_[ci] = nodes_[sub];
+      return OkStatus();
+    }
+    const uint32_t bit = HashBit(hash, rec.depth());
+    const FarAddr next_fa = (bit == 0) ? rec.a : rec.b;
+    const int32_t next_ci = cached.child[bit];
+    if (nodes_[next_ci].addr != next_fa) {
+      FMDS_ASSIGN_OR_RETURN(int32_t sub, FetchSubtree(next_fa));
+      nodes_[next_ci] = nodes_[sub];
+      return OkStatus();
+    }
+    fa = next_fa;
+    ci = next_ci;
+  }
+  return Internal("trie deeper than kMaxDepth");
+}
+
+Result<uint64_t> HtTree::Get(uint64_t key) {
+  const uint64_t hash = Mix64(key);
+  ++op_stats_.gets;
+  for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
+    const int32_t li = DescendCached(hash);
+    const CachedNode leaf = nodes_[li];
+    const FarAddr bucket = BucketAddr(leaf.table, BucketIndex(hash));
+    Item item;
+    Result<FarAddr> head = Status(StatusCode::kInternal, "unset");
+    if (options_.use_indirect) {
+      // Proposed hardware: ONE far access dereferences the bucket and
+      // returns the head item.
+      head = client_->Load0(bucket, AsBytes(item));
+    } else {
+      // Today's verbs (ablation): bucket word first, then the item.
+      auto ptr = client_->ReadWord(bucket);
+      if (ptr.ok()) {
+        Status read = ReadItem(*ptr, &item);
+        head = read.ok() ? Result<FarAddr>(*ptr) : Result<FarAddr>(read);
+      } else {
+        head = ptr.status();
+      }
+    }
+    if (!head.ok()) {
+      return head.status();
+    }
+    if (options_.use_head_hints) {
+      head_cache_[bucket] = *head;
+    }
+    client_->AccountNear(1);
+    if ((item.meta & kFlagRetired) != 0 ||
+        VersionOf(item.meta) != leaf.version) {
+      FMDS_RETURN_IF_ERROR(RefreshPath(hash));
+      StaleBackoff(attempt);
+      continue;
+    }
+    // Fresh view: walk the chain (first match wins; tombstone = absent).
+    uint64_t chain_len = 0;
+    FarAddr cursor_addr = *head;
+    Item cursor = item;
+    while (true) {
+      if ((cursor.meta & kFlagSentinel) != 0) {
+        // End of chain (or empty bucket): definitive miss in one access
+        // thanks to the version-carrying sentinel.
+        if (chain_len > options_.max_chain) {
+          (void)SplitLeaf(li, hash);
+        }
+        return Status(StatusCode::kNotFound, "key absent");
+      }
+      if (cursor.key == key) {
+        const bool tombstone = (cursor.meta & kFlagTombstone) != 0;
+        if (chain_len > options_.max_chain) {
+          (void)SplitLeaf(li, hash);
+        }
+        if (tombstone) {
+          return Status(StatusCode::kNotFound, "key removed");
+        }
+        return cursor.value;
+      }
+      if (cursor.next == kNullFarAddr) {
+        return Status(StatusCode::kNotFound, "key absent");
+      }
+      cursor_addr = cursor.next;
+      FMDS_RETURN_IF_ERROR(ReadItem(cursor_addr, &cursor));
+      ++chain_len;
+      ++op_stats_.chain_hops;
+    }
+  }
+  return Status(StatusCode::kAborted, "get retries exhausted");
+}
+
+Status HtTree::Put(uint64_t key, uint64_t value) {
+  const uint64_t hash = Mix64(key);
+  ++op_stats_.puts;
+  FMDS_ASSIGN_OR_RETURN(FarAddr slot, AllocItemSlot());
+  int32_t li = DescendCached(hash);
+  CachedNode leaf = nodes_[li];
+  FarAddr bucket = BucketAddr(leaf.table, BucketIndex(hash));
+  client_->AccountNear(1);
+  auto hint = options_.use_head_hints ? head_cache_.find(bucket)
+                                      : head_cache_.end();
+  FarAddr predicted = hint != head_cache_.end() ? hint->second
+                                                : leaf.sentinel;
+  // Far access 1: publish the item body (not yet reachable).
+  Item item{key, value, VersionOf(leaf.version), predicted};
+  FMDS_RETURN_IF_ERROR(client_->Write(slot, AsConstBytes(item)));
+  bool full_write_done = true;
+  for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
+    if (!full_write_done) {
+      // Only the link field changed since the last image.
+      FMDS_RETURN_IF_ERROR(client_->WriteWord(slot + kItemNext, predicted));
+    }
+    // Far access 2: the bucket CAS both links the item and validates the
+    // cached version (a frozen/retired bucket can never equal `predicted`).
+    FMDS_ASSIGN_OR_RETURN(uint64_t old,
+                          client_->CompareSwap(bucket, predicted, slot));
+    if (old == predicted) {
+      if (options_.use_head_hints) {
+        head_cache_[bucket] = slot;
+        TrimHintCache();
+      }
+      // Split once this handle's inserts into the table reach load factor
+      // ~1/2: most buckets hold at most one item, so lookups stay at one
+      // far access (§5.2's "enough collisions" trigger).
+      const uint64_t estimate = ++collision_estimate_[leaf.table];
+      client_->AccountNear(1);
+      if (estimate > buckets_per_table_ / 2) {
+        collision_estimate_[leaf.table] = 0;
+        (void)SplitLeaf(li, hash);
+      }
+      return OkStatus();
+    }
+    ++op_stats_.cas_retries;
+    // Misprediction: inspect the actual head for staleness.
+    Item head;
+    FMDS_RETURN_IF_ERROR(ReadItem(old, &head));
+    if ((head.meta & kFlagRetired) != 0 ||
+        VersionOf(head.meta) != leaf.version) {
+      FMDS_RETURN_IF_ERROR(RefreshPath(hash));
+      li = DescendCached(hash);
+      leaf = nodes_[li];
+      bucket = BucketAddr(leaf.table, BucketIndex(hash));
+      predicted = leaf.sentinel;
+      // Version changed: rewrite the full item image.
+      item.meta = VersionOf(leaf.version);
+      item.next = predicted;
+      FMDS_RETURN_IF_ERROR(client_->Write(slot, AsConstBytes(item)));
+      full_write_done = true;
+      StaleBackoff(attempt);
+      continue;
+    }
+    if (options_.use_head_hints) {
+      head_cache_[bucket] = old;
+    }
+    predicted = old;
+    full_write_done = false;
+  }
+  return Aborted("put retries exhausted");
+}
+
+Status HtTree::Remove(uint64_t key) {
+  // A removal is an insert-at-head of a tombstone: same cost, same
+  // concurrency story as Put. Splits drop tombstones and everything they
+  // shadow.
+  const uint64_t hash = Mix64(key);
+  ++op_stats_.removes;
+  FMDS_ASSIGN_OR_RETURN(FarAddr slot, AllocItemSlot());
+  int32_t li = DescendCached(hash);
+  CachedNode leaf = nodes_[li];
+  FarAddr bucket = BucketAddr(leaf.table, BucketIndex(hash));
+  client_->AccountNear(1);
+  auto hint = options_.use_head_hints ? head_cache_.find(bucket)
+                                      : head_cache_.end();
+  FarAddr predicted = hint != head_cache_.end() ? hint->second
+                                                : leaf.sentinel;
+  Item item{key, 0, VersionOf(leaf.version) | kFlagTombstone, predicted};
+  FMDS_RETURN_IF_ERROR(client_->Write(slot, AsConstBytes(item)));
+  bool full_write_done = true;
+  for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
+    if (!full_write_done) {
+      FMDS_RETURN_IF_ERROR(client_->WriteWord(slot + kItemNext, predicted));
+    }
+    FMDS_ASSIGN_OR_RETURN(uint64_t old,
+                          client_->CompareSwap(bucket, predicted, slot));
+    if (old == predicted) {
+      if (options_.use_head_hints) {
+        head_cache_[bucket] = slot;
+        TrimHintCache();
+      }
+      // Tombstones lengthen chains exactly like inserts do.
+      const uint64_t estimate = ++collision_estimate_[leaf.table];
+      client_->AccountNear(1);
+      if (estimate > buckets_per_table_ / 2) {
+        collision_estimate_[leaf.table] = 0;
+        (void)SplitLeaf(li, hash);
+      }
+      return OkStatus();
+    }
+    ++op_stats_.cas_retries;
+    Item head;
+    FMDS_RETURN_IF_ERROR(ReadItem(old, &head));
+    if ((head.meta & kFlagRetired) != 0 ||
+        VersionOf(head.meta) != leaf.version) {
+      FMDS_RETURN_IF_ERROR(RefreshPath(hash));
+      li = DescendCached(hash);
+      leaf = nodes_[li];
+      bucket = BucketAddr(leaf.table, BucketIndex(hash));
+      predicted = leaf.sentinel;
+      item.meta = VersionOf(leaf.version) | kFlagTombstone;
+      item.next = predicted;
+      FMDS_RETURN_IF_ERROR(client_->Write(slot, AsConstBytes(item)));
+      full_write_done = true;
+      StaleBackoff(attempt);
+      continue;
+    }
+    if (options_.use_head_hints) {
+      head_cache_[bucket] = old;
+    }
+    predicted = old;
+    full_write_done = false;
+  }
+  return Aborted("remove retries exhausted");
+}
+
+Status HtTree::SplitTableOf(uint64_t key) {
+  const uint64_t hash = Mix64(key);
+  return SplitLeaf(DescendCached(hash), hash);
+}
+
+Status HtTree::SplitLeaf(int32_t leaf_index, uint64_t hash) {
+  ++client_->mutable_stats().slow_path_ops;
+  CachedNode leaf = nodes_[leaf_index];
+  if (!leaf.leaf) {
+    return FailedPrecondition("node is not a leaf");
+  }
+  if (leaf.depth + 1 >= kMaxDepth) {
+    return FailedPrecondition("trie depth limit reached");
+  }
+  const FarAddr table = leaf.table;
+  FarMutex lock = FarMutex::Attach(table + kTabLock);
+  FMDS_RETURN_IF_ERROR(lock.Lock(*client_, MutexWaitStrategy::kPoll));
+  FarAddr internal = kNullFarAddr;
+  bool already_split = false;
+  // The locked body may fail at any step; the unlock below must always run
+  // or every later split on this table wedges.
+  const Status body = SplitLeafLocked(leaf, hash, &internal, &already_split);
+  const Status unlocked = lock.Unlock(*client_);
+  FMDS_RETURN_IF_ERROR(body);
+  FMDS_RETURN_IF_ERROR(unlocked);
+  if (already_split) {
+    // Someone else replaced this table; just resynchronize the cache.
+    return RefreshPath(hash);
+  }
+
+  // Retire the old far objects (quarantined, not recycled immediately).
+  (void)alloc_->Free(table, kTableHeaderBytes + buckets_per_table_ * kWordSize);
+  (void)alloc_->Free(leaf.addr, kNodeBytes);
+
+  // Splice the new subtree into the local cache.
+  FMDS_ASSIGN_OR_RETURN(int32_t sub, FetchSubtree(internal));
+  nodes_[leaf_index] = nodes_[sub];
+  collision_estimate_.erase(table);
+  ++op_stats_.splits;
+  return OkStatus();
+}
+
+Status HtTree::SplitLeafLocked(const CachedNode& leaf, uint64_t hash,
+                               FarAddr* internal_out, bool* already_split) {
+  const FarAddr table = leaf.table;
+  // Re-validate under the lock: someone may have split this table already.
+  FMDS_ASSIGN_OR_RETURN(uint64_t state, client_->ReadWord(table + kTabState));
+  if (state != 0) {
+    *already_split = true;
+    return OkStatus();
+  }
+  const uint64_t nb = buckets_per_table_;
+
+  // Freeze every bucket: after the CAS, no mutation can land in this table
+  // (their bucket CAS can never match the retired sentinel). The final
+  // observed value is the frozen chain head. Batched: one bucket-array
+  // read, one doorbell of nb CASes, then individual retries for the rare
+  // buckets a racing insert changed in between.
+  std::vector<uint64_t> heads(nb);
+  FMDS_RETURN_IF_ERROR(client_->Read(
+      BucketAddr(table, 0),
+      std::as_writable_bytes(std::span<uint64_t>(heads))));
+  std::vector<FarClient::CasTarget> wave(nb);
+  std::vector<uint64_t> observed(nb);
+  for (uint64_t b = 0; b < nb; ++b) {
+    wave[b] = FarClient::CasTarget{BucketAddr(table, b), heads[b],
+                                   retired_sentinel_};
+  }
+  FMDS_RETURN_IF_ERROR(client_->CasBatch(wave, observed));
+  for (uint64_t b = 0; b < nb; ++b) {
+    uint64_t expected = observed[b];
+    while (expected != heads[b]) {
+      heads[b] = expected;
+      FMDS_ASSIGN_OR_RETURN(
+          expected, client_->CompareSwap(BucketAddr(table, b), heads[b],
+                                         retired_sentinel_));
+    }
+  }
+  FMDS_RETURN_IF_ERROR(client_->WriteWord(table + kTabState, 1));
+
+  // Read the frozen chains level-by-level — one rgather per chain depth
+  // instead of one round trip per item — and compact: first occurrence per
+  // key wins; tombstones erase their key.
+  std::vector<std::vector<Item>> bucket_items(nb);
+  std::vector<std::pair<uint64_t, FarAddr>> frontier;  // (bucket, item addr)
+  for (uint64_t b = 0; b < nb; ++b) {
+    if (heads[b] != kNullFarAddr) {
+      frontier.emplace_back(b, heads[b]);
+    }
+  }
+  for (uint32_t depth_guard = 0; !frontier.empty() && depth_guard < 1u << 20;
+       ++depth_guard) {
+    std::vector<FarSeg> iov;
+    iov.reserve(frontier.size());
+    for (const auto& [b, addr] : frontier) {
+      iov.push_back(FarSeg{addr, kItemBytes});
+    }
+    std::vector<Item> items(frontier.size());
+    FMDS_RETURN_IF_ERROR(client_->RGather(
+        iov, std::as_writable_bytes(std::span<Item>(items))));
+    std::vector<std::pair<uint64_t, FarAddr>> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      const uint64_t b = frontier[i].first;
+      const Item& item = items[i];
+      if ((item.meta & kFlagSentinel) != 0) {
+        continue;  // end of this chain
+      }
+      bucket_items[b].push_back(item);
+      if (item.next != kNullFarAddr) {
+        next.emplace_back(b, item.next);
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<std::vector<Item>> child_chains[2];
+  child_chains[0].assign(nb, {});
+  child_chains[1].assign(nb, {});
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t b = 0; b < nb; ++b) {
+    seen.clear();
+    for (const Item& item : bucket_items[b]) {
+      if (seen.insert(item.key).second &&
+          (item.meta & kFlagTombstone) == 0) {
+        const uint64_t item_hash = Mix64(item.key);
+        const uint32_t side = HashBit(item_hash, leaf.depth);
+        child_chains[side][item_hash % nb].push_back(item);
+      }
+    }
+  }
+
+  // Build the two replacement tables and their trie nodes.
+  const uint64_t new_version = leaf.version + 1;
+  FMDS_ASSIGN_OR_RETURN(FarAddr t0, BuildTable(new_version, child_chains[0]));
+  FMDS_ASSIGN_OR_RETURN(FarAddr t1, BuildTable(new_version, child_chains[1]));
+  FMDS_ASSIGN_OR_RETURN(FarAddr l0,
+                        BuildLeafNode(leaf.depth + 1, t0, new_version));
+  FMDS_ASSIGN_OR_RETURN(FarAddr l1,
+                        BuildLeafNode(leaf.depth + 1, t1, new_version));
+  FMDS_ASSIGN_OR_RETURN(FarAddr internal, alloc_->Allocate(kNodeBytes));
+  NodeRec internal_rec{static_cast<uint64_t>(leaf.depth) << 8, l0, l1, 0};
+  FMDS_RETURN_IF_ERROR(client_->Write(internal, AsConstBytes(internal_rec)));
+
+  // Republish: walk the far trie to the cell holding this leaf's address
+  // and swing it to the new internal node. We hold the table lock, so no
+  // one else can replace this particular leaf.
+  FarAddr cell = header_ + kHdrRoot;
+  for (uint32_t level = 0; level <= kMaxDepth; ++level) {
+    FMDS_ASSIGN_OR_RETURN(FarAddr cur, client_->ReadWord(cell));
+    if (cur == leaf.addr) {
+      break;
+    }
+    NodeRec rec;
+    FMDS_RETURN_IF_ERROR(client_->Read(cur, AsBytes(rec)));
+    if (rec.leaf()) {
+      return Internal("split lost the trie path");
+    }
+    cell = cur + (HashBit(hash, rec.depth()) == 0 ? kNodeLeft : kNodeRight);
+  }
+  FMDS_ASSIGN_OR_RETURN(uint64_t swung,
+                        client_->CompareSwap(cell, leaf.addr, internal));
+  if (swung != leaf.addr) {
+    return Internal("trie republish CAS failed");
+  }
+  FMDS_RETURN_IF_ERROR(client_->FetchAdd(header_ + kHdrSplits, 1).status());
+  FMDS_RETURN_IF_ERROR(
+      client_->FetchAdd(header_ + kHdrTableCount, 1).status());
+  *internal_out = internal;
+  return OkStatus();
+}
+
+Status HtTree::EnableSplitNotifications(DeliveryPolicy policy) {
+  NotifySpec spec;
+  spec.mode = NotifyMode::kOnWrite;
+  spec.addr = header_ + kHdrSplits;
+  spec.len = kWordSize;
+  spec.policy = policy;
+  FMDS_ASSIGN_OR_RETURN(split_sub_, client_->Subscribe(spec));
+  return OkStatus();
+}
+
+Result<bool> HtTree::PollSplitNotifications() {
+  bool refresh = false;
+  while (auto event = client_->PollNotification()) {
+    if (event->kind == NotifyEventKind::kLossWarning ||
+        event->sub_id == split_sub_) {
+      refresh = true;
+    }
+  }
+  if (refresh) {
+    FMDS_RETURN_IF_ERROR(RefreshCache());
+  }
+  return refresh;
+}
+
+uint64_t HtTree::cached_tables() const {
+  uint64_t leaves = 0;
+  for (const CachedNode& node : nodes_) {
+    if (node.leaf && node.table != kNullFarAddr) {
+      ++leaves;
+    }
+  }
+  return leaves;
+}
+
+void HtTree::TrimHintCache() {
+  // Head hints are a pure optimization (mispredicted CASes self-correct),
+  // so the cache is bounded by wholesale eviction — the trie mirror is the
+  // only cache whose size the structure fundamentally needs (§5.2).
+  constexpr size_t kMaxHints = 1 << 16;
+  if (head_cache_.size() > kMaxHints) {
+    head_cache_.clear();
+  }
+}
+
+uint64_t HtTree::cache_bytes() const {
+  // The §5.2 geometry: the mirrored trie is what the client must cache to
+  // get 1-far-access lookups.
+  return nodes_.size() * sizeof(CachedNode);
+}
+
+uint64_t HtTree::hint_cache_bytes() const {
+  return head_cache_.size() * (sizeof(FarAddr) * 2 + sizeof(void*)) +
+         collision_estimate_.size() * (sizeof(FarAddr) + sizeof(uint64_t));
+}
+
+}  // namespace fmds

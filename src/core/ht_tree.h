@@ -1,0 +1,245 @@
+// HT-tree (§5.2): the paper's map for far memory — "a tree where each leaf
+// node stores base pointers of hash tables. Clients cache the entire tree,
+// but not the hash tables."
+//
+// Far layout
+//   map header   root trie pointer, splits counter, retired sentinel, config
+//   trie nodes   32 B; internal {left, right} or leaf {table, version}
+//   hash table   header (version, lock, counts) + bucket array of item
+//                pointers; every table owns an "empty" sentinel item
+//   items        32 B, immutable once linked: {key, value, meta, next}
+//
+// Access costs (the paper's claims, reproduced by bench_e4):
+//   lookup, fresh cache: descend the *cached* trie (near accesses), then ONE
+//     far access — load0 on the bucket follows the item pointer and returns
+//     the item in the same round trip. Empty buckets hold the table's
+//     sentinel item, whose embedded version makes even negative lookups
+//     verifiable in one access.
+//   store, fresh cache: TWO far accesses — write the new item, then CAS the
+//     bucket head. The CAS doubles as the version check: its expected value
+//     (cached head or sentinel) is only correct for the current table
+//     version; a retired table's buckets never match.
+//
+// Concurrency protocol: every mutation is an insert-at-head published by a
+// single CAS on the bucket word (updates shadow older items; removals insert
+// a tombstone). A split freezes the table by CASing every bucket to the
+// map-wide retired sentinel — after that no mutation can land in the old
+// table — then rewrites the frozen chains (dropping shadowed items and
+// tombstones: splits double as compaction) into two fresh tables and
+// republishes the trie via CAS on the parent pointer. Clients with stale
+// caches observe the retired sentinel (or a version mismatch) in their one
+// far access and refresh their cached trie.
+#ifndef FMDS_SRC_CORE_HT_TREE_H_
+#define FMDS_SRC_CORE_HT_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alloc/far_allocator.h"
+#include "src/common/hash.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+class HtTree {
+ public:
+  struct Options {
+    uint64_t buckets_per_table = 1024;
+    // Split a table once a Get observes a chain longer than this, or local
+    // collision estimates exceed the table load factor.
+    uint64_t max_chain = 6;
+    // Pre-split the key space into 2^initial_depth tables at Create().
+    uint32_t initial_depth = 0;
+    // Items a client's slab pre-allocates per far allocation (item
+    // allocation itself then costs no far access).
+    uint64_t arena_batch = 4096;
+    // Ablation knobs (bench_a11): turn off the proposed hardware
+    // (load0 merging the bucket dereference with the item read) and/or the
+    // client-side bucket-head hint cache, to isolate their contributions.
+    bool use_indirect = true;
+    bool use_head_hints = true;
+  };
+
+  // Per-handle counters for the experiments.
+  struct OpStats {
+    uint64_t gets = 0;
+    uint64_t puts = 0;
+    uint64_t removes = 0;
+    uint64_t chain_hops = 0;       // extra far accesses walking chains
+    uint64_t stale_refreshes = 0;  // cache refreshes triggered by staleness
+    uint64_t cas_retries = 0;      // bucket CAS mispredictions
+    uint64_t splits = 0;           // splits this handle performed
+  };
+
+  // Creates a new map in far memory and returns a handle bound to `client`.
+  static Result<HtTree> Create(FarClient* client, FarAllocator* alloc,
+                               Options options);
+  static Result<HtTree> Create(FarClient* client, FarAllocator* alloc);
+
+  // Binds to an existing map; performs a full cache refresh.
+  static Result<HtTree> Attach(FarClient* client, FarAllocator* alloc,
+                               FarAddr header);
+
+  FarAddr header() const { return header_; }
+
+  // Point operations. Get returns kNotFound for absent/tombstoned keys.
+  Result<uint64_t> Get(uint64_t key);
+  Status Put(uint64_t key, uint64_t value);
+  Status Remove(uint64_t key);
+
+  // Re-reads the trie from far memory (level-by-level rgather).
+  Status RefreshCache();
+
+  // Subscribes to the map's splits counter so structural changes invalidate
+  // the cached trie via notifications instead of lazy version checks.
+  Status EnableSplitNotifications(
+      DeliveryPolicy policy = DeliveryPolicy::Reliable());
+  // Polls the channel and refreshes the cache if a split fired. Returns
+  // true if a refresh happened.
+  Result<bool> PollSplitNotifications();
+
+  // Local-cache footprint in bytes of the trie mirror — the cache the
+  // structure *requires* for 1-far-access lookups (E4's currency).
+  uint64_t cache_bytes() const;
+  // Optional bucket-head hint cache (accelerates stores; bounded).
+  uint64_t hint_cache_bytes() const;
+  uint64_t cached_tables() const;
+
+  const OpStats& op_stats() const { return op_stats_; }
+  FarClient* client() { return client_; }
+
+  // Exposed for tests: forces a split of the table owning `key`.
+  Status SplitTableOf(uint64_t key);
+
+ private:
+  // ---- Far layout constants ----
+  // Map header words.
+  static constexpr uint64_t kHdrRoot = 0;        // trie root pointer
+  static constexpr uint64_t kHdrSplits = 8;      // splits counter (notify)
+  static constexpr uint64_t kHdrTableCount = 16;
+  static constexpr uint64_t kHdrRetired = 24;    // retired sentinel item
+  static constexpr uint64_t kHdrBuckets = 32;    // buckets per table
+  static constexpr uint64_t kHdrMaxChain = 40;
+  static constexpr uint64_t kHeaderBytes = 64;
+
+  // Trie node words (32 B).
+  static constexpr uint64_t kNodeMeta = 0;   // bit0 leaf, bits8.. depth
+  static constexpr uint64_t kNodeLeft = 8;   // internal: left child
+  static constexpr uint64_t kNodeRight = 16; // internal: right child
+  static constexpr uint64_t kLeafTable = 8;  // leaf: table address
+  static constexpr uint64_t kLeafVersion = 16;
+  static constexpr uint64_t kNodeBytes = 32;
+
+  // Table header words.
+  static constexpr uint64_t kTabVersion = 0;
+  static constexpr uint64_t kTabLock = 8;
+  static constexpr uint64_t kTabCount = 16;
+  static constexpr uint64_t kTabBuckets = 24;
+  static constexpr uint64_t kTabSentinel = 32;
+  static constexpr uint64_t kTabState = 40;  // 0 active, 1 retired
+  static constexpr uint64_t kTableHeaderBytes = 48;
+
+  // Item words (32 B).
+  static constexpr uint64_t kItemKey = 0;
+  static constexpr uint64_t kItemValue = 8;
+  static constexpr uint64_t kItemMeta = 16;
+  static constexpr uint64_t kItemNext = 24;
+  static constexpr uint64_t kItemBytes = 32;
+
+  // Item meta flags (meta low 32 bits = table version).
+  static constexpr uint64_t kFlagSentinel = 1ull << 32;
+  static constexpr uint64_t kFlagRetired = 1ull << 33;
+  static constexpr uint64_t kFlagTombstone = 1ull << 34;
+
+  struct Item {
+    uint64_t key;
+    uint64_t value;
+    uint64_t meta;
+    FarAddr next;
+  };
+  static_assert(sizeof(Item) == kItemBytes);
+
+  // ---- Client cache ----
+  struct CachedNode {
+    bool leaf = true;
+    uint32_t depth = 0;
+    FarAddr addr = kNullFarAddr;       // far trie node
+    int32_t child[2] = {-1, -1};       // indices into nodes_ (internal)
+    FarAddr table = kNullFarAddr;      // leaf payload
+    uint64_t version = 0;
+    FarAddr sentinel = kNullFarAddr;
+  };
+
+  HtTree(FarClient* client, FarAllocator* alloc, FarAddr header,
+         Options options);
+
+  // Builds {table header, buckets, sentinel} far objects for a fresh table;
+  // all writes batched. Returns the table address.
+  Result<FarAddr> BuildTable(uint64_t version,
+                             const std::vector<std::vector<Item>>& chains);
+  Result<FarAddr> BuildLeafNode(uint32_t depth, FarAddr table,
+                                uint64_t version);
+
+  // Allocates an item slot from the client slab (no far access).
+  Result<FarAddr> AllocItemSlot();
+
+  // Trie descent over the local cache; returns index into nodes_ of the
+  // leaf covering `hash`. Accounts near accesses.
+  int32_t DescendCached(uint64_t hash) const;
+
+  // Replaces the cached subtree rooted where `hash` leads after detecting
+  // staleness: walks the *far* trie along the hash path and splices.
+  Status RefreshPath(uint64_t hash);
+  // Reads the subtree under far node `addr` and appends it to the cache;
+  // returns the local index of the subtree root.
+  Result<int32_t> FetchSubtree(FarAddr addr);
+
+  Status ReadItem(FarAddr addr, Item* out);
+  void TrimHintCache();
+  FarAddr BucketAddr(FarAddr table, uint64_t bucket) const {
+    return table + kTableHeaderBytes + bucket * kWordSize;
+  }
+  uint64_t BucketIndex(uint64_t hash) const {
+    return hash % buckets_per_table_;
+  }
+  static uint32_t HashBit(uint64_t hash, uint32_t depth) {
+    return static_cast<uint32_t>((hash >> (63 - depth)) & 1);
+  }
+
+  // The split slow path: freeze, rewrite, republish (see file comment).
+  Status SplitLeaf(int32_t leaf_index, uint64_t hash);
+  // Body executed while holding the table lock; never returns without the
+  // caller releasing that lock.
+  Status SplitLeafLocked(const CachedNode& leaf, uint64_t hash,
+                         FarAddr* internal_out, bool* already_split);
+
+  FarClient* client_;
+  FarAllocator* alloc_;
+  FarAddr header_;
+  Options options_;
+  uint64_t buckets_per_table_ = 0;
+  FarAddr retired_sentinel_ = kNullFarAddr;
+
+  std::vector<CachedNode> nodes_;  // nodes_[0] mirrors the root
+  // Bucket-head hints: bucket addr -> last observed head item. Only an
+  // optimization (mispredicted CAS retries fix them up).
+  std::unordered_map<FarAddr, FarAddr> head_cache_;
+  // Per-table local collision estimate driving proactive splits.
+  std::unordered_map<FarAddr, uint64_t> collision_estimate_;
+
+  // Client item slab.
+  FarAddr arena_next_ = kNullFarAddr;
+  uint64_t arena_left_ = 0;
+
+  SubId split_sub_ = kInvalidSubId;
+  OpStats op_stats_;
+};
+
+inline Result<HtTree> HtTree::Create(FarClient* client, FarAllocator* alloc) {
+  return Create(client, alloc, Options{});
+}
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_CORE_HT_TREE_H_

@@ -1,0 +1,75 @@
+#include "src/fabric/fabric.h"
+
+#include <cassert>
+
+namespace fmds {
+
+Fabric::Fabric(FabricOptions options) : options_(options) {
+  assert(options_.num_nodes >= 1);
+  assert(options_.node_capacity % kPageSize == 0);
+  if (options_.stripe_bytes != 0) {
+    assert(options_.stripe_bytes % kPageSize == 0);
+    assert(options_.node_capacity % options_.stripe_bytes == 0);
+  }
+  total_capacity_ =
+      static_cast<uint64_t>(options_.num_nodes) * options_.node_capacity;
+  nodes_.reserve(options_.num_nodes);
+  for (NodeId i = 0; i < options_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<MemoryNode>(i, options_.node_capacity));
+  }
+}
+
+Result<Fabric::Location> Fabric::Translate(FarAddr addr) const {
+  if (addr >= total_capacity_) {
+    return Status(StatusCode::kOutOfRange, "far address beyond fabric");
+  }
+  if (options_.stripe_bytes == 0 || options_.num_nodes == 1) {
+    const NodeId node = static_cast<NodeId>(addr / options_.node_capacity);
+    return Location{node, addr % options_.node_capacity};
+  }
+  const uint64_t stripe = options_.stripe_bytes;
+  const uint64_t stripe_index = addr / stripe;
+  const NodeId node = static_cast<NodeId>(stripe_index % options_.num_nodes);
+  const uint64_t local_stripe = stripe_index / options_.num_nodes;
+  return Location{node, local_stripe * stripe + addr % stripe};
+}
+
+Status Fabric::Segments(FarAddr addr, uint64_t len,
+                        std::vector<Segment>& out) const {
+  if (len == 0) {
+    return OkStatus();
+  }
+  if (addr + len > total_capacity_ || addr + len < addr) {
+    return OutOfRange("far range beyond fabric");
+  }
+  const uint64_t chunk =
+      (options_.stripe_bytes == 0 || options_.num_nodes == 1)
+          ? options_.node_capacity
+          : options_.stripe_bytes;
+  FarAddr cursor = addr;
+  uint64_t remaining = len;
+  while (remaining > 0) {
+    const uint64_t chunk_end = (cursor / chunk + 1) * chunk;
+    const uint64_t take = std::min<uint64_t>(remaining, chunk_end - cursor);
+    const Location loc = Translate(cursor).value();
+    // Merge with the previous segment when contiguous on the same node
+    // (always true in partitioned mode within one node).
+    if (!out.empty() && out.back().node == loc.node &&
+        out.back().offset + out.back().len == loc.offset &&
+        out.back().addr + out.back().len == cursor) {
+      out.back().len += take;
+    } else {
+      out.push_back(Segment{loc.node, loc.offset, take, cursor});
+    }
+    cursor += take;
+    remaining -= take;
+  }
+  return OkStatus();
+}
+
+bool Fabric::SameNodeWord(FarAddr addr, NodeId node) const {
+  auto loc = Translate(addr);
+  return loc.ok() && loc->node == node;
+}
+
+}  // namespace fmds

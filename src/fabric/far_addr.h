@@ -1,0 +1,26 @@
+// Global far-memory addressing.
+//
+// The fabric exposes one flat byte-addressable space of
+// num_nodes * node_capacity bytes, distributed over memory nodes either in
+// contiguous partitions or block-cyclically striped (§7.1). FarAddr 0 is the
+// null pointer; allocators never hand it out.
+#ifndef FMDS_SRC_FABRIC_FAR_ADDR_H_
+#define FMDS_SRC_FABRIC_FAR_ADDR_H_
+
+#include <cstdint>
+
+namespace fmds {
+
+using FarAddr = uint64_t;
+using NodeId = uint32_t;
+
+inline constexpr FarAddr kNullFarAddr = 0;
+inline constexpr uint64_t kWordSize = 8;
+inline constexpr uint64_t kPageSize = 4096;
+
+inline bool IsWordAligned(FarAddr addr) { return (addr & (kWordSize - 1)) == 0; }
+inline uint64_t PageIndexOf(uint64_t offset) { return offset / kPageSize; }
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_FABRIC_FAR_ADDR_H_

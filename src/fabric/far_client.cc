@@ -1,0 +1,525 @@
+#include "src/fabric/far_client.h"
+
+#include <chrono>
+#include <thread>
+
+namespace fmds {
+
+FarClient::FarClient(Fabric* fabric, uint64_t client_id, ClientOptions options)
+    : fabric_(fabric),
+      client_id_(client_id),
+      latency_(fabric->options().latency),
+      channel_(options.channel_capacity) {}
+
+void FarClient::AccountRoundTrip(uint64_t payload_bytes, uint64_t messages,
+                                 uint64_t extra_hops) {
+  ++stats_.far_ops;
+  stats_.messages += messages;
+  clock_.Advance(latency_.FarRoundTripNs(payload_bytes) +
+                 extra_hops * latency_.node_hop_ns);
+}
+
+// ------------------------------ Base verbs ------------------------------
+
+Status FarClient::Read(FarAddr addr, std::span<std::byte> out) {
+  std::vector<Fabric::Segment> segs;
+  FMDS_RETURN_IF_ERROR(fabric_->Segments(addr, out.size(), segs));
+  size_t produced = 0;
+  for (const auto& seg : segs) {
+    fabric_->node(seg.node).ReadRange(
+        seg.offset, out.subspan(produced, static_cast<size_t>(seg.len)));
+    produced += static_cast<size_t>(seg.len);
+  }
+  stats_.bytes_read += out.size();
+  AccountRoundTrip(out.size(), std::max<size_t>(segs.size(), 1), 0);
+  return OkStatus();
+}
+
+Status FarClient::Write(FarAddr addr, std::span<const std::byte> data) {
+  std::vector<Fabric::Segment> segs;
+  FMDS_RETURN_IF_ERROR(fabric_->Segments(addr, data.size(), segs));
+  size_t consumed = 0;
+  for (const auto& seg : segs) {
+    fabric_->node(seg.node).WriteRange(
+        seg.offset, data.subspan(consumed, static_cast<size_t>(seg.len)),
+        clock_.now_ns());
+    consumed += static_cast<size_t>(seg.len);
+  }
+  stats_.bytes_written += data.size();
+  AccountRoundTrip(data.size(), std::max<size_t>(segs.size(), 1), 0);
+  return OkStatus();
+}
+
+Result<uint64_t> FarClient::ReadWord(FarAddr addr) {
+  if (!IsWordAligned(addr)) {
+    return Status(StatusCode::kInvalidArgument, "unaligned word read");
+  }
+  FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
+  const uint64_t value = fabric_->node(loc.node).LoadWord(loc.offset);
+  stats_.bytes_read += kWordSize;
+  AccountRoundTrip(kWordSize, 1, 0);
+  return value;
+}
+
+Status FarClient::WriteWord(FarAddr addr, uint64_t value) {
+  if (!IsWordAligned(addr)) {
+    return InvalidArgument("unaligned word write");
+  }
+  FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
+  fabric_->node(loc.node).StoreWord(loc.offset, value, clock_.now_ns());
+  stats_.bytes_written += kWordSize;
+  AccountRoundTrip(kWordSize, 1, 0);
+  return OkStatus();
+}
+
+Result<uint64_t> FarClient::CompareSwap(FarAddr addr, uint64_t expected,
+                                        uint64_t desired) {
+  if (!IsWordAligned(addr)) {
+    return Status(StatusCode::kInvalidArgument, "unaligned CAS");
+  }
+  FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
+  const uint64_t old = fabric_->node(loc.node).CompareSwapWord(
+      loc.offset, expected, desired, clock_.now_ns());
+  stats_.bytes_written += kWordSize;
+  stats_.bytes_read += kWordSize;
+  AccountRoundTrip(kWordSize, 1, 0);
+  return old;
+}
+
+Result<uint64_t> FarClient::FetchAdd(FarAddr addr, uint64_t delta) {
+  if (!IsWordAligned(addr)) {
+    return Status(StatusCode::kInvalidArgument, "unaligned fetch-add");
+  }
+  FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
+  const uint64_t old =
+      fabric_->node(loc.node).FetchAddWord(loc.offset, delta, clock_.now_ns());
+  stats_.bytes_written += kWordSize;
+  stats_.bytes_read += kWordSize;
+  AccountRoundTrip(kWordSize, 1, 0);
+  return old;
+}
+
+// -------------------------- Indirect addressing --------------------------
+
+Status FarClient::DirectAccess(IndirectKind kind, FarAddr addr,
+                               std::span<std::byte> read_out,
+                               std::span<const std::byte> write_value,
+                               uint64_t add_value) {
+  switch (kind) {
+    case IndirectKind::kRead:
+      return Read(addr, read_out);
+    case IndirectKind::kWrite:
+      return Write(addr, write_value);
+    case IndirectKind::kAtomicAdd: {
+      auto r = FetchAdd(addr, add_value);
+      return r.status();
+    }
+  }
+  return Internal("bad indirect kind");
+}
+
+Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
+                                      FarAddr ad, uint64_t i,
+                                      std::optional<int64_t> fetch_add_delta,
+                                      std::span<std::byte> read_out,
+                                      std::span<const std::byte> write_value,
+                                      uint64_t add_value) {
+  // 1. Locate the pointer word.
+  const FarAddr ptr_addr = (mode == IndexMode::kIndexedPtr) ? ad + i : ad;
+  if (!IsWordAligned(ptr_addr)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "indirect pointer location must be word-aligned");
+  }
+  FMDS_ASSIGN_OR_RETURN(auto home, fabric_->Translate(ptr_addr));
+  MemoryNode& home_node = fabric_->node(home.node);
+  home_node.stats().indirections.fetch_add(1, std::memory_order_relaxed);
+
+  // 2. Fetch (and for faai/saai atomically bump) the pointer.
+  FarAddr pointer;
+  if (fetch_add_delta.has_value()) {
+    pointer = home_node.FetchAddWord(
+        home.offset, static_cast<uint64_t>(*fetch_add_delta), clock_.now_ns());
+  } else {
+    pointer = home_node.LoadWord(home.offset);
+  }
+  if (pointer == kNullFarAddr) {
+    // Completed round trip that found a null pointer; still one far access.
+    stats_.bytes_read += kWordSize;
+    AccountRoundTrip(kWordSize, 1, 0);
+    return Status(StatusCode::kFailedPrecondition, "null indirect pointer");
+  }
+
+  // 3. Compute the target of the second access.
+  const FarAddr target = (mode == IndexMode::kIndexedTgt) ? pointer + i
+                                                          : pointer;
+  const uint64_t len = (kind == IndirectKind::kRead) ? read_out.size()
+                       : (kind == IndirectKind::kWrite) ? write_value.size()
+                                                        : kWordSize;
+  if (kind == IndirectKind::kAtomicAdd && !IsWordAligned(target)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "indirect add target must be word-aligned");
+  }
+
+  std::vector<Fabric::Segment> segs;
+  Status seg_status = fabric_->Segments(target, len, segs);
+  if (!seg_status.ok()) {
+    stats_.bytes_read += kWordSize;
+    AccountRoundTrip(kWordSize, 1, 0);
+    return seg_status;
+  }
+
+  uint64_t remote_hops = 0;
+  for (const auto& seg : segs) {
+    if (seg.node != home.node) {
+      ++remote_hops;
+    }
+  }
+
+  if (remote_hops > 0 &&
+      fabric_->options().indirection == IndirectionPolicy::kError) {
+    // §7.1 alternative: the memory node returns the pointer and an error;
+    // the client completes the indirection itself with a second round trip.
+    stats_.bytes_read += kWordSize;
+    AccountRoundTrip(kWordSize, 1, 0);
+    FMDS_RETURN_IF_ERROR(
+        DirectAccess(kind, target, read_out, write_value, add_value));
+    return pointer;
+  }
+
+  // 4. Execute memory-side (forwarding between nodes when needed).
+  if (remote_hops > 0) {
+    home_node.stats().forwards.fetch_add(remote_hops,
+                                         std::memory_order_relaxed);
+  }
+  size_t moved = 0;
+  for (const auto& seg : segs) {
+    MemoryNode& tgt = fabric_->node(seg.node);
+    switch (kind) {
+      case IndirectKind::kRead:
+        tgt.ReadRange(seg.offset,
+                      read_out.subspan(moved, static_cast<size_t>(seg.len)));
+        break;
+      case IndirectKind::kWrite:
+        tgt.WriteRange(seg.offset,
+                       write_value.subspan(moved,
+                                           static_cast<size_t>(seg.len)),
+                       clock_.now_ns());
+        break;
+      case IndirectKind::kAtomicAdd:
+        tgt.FetchAddWord(seg.offset, add_value, clock_.now_ns());
+        break;
+    }
+    moved += static_cast<size_t>(seg.len);
+  }
+
+  // 5. Accounting: one client round trip regardless of forwarding; each
+  // forward hop adds a node-to-node traversal and hop latency.
+  const uint64_t payload = kWordSize + len;
+  if (kind == IndirectKind::kRead) {
+    stats_.bytes_read += len;
+  } else {
+    stats_.bytes_written += len;
+  }
+  AccountRoundTrip(payload, 1 + remote_hops, remote_hops);
+  return pointer;
+}
+
+Result<FarAddr> FarClient::Load0(FarAddr ad, std::span<std::byte> out) {
+  return IndirectOp(IndirectKind::kRead, IndexMode::kPlain, ad, 0,
+                    std::nullopt, out, {}, 0);
+}
+
+Result<FarAddr> FarClient::Load1(FarAddr ad, uint64_t i,
+                                 std::span<std::byte> out) {
+  return IndirectOp(IndirectKind::kRead, IndexMode::kIndexedPtr, ad, i,
+                    std::nullopt, out, {}, 0);
+}
+
+Result<FarAddr> FarClient::Load2(FarAddr ad, uint64_t i,
+                                 std::span<std::byte> out) {
+  return IndirectOp(IndirectKind::kRead, IndexMode::kIndexedTgt, ad, i,
+                    std::nullopt, out, {}, 0);
+}
+
+Result<FarAddr> FarClient::Store0(FarAddr ad,
+                                  std::span<const std::byte> value) {
+  return IndirectOp(IndirectKind::kWrite, IndexMode::kPlain, ad, 0,
+                    std::nullopt, {}, value, 0);
+}
+
+Result<FarAddr> FarClient::Store1(FarAddr ad, uint64_t i,
+                                  std::span<const std::byte> value) {
+  return IndirectOp(IndirectKind::kWrite, IndexMode::kIndexedPtr, ad, i,
+                    std::nullopt, {}, value, 0);
+}
+
+Result<FarAddr> FarClient::Store2(FarAddr ad, uint64_t i,
+                                  std::span<const std::byte> value) {
+  return IndirectOp(IndirectKind::kWrite, IndexMode::kIndexedTgt, ad, i,
+                    std::nullopt, {}, value, 0);
+}
+
+Result<FarAddr> FarClient::Faai(FarAddr ad, int64_t delta,
+                                std::span<std::byte> out) {
+  return IndirectOp(IndirectKind::kRead, IndexMode::kPlain, ad, 0, delta, out,
+                    {}, 0);
+}
+
+Result<FarAddr> FarClient::Saai(FarAddr ad, int64_t delta,
+                                std::span<const std::byte> value) {
+  return IndirectOp(IndirectKind::kWrite, IndexMode::kPlain, ad, 0, delta, {},
+                    value, 0);
+}
+
+Status FarClient::Add0(FarAddr ad, uint64_t v) {
+  return IndirectOp(IndirectKind::kAtomicAdd, IndexMode::kPlain, ad, 0,
+                    std::nullopt, {}, {}, v)
+      .status();
+}
+
+Status FarClient::Add1(FarAddr ad, uint64_t v, uint64_t i) {
+  return IndirectOp(IndirectKind::kAtomicAdd, IndexMode::kIndexedPtr, ad, i,
+                    std::nullopt, {}, {}, v)
+      .status();
+}
+
+Status FarClient::Add2(FarAddr ad, uint64_t v, uint64_t i) {
+  return IndirectOp(IndirectKind::kAtomicAdd, IndexMode::kIndexedTgt, ad, i,
+                    std::nullopt, {}, {}, v)
+      .status();
+}
+
+// ----------------------------- Scatter-gather -----------------------------
+
+Status FarClient::RScatter(FarAddr ad, std::span<const LocalBuf> iov) {
+  const uint64_t total = TotalLen(iov);
+  std::vector<std::byte> staging(total);
+  std::vector<Fabric::Segment> segs;
+  FMDS_RETURN_IF_ERROR(fabric_->Segments(ad, total, segs));
+  size_t produced = 0;
+  for (const auto& seg : segs) {
+    fabric_->node(seg.node).ReadRange(
+        seg.offset,
+        std::span<std::byte>(staging).subspan(produced,
+                                              static_cast<size_t>(seg.len)));
+    produced += static_cast<size_t>(seg.len);
+  }
+  size_t cursor = 0;
+  for (const auto& buf : iov) {
+    std::memcpy(buf.data, staging.data() + cursor, buf.len);
+    cursor += buf.len;
+  }
+  stats_.bytes_read += total;
+  AccountRoundTrip(total, std::max<size_t>(segs.size(), 1), 0);
+  return OkStatus();
+}
+
+Status FarClient::RGather(std::span<const FarSeg> iov,
+                          std::span<std::byte> out) {
+  uint64_t total = 0;
+  for (const auto& seg : iov) {
+    total += seg.len;
+  }
+  if (total > out.size()) {
+    return InvalidArgument("rgather output buffer too small");
+  }
+  size_t produced = 0;
+  uint64_t messages = 0;
+  for (const auto& far : iov) {
+    std::vector<Fabric::Segment> segs;
+    FMDS_RETURN_IF_ERROR(fabric_->Segments(far.addr, far.len, segs));
+    size_t inner = 0;
+    for (const auto& seg : segs) {
+      fabric_->node(seg.node).ReadRange(
+          seg.offset,
+          out.subspan(produced + inner, static_cast<size_t>(seg.len)));
+      inner += static_cast<size_t>(seg.len);
+    }
+    produced += static_cast<size_t>(far.len);
+    messages += segs.size();
+  }
+  stats_.bytes_read += total;
+  // One client round trip: the adapter issues the segment reads concurrently.
+  AccountRoundTrip(total, std::max<uint64_t>(messages, 1), 0);
+  return OkStatus();
+}
+
+Status FarClient::WScatter(std::span<const FarSeg> iov,
+                           std::span<const std::byte> src) {
+  uint64_t total = 0;
+  for (const auto& seg : iov) {
+    total += seg.len;
+  }
+  if (total > src.size()) {
+    return InvalidArgument("wscatter source buffer too small");
+  }
+  size_t consumed = 0;
+  uint64_t messages = 0;
+  for (const auto& far : iov) {
+    std::vector<Fabric::Segment> segs;
+    FMDS_RETURN_IF_ERROR(fabric_->Segments(far.addr, far.len, segs));
+    size_t inner = 0;
+    for (const auto& seg : segs) {
+      fabric_->node(seg.node).WriteRange(
+          seg.offset,
+          src.subspan(consumed + inner, static_cast<size_t>(seg.len)),
+          clock_.now_ns());
+      inner += static_cast<size_t>(seg.len);
+    }
+    consumed += static_cast<size_t>(far.len);
+    messages += segs.size();
+  }
+  stats_.bytes_written += total;
+  AccountRoundTrip(total, std::max<uint64_t>(messages, 1), 0);
+  return OkStatus();
+}
+
+Status FarClient::WGather(FarAddr ad, std::span<const ConstLocalBuf> iov) {
+  const uint64_t total = TotalLen(iov);
+  std::vector<std::byte> staging(total);
+  size_t cursor = 0;
+  for (const auto& buf : iov) {
+    std::memcpy(staging.data() + cursor, buf.data, buf.len);
+    cursor += buf.len;
+  }
+  std::vector<Fabric::Segment> segs;
+  FMDS_RETURN_IF_ERROR(fabric_->Segments(ad, total, segs));
+  size_t consumed = 0;
+  for (const auto& seg : segs) {
+    fabric_->node(seg.node).WriteRange(
+        seg.offset,
+        std::span<const std::byte>(staging)
+            .subspan(consumed, static_cast<size_t>(seg.len)),
+        clock_.now_ns());
+    consumed += static_cast<size_t>(seg.len);
+  }
+  stats_.bytes_written += total;
+  AccountRoundTrip(total, std::max<size_t>(segs.size(), 1), 0);
+  return OkStatus();
+}
+
+Status FarClient::CasBatch(std::span<const CasTarget> targets,
+                           std::span<uint64_t> observed) {
+  if (observed.size() < targets.size()) {
+    return InvalidArgument("cas batch result buffer too small");
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const CasTarget& target = targets[i];
+    if (!IsWordAligned(target.addr)) {
+      return InvalidArgument("unaligned CAS in batch");
+    }
+    FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(target.addr));
+    observed[i] = fabric_->node(loc.node).CompareSwapWord(
+        loc.offset, target.expected, target.desired, clock_.now_ns());
+  }
+  stats_.bytes_written += targets.size() * kWordSize;
+  stats_.bytes_read += targets.size() * kWordSize;
+  AccountRoundTrip(targets.size() * 2 * kWordSize,
+                   std::max<size_t>(targets.size(), 1), 0);
+  return OkStatus();
+}
+
+// ------------------------------ Notifications ------------------------------
+
+Result<SubId> FarClient::Subscribe(const NotifySpec& spec) {
+  if (!IsWordAligned(spec.addr) || spec.len == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "subscription must be word-aligned and non-empty");
+  }
+  FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(spec.addr));
+  const SubId id = fabric_->NextSubId();
+  Status st =
+      fabric_->node(loc.node).Subscribe(loc.offset, spec, &channel_, id);
+  if (!st.ok()) {
+    return st;
+  }
+  sub_homes_[id] = loc.node;
+  AccountRoundTrip(kWordSize, 1, 0);  // subscription setup message
+  return id;
+}
+
+Status FarClient::Unsubscribe(SubId id) {
+  auto it = sub_homes_.find(id);
+  if (it == sub_homes_.end()) {
+    return NotFound("unknown subscription");
+  }
+  fabric_->node(it->second).Unsubscribe(id);
+  sub_homes_.erase(it);
+  AccountRoundTrip(kWordSize, 1, 0);
+  return OkStatus();
+}
+
+std::optional<NotifyEvent> FarClient::PollNotification() {
+  AccountNear(1);
+  auto ev = channel_.Poll();
+  if (ev.has_value()) {
+    ++stats_.notifications;
+  }
+  return ev;
+}
+
+Result<NotifyEvent> FarClient::WaitNotification(uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto ev = channel_.Poll();
+    if (ev.has_value()) {
+      ++stats_.notifications;
+      AccountNear(1);
+      clock_.Advance(latency_.notify_delay_ns);
+      return *std::move(ev);
+    }
+    std::this_thread::yield();
+  }
+  return Status(StatusCode::kUnavailable, "notification wait timed out");
+}
+
+// ------------------------------- Accounting -------------------------------
+
+void FarClient::Fence() {
+  // All operations in this implementation are synchronous, so ordering is
+  // already program order; the fence is kept for API fidelity and costs one
+  // near access (completion-queue check).
+  AccountNear(1);
+}
+
+void FarClient::AccountNear(uint64_t accesses) {
+  stats_.near_ops += accesses;
+  clock_.Advance(accesses * latency_.near_ns);
+}
+
+Status FarClient::PostWriteBackground(FarAddr addr,
+                                      std::span<const std::byte> data) {
+  std::vector<Fabric::Segment> segs;
+  FMDS_RETURN_IF_ERROR(fabric_->Segments(addr, data.size(), segs));
+  size_t consumed = 0;
+  for (const auto& seg : segs) {
+    fabric_->node(seg.node).WriteRange(
+        seg.offset, data.subspan(consumed, static_cast<size_t>(seg.len)),
+        clock_.now_ns());
+    consumed += static_cast<size_t>(seg.len);
+  }
+  ++stats_.background_ops;
+  stats_.messages += std::max<size_t>(segs.size(), 1);
+  stats_.bytes_written += data.size();
+  return OkStatus();
+}
+
+Status FarClient::PostWriteWordBackground(FarAddr addr, uint64_t value) {
+  uint64_t v = value;
+  return PostWriteBackground(addr, AsConstBytes(v));
+}
+
+Result<uint64_t> FarClient::ReadWordBackground(FarAddr addr) {
+  if (!IsWordAligned(addr)) {
+    return Status(StatusCode::kInvalidArgument, "unaligned word read");
+  }
+  FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
+  const uint64_t value = fabric_->node(loc.node).LoadWord(loc.offset);
+  ++stats_.background_ops;
+  ++stats_.messages;
+  stats_.bytes_read += kWordSize;
+  return value;
+}
+
+}  // namespace fmds

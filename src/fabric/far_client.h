@@ -1,0 +1,186 @@
+// FarClient: the client-side fabric interface (one per application thread).
+//
+// Exposes the base one-sided verbs (read/write/CAS/fetch-add, as RDMA and
+// Gen-Z already provide) and every extension of the paper's Figure 1:
+// indirect addressing (load0..2 / store0..2 / faai / saai / add0..2),
+// scatter-gather (rscatter / rgather / wscatter / wgather), and
+// notifications (notify0 / notifye / notify0d).
+//
+// Accounting: each operation advances the client's private SimClock by the
+// modelled latency and bumps ClientStats — far_ops counts client round
+// trips, messages counts node visits (segments + forward hops). §3.1 makes
+// far accesses the metric; these counters are what the benchmarks report.
+//
+// Deviation from Figure 1, documented in DESIGN.md §1: faai/saai return the
+// *old pointer value* in addition to their effect. The memory node reads the
+// pointer word anyway, so this costs no extra access, and the far-memory
+// queue needs it to detect slack-region entry without additional round trips.
+#ifndef FMDS_SRC_FABRIC_FAR_CLIENT_H_
+#define FMDS_SRC_FABRIC_FAR_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/fabric/fabric.h"
+#include "src/fabric/notification.h"
+#include "src/fabric/stats.h"
+#include "src/sim/sim_clock.h"
+
+namespace fmds {
+
+// A far-memory buffer descriptor for gather/scatter lists.
+struct FarSeg {
+  FarAddr addr;
+  uint64_t len;
+};
+
+struct ClientOptions {
+  size_t channel_capacity = 4096;
+};
+
+class FarClient {
+ public:
+  FarClient(Fabric* fabric, uint64_t client_id, ClientOptions options = {});
+  FarClient(const FarClient&) = delete;
+  FarClient& operator=(const FarClient&) = delete;
+
+  uint64_t id() const { return client_id_; }
+  Fabric* fabric() { return fabric_; }
+
+  // ------------------------- Base verbs (§2) -------------------------
+  Status Read(FarAddr addr, std::span<std::byte> out);
+  Status Write(FarAddr addr, std::span<const std::byte> data);
+  Result<uint64_t> ReadWord(FarAddr addr);
+  Status WriteWord(FarAddr addr, uint64_t value);
+  // Returns the value observed before the operation.
+  Result<uint64_t> CompareSwap(FarAddr addr, uint64_t expected,
+                               uint64_t desired);
+  Result<uint64_t> FetchAdd(FarAddr addr, uint64_t delta);
+
+  // ------------------ Indirect addressing (§4.1, Fig. 1) ------------------
+  // load0: tmp = *ad; read `out.size()` bytes at tmp. Returns tmp.
+  Result<FarAddr> Load0(FarAddr ad, std::span<std::byte> out);
+  // load1: tmp = *(ad + i); read at tmp.
+  Result<FarAddr> Load1(FarAddr ad, uint64_t i, std::span<std::byte> out);
+  // load2: tmp = *ad + i; read at tmp.
+  Result<FarAddr> Load2(FarAddr ad, uint64_t i, std::span<std::byte> out);
+  // store0: tmp = *ad; write value at tmp. Returns tmp.
+  Result<FarAddr> Store0(FarAddr ad, std::span<const std::byte> value);
+  // store1: tmp = *(ad + i); write at tmp.
+  Result<FarAddr> Store1(FarAddr ad, uint64_t i,
+                         std::span<const std::byte> value);
+  // store2: tmp = *ad + i; write at tmp.
+  Result<FarAddr> Store2(FarAddr ad, uint64_t i,
+                         std::span<const std::byte> value);
+  // faai: old = *ad; *ad += delta; read out.size() bytes at old. Returns old.
+  Result<FarAddr> Faai(FarAddr ad, int64_t delta, std::span<std::byte> out);
+  // saai: old = *ad; *ad += delta; write value at old. Returns old.
+  Result<FarAddr> Saai(FarAddr ad, int64_t delta,
+                       std::span<const std::byte> value);
+  // add0: tmp = *ad; word at tmp += v.
+  Status Add0(FarAddr ad, uint64_t v);
+  // add1: tmp = *(ad + i); word at tmp += v.
+  Status Add1(FarAddr ad, uint64_t v, uint64_t i);
+  // add2: tmp = *ad + i; word at tmp += v.
+  Status Add2(FarAddr ad, uint64_t v, uint64_t i);
+
+  // --------------------- Scatter-gather (§4.2, Fig. 1) ---------------------
+  // rscatter: read far range [ad, ad + sum(iov)) into local iovec buffers.
+  Status RScatter(FarAddr ad, std::span<const LocalBuf> iov);
+  // rgather: read far iovec into the contiguous local range `out`.
+  Status RGather(std::span<const FarSeg> iov, std::span<std::byte> out);
+  // wscatter: write far iovec from the contiguous local range `src`.
+  Status WScatter(std::span<const FarSeg> iov, std::span<const std::byte> src);
+  // wgather: write far range [ad, ad + sum(iov)) from local iovec buffers.
+  Status WGather(FarAddr ad, std::span<const ConstLocalBuf> iov);
+
+  // Batched compare-and-swap: N independent word CASes issued in one
+  // doorbell (one client round trip, N fabric messages). Each CAS is
+  // individually atomic; there is NO atomicity across entries. This is the
+  // scatter-gather idea (§4.2) applied to atomics — and standard RDMA
+  // doorbell batching achieves the same pipelining today. `observed`
+  // receives each word's pre-CAS value (== expected on success).
+  struct CasTarget {
+    FarAddr addr;
+    uint64_t expected;
+    uint64_t desired;
+  };
+  Status CasBatch(std::span<const CasTarget> targets,
+                  std::span<uint64_t> observed);
+
+  // ----------------------- Notifications (§4.3) -----------------------
+  Result<SubId> Subscribe(const NotifySpec& spec);
+  Status Unsubscribe(SubId id);
+  NotificationChannel& channel() { return channel_; }
+  // Non-blocking; accounts one near access per poll and one notification
+  // per delivered event.
+  std::optional<NotifyEvent> PollNotification();
+  // Spins (real time, for threaded tests) until an event arrives or
+  // ~timeout_ms elapses.
+  Result<NotifyEvent> WaitNotification(uint64_t timeout_ms = 2000);
+
+  // --------------------------- Ordering (§2) ---------------------------
+  // Memory barrier: all previously issued operations complete before any
+  // later one. Our ops are synchronous, so this is a (counted) no-op kept
+  // for API fidelity.
+  void Fence();
+
+  // -------------------------- Accounting hooks --------------------------
+  // Data-structure code calls this when it touches its *local* cache, so the
+  // near/far cost split in the experiments is explicit.
+  void AccountNear(uint64_t accesses = 1);
+  // Far write issued off the critical path (e.g. queue slot re-initialization
+  // §5.3): counted as traffic, does not advance the client clock.
+  Status PostWriteBackground(FarAddr addr, std::span<const std::byte> data);
+  Status PostWriteWordBackground(FarAddr addr, uint64_t value);
+  // Far read issued off the critical path (e.g. queue occupancy estimate
+  // refresh, §5.3): counted as traffic, does not advance the client clock.
+  Result<uint64_t> ReadWordBackground(FarAddr addr);
+
+  SimClock& clock() { return clock_; }
+  const ClientStats& stats() const { return stats_; }
+  ClientStats& mutable_stats() { return stats_; }
+  void ResetStats() { stats_ = ClientStats(); }
+
+ private:
+  enum class IndirectKind : uint8_t { kRead, kWrite, kAtomicAdd };
+  // Pointer-selection variants of Fig. 1:
+  //   kPlain:      tmp = *ad
+  //   kIndexedPtr: tmp = *(ad + i)       (load1/store1/add1)
+  //   kIndexedTgt: tmp = *ad + i         (load2/store2/add2)
+  enum class IndexMode : uint8_t { kPlain, kIndexedPtr, kIndexedTgt };
+
+  // Shared engine for all indirect primitives. `fetch_add_delta`, when set,
+  // atomically bumps the pointer word (faai/saai).
+  Result<FarAddr> IndirectOp(IndirectKind kind, IndexMode mode, FarAddr ad,
+                             uint64_t i, std::optional<int64_t> fetch_add_delta,
+                             std::span<std::byte> read_out,
+                             std::span<const std::byte> write_value,
+                             uint64_t add_value);
+
+  // Executes a direct far access at `addr` (second round trip of the
+  // kError indirection policy).
+  Status DirectAccess(IndirectKind kind, FarAddr addr,
+                      std::span<std::byte> read_out,
+                      std::span<const std::byte> write_value,
+                      uint64_t add_value);
+
+  void AccountRoundTrip(uint64_t payload_bytes, uint64_t messages,
+                        uint64_t extra_hops);
+
+  Fabric* fabric_;
+  uint64_t client_id_;
+  LatencyModel latency_;
+  SimClock clock_;
+  ClientStats stats_;
+  NotificationChannel channel_;
+  std::unordered_map<SubId, NodeId> sub_homes_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_FABRIC_FAR_CLIENT_H_

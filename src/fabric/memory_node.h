@@ -1,0 +1,80 @@
+// One far-memory node: a slab of word-addressable memory plus the memory-side
+// logic the paper's hardware extensions require (fabric-level atomics,
+// page-indexed notification subscriptions).
+//
+// Concurrency model: word operations are lock-free via std::atomic_ref on the
+// 8-byte-aligned backing store, so they are atomic "at the fabric level,
+// bypassing the processor caches" (§2) with respect to every other fabric
+// operation. Byte-range writes merge partial edge words with CAS loops so
+// they never corrupt concurrent word atomics. The subscription table is
+// guarded by a mutex taken only when subscriptions exist on the node.
+#ifndef FMDS_SRC_FABRIC_MEMORY_NODE_H_
+#define FMDS_SRC_FABRIC_MEMORY_NODE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fabric/far_addr.h"
+#include "src/fabric/notification.h"
+#include "src/fabric/stats.h"
+
+namespace fmds {
+
+class MemoryNode {
+ public:
+  MemoryNode(NodeId id, uint64_t capacity_bytes);
+  MemoryNode(const MemoryNode&) = delete;
+  MemoryNode& operator=(const MemoryNode&) = delete;
+
+  NodeId id() const { return id_; }
+  uint64_t capacity() const { return capacity_; }
+
+  // --- Word operations (offset must be word-aligned and in range). ---
+  uint64_t LoadWord(uint64_t offset);
+  void StoreWord(uint64_t offset, uint64_t value, uint64_t now_ns);
+  // Returns the previous value; publishes a change only if the swap happened.
+  uint64_t CompareSwapWord(uint64_t offset, uint64_t expected,
+                           uint64_t desired, uint64_t now_ns);
+  uint64_t FetchAddWord(uint64_t offset, uint64_t delta, uint64_t now_ns);
+
+  // --- Byte-range operations. ---
+  void ReadRange(uint64_t offset, std::span<std::byte> out);
+  void WriteRange(uint64_t offset, std::span<const std::byte> data,
+                  uint64_t now_ns);
+
+  // --- Notifications (§4.3). ---
+  // spec.addr is the global address; `offset` its node-local location.
+  Status Subscribe(uint64_t offset, const NotifySpec& spec,
+                   NotificationChannel* channel, SubId id);
+  bool Unsubscribe(SubId id);
+  size_t subscription_count() const {
+    return subs_active_.load(std::memory_order_relaxed);
+  }
+
+  NodeStats& stats() { return stats_; }
+
+ private:
+  std::atomic_ref<uint64_t> WordRef(uint64_t offset) {
+    return std::atomic_ref<uint64_t>(words_[offset / kWordSize]);
+  }
+
+  // Fires subscriptions intersecting the written range.
+  void PublishWrite(uint64_t offset, uint64_t len, uint64_t now_ns);
+
+  NodeId id_;
+  uint64_t capacity_;
+  std::vector<uint64_t> words_;
+
+  std::mutex sub_mu_;
+  SubscriptionTable subs_;
+  std::atomic<size_t> subs_active_{0};
+  NodeStats stats_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_FABRIC_MEMORY_NODE_H_

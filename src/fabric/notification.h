@@ -1,0 +1,137 @@
+// Notifications (§4.3): callbacks triggered when far memory changes, so
+// clients can keep caches fresh without polling. Modes:
+//   kOnWrite  (notify0)  — any write intersecting [addr, addr+len)
+//   kOnEqual  (notifye)  — a write leaves the word at addr equal to `value`
+//   kOnWriteData (notify0d) — like kOnWrite, but carries the changed bytes
+//
+// Delivery is best-effort by design (§7.2): per-subscription policies can
+// drop, delay, or coalesce events, and a bounded channel that overflows
+// replaces the lost events with a loss warning the data-structure algorithm
+// must handle (versioning / full refresh).
+#ifndef FMDS_SRC_FABRIC_NOTIFICATION_H_
+#define FMDS_SRC_FABRIC_NOTIFICATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fabric/far_addr.h"
+
+namespace fmds {
+
+using SubId = uint64_t;
+inline constexpr SubId kInvalidSubId = 0;
+
+enum class NotifyMode : uint8_t {
+  kOnWrite = 0,      // notify0
+  kOnEqual = 1,      // notifye
+  kOnWriteData = 2,  // notify0d
+};
+
+// How events for one subscription are delivered (§7.2 scalability knobs).
+struct DeliveryPolicy {
+  double drop_probability = 0.0;  // unreliable delivery
+  bool coalesce = true;           // merge with a still-queued event of same sub
+  uint64_t delay_ns = 0;          // extra fabric delay beyond notify_delay_ns
+  static DeliveryPolicy Reliable() {
+    return DeliveryPolicy{0.0, /*coalesce=*/false, 0};
+  }
+};
+
+struct NotifySpec {
+  NotifyMode mode = NotifyMode::kOnWrite;
+  FarAddr addr = kNullFarAddr;  // word-aligned; range must not cross a page
+  uint64_t len = kWordSize;
+  uint64_t value = 0;           // target for kOnEqual
+  DeliveryPolicy policy = DeliveryPolicy::Reliable();
+};
+
+enum class NotifyEventKind : uint8_t {
+  kChanged = 0,      // a subscribed range changed
+  kLossWarning = 1,  // channel overflowed; an unknown number of events lost
+};
+
+struct NotifyEvent {
+  NotifyEventKind kind = NotifyEventKind::kChanged;
+  SubId sub_id = kInvalidSubId;
+  FarAddr addr = kNullFarAddr;  // start of the changed (possibly merged) range
+  uint64_t len = 0;
+  uint64_t publish_ns = 0;  // writer-side virtual timestamp
+  uint64_t coalesced = 0;   // additional events merged into this one
+  std::vector<std::byte> data;  // payload for kOnWriteData
+};
+
+// Per-client inbound event queue. Thread-safe: memory nodes publish from
+// writer threads; the owning client polls.
+class NotificationChannel {
+ public:
+  explicit NotificationChannel(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Called by the fabric. Applies coalescing and overflow handling.
+  void Publish(NotifyEvent event, bool coalesce);
+
+  // Non-blocking pop; nullopt when empty.
+  std::optional<NotifyEvent> Poll();
+
+  // Pops everything currently queued.
+  std::vector<NotifyEvent> Drain();
+
+  size_t size() const;
+  uint64_t published() const;
+  uint64_t overflow_lost() const;
+  uint64_t coalesced() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<NotifyEvent> queue_;
+  // sub_id -> index into queue_ of a still-queued event to coalesce into.
+  std::unordered_map<SubId, size_t> pending_index_;
+  size_t capacity_;
+  uint64_t published_ = 0;
+  uint64_t overflow_lost_ = 0;
+  uint64_t coalesced_ = 0;
+  bool loss_pending_ = false;
+};
+
+// One registered subscription, owned by a memory node's SubscriptionTable.
+struct Subscription {
+  SubId id = kInvalidSubId;
+  NotifySpec spec;          // spec.addr is the *global* FarAddr
+  uint64_t node_offset = 0; // node-local offset of spec.addr
+  NotificationChannel* channel = nullptr;
+  Rng drop_rng{0};
+  uint64_t fired = 0;
+  uint64_t dropped = 0;
+};
+
+// Page-indexed subscription registry of one memory node. The paper suggests
+// recording subscriptions in page-table entries at the memory node so write
+// paths find them cheaply; this mirrors that: lookup is by page index, so a
+// write touches only the tables of its own pages.
+class SubscriptionTable {
+ public:
+  // Registers a subscription at a node-local offset. The range must lie
+  // within a single page (hardware constraint from §4.3); the caller
+  // validates this.
+  void Add(uint64_t node_offset, const NotifySpec& spec,
+           NotificationChannel* channel, SubId id);
+  bool Remove(SubId id);
+
+  // Appends subscriptions whose range intersects [offset, offset+len).
+  void Collect(uint64_t offset, uint64_t len, std::vector<Subscription*>& out);
+
+  size_t size() const { return subs_.size(); }
+
+ private:
+  std::unordered_map<SubId, std::unique_ptr<Subscription>> subs_;
+  std::unordered_map<uint64_t, std::vector<Subscription*>> by_page_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_FABRIC_NOTIFICATION_H_

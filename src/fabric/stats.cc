@@ -1,0 +1,24 @@
+#include "src/fabric/stats.h"
+
+#include <cstdio>
+
+namespace fmds {
+
+std::string ClientStats::ToString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "far_ops=%llu msgs=%llu rd=%lluB wr=%lluB near=%llu rpc=%llu "
+                "notif=%llu slow=%llu bg=%llu",
+                static_cast<unsigned long long>(far_ops),
+                static_cast<unsigned long long>(messages),
+                static_cast<unsigned long long>(bytes_read),
+                static_cast<unsigned long long>(bytes_written),
+                static_cast<unsigned long long>(near_ops),
+                static_cast<unsigned long long>(rpc_calls),
+                static_cast<unsigned long long>(notifications),
+                static_cast<unsigned long long>(slow_path_ops),
+                static_cast<unsigned long long>(background_ops));
+  return buf;
+}
+
+}  // namespace fmds

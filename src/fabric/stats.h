@@ -1,0 +1,69 @@
+// Operation accounting. §3.1: "the key performance metric for far memory
+// data structures is far memory accesses" — these counters are the
+// experiment's ground truth, independent of wall-clock noise.
+#ifndef FMDS_SRC_FABRIC_STATS_H_
+#define FMDS_SRC_FABRIC_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace fmds {
+
+// Per-client counters. A FarClient is owned by one application thread, so
+// these are plain integers (no synchronization cost on the hot path).
+struct ClientStats {
+  uint64_t far_ops = 0;         // one-sided round trips issued
+  uint64_t messages = 0;        // fabric messages (segments, forward hops)
+  uint64_t bytes_read = 0;      // payload bytes moved far -> client
+  uint64_t bytes_written = 0;   // payload bytes moved client -> far
+  uint64_t near_ops = 0;        // local (client cache) accesses accounted
+  uint64_t rpc_calls = 0;       // two-sided calls (baselines)
+  uint64_t notifications = 0;   // notification events consumed
+  uint64_t slow_path_ops = 0;   // data-structure slow-path entries
+  uint64_t background_ops = 0;  // far ops posted off the critical path
+
+  ClientStats Delta(const ClientStats& earlier) const {
+    ClientStats d;
+    d.far_ops = far_ops - earlier.far_ops;
+    d.messages = messages - earlier.messages;
+    d.bytes_read = bytes_read - earlier.bytes_read;
+    d.bytes_written = bytes_written - earlier.bytes_written;
+    d.near_ops = near_ops - earlier.near_ops;
+    d.rpc_calls = rpc_calls - earlier.rpc_calls;
+    d.notifications = notifications - earlier.notifications;
+    d.slow_path_ops = slow_path_ops - earlier.slow_path_ops;
+    d.background_ops = background_ops - earlier.background_ops;
+    return d;
+  }
+
+  void Add(const ClientStats& other) {
+    far_ops += other.far_ops;
+    messages += other.messages;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    near_ops += other.near_ops;
+    rpc_calls += other.rpc_calls;
+    notifications += other.notifications;
+    slow_path_ops += other.slow_path_ops;
+    background_ops += other.background_ops;
+  }
+
+  std::string ToString() const;
+};
+
+// Per-memory-node counters; shared across clients, hence atomics.
+struct NodeStats {
+  std::atomic<uint64_t> ops_serviced{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> indirections{0};        // memory-side derefs executed
+  std::atomic<uint64_t> forwards{0};            // cross-node forwarded derefs
+  std::atomic<uint64_t> notifications_fired{0};
+  std::atomic<uint64_t> notifications_dropped{0};
+  std::atomic<uint64_t> notifications_coalesced{0};
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_FABRIC_STATS_H_

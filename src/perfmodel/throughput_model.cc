@@ -1,0 +1,43 @@
+#include "src/perfmodel/throughput_model.h"
+
+#include <algorithm>
+
+namespace fmds {
+
+ThroughputPoint SolveClosedSystem(const WorkloadCost& cost,
+                                  uint32_t clients) {
+  // Exact MVA. Each operation visits one of `stations` identical serialized
+  // stations (uniformly), demanding `bottleneck_demand_ns` of it, plus a
+  // pure delay of `delay_ns` (round trips overlap across clients). By
+  // symmetry all stations share one queue length Q.
+  const double stations =
+      static_cast<double>(std::max<uint32_t>(cost.bottleneck_stations, 1));
+  const double demand = cost.bottleneck_demand_ns;
+  double q = 0.0;           // per-station mean queue length
+  double throughput = 0.0;  // ops per ns
+  double response = cost.delay_ns + demand;
+  for (uint32_t n = 1; n <= clients; ++n) {
+    const double station_residence = demand * (1.0 + q);
+    response = cost.delay_ns + station_residence;  // V = 1/stations each
+    throughput = static_cast<double>(n) / response;
+    q = (throughput / stations) * station_residence;
+  }
+  ThroughputPoint point;
+  point.clients = clients;
+  point.ops_per_sec = throughput * 1e9;
+  point.latency_ns = response;
+  point.utilization = std::min(1.0, throughput * demand / stations);
+  return point;
+}
+
+std::vector<ThroughputPoint> SweepClients(const WorkloadCost& cost,
+                                          const std::vector<uint32_t>& ns) {
+  std::vector<ThroughputPoint> out;
+  out.reserve(ns.size());
+  for (uint32_t n : ns) {
+    out.push_back(SolveClosedSystem(cost, n));
+  }
+  return out;
+}
+
+}  // namespace fmds

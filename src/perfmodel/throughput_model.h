@@ -1,0 +1,45 @@
+// Closed-system throughput model (E3): converts measured per-operation costs
+// into throughput-vs-clients curves, reproducing §3.1's argument about where
+// one-sided designs beat RPCs and vice versa.
+//
+// Model: N clients cycle through think-free operations. Each operation
+// spends `delay_ns` in pure fabric latency (an infinite-server delay
+// station: round trips overlap perfectly across clients) and demands
+// `bottleneck_demand_ns` of a serialized resource:
+//   - RPC designs: the server CPU (one core services every request);
+//   - one-sided designs: the memory-node controller occupancy, divided
+//     across `bottleneck_stations` nodes.
+// Exact Mean Value Analysis for one queueing station + one delay station
+// gives X(N); the asymptotes are N/delay (latency-bound) and 1/demand
+// (bottleneck-bound) — the crossover the paper describes.
+#ifndef FMDS_SRC_PERFMODEL_THROUGHPUT_MODEL_H_
+#define FMDS_SRC_PERFMODEL_THROUGHPUT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fmds {
+
+struct WorkloadCost {
+  double delay_ns = 0.0;             // per-op fabric latency (overlappable)
+  double bottleneck_demand_ns = 0.0; // per-op serialized service demand
+  uint32_t bottleneck_stations = 1;  // parallel copies of the bottleneck
+};
+
+struct ThroughputPoint {
+  uint32_t clients;
+  double ops_per_sec;
+  double latency_ns;       // mean per-op response time
+  double utilization;      // of the bottleneck resource
+};
+
+// Exact MVA for the two-station closed network described above.
+ThroughputPoint SolveClosedSystem(const WorkloadCost& cost, uint32_t clients);
+
+// Convenience sweep.
+std::vector<ThroughputPoint> SweepClients(const WorkloadCost& cost,
+                                          const std::vector<uint32_t>& ns);
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_PERFMODEL_THROUGHPUT_MODEL_H_

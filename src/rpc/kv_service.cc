@@ -1,0 +1,95 @@
+#include "src/rpc/kv_service.h"
+
+#include "src/rpc/message.h"
+
+namespace fmds {
+
+KvService::KvService(RpcServer* server) {
+  server->RegisterHandler(
+      kGet, [this](std::span<const std::byte> req,
+                   std::vector<std::byte>& resp) -> Status {
+        MsgReader reader(req);
+        FMDS_ASSIGN_OR_RETURN(uint64_t key, reader.U64());
+        MsgWriter writer;
+        auto it = map_.find(key);
+        writer.U8(it != map_.end() ? 1 : 0);
+        writer.U64(it != map_.end() ? it->second : 0);
+        resp = writer.Take();
+        return OkStatus();
+      });
+  server->RegisterHandler(
+      kPut, [this](std::span<const std::byte> req,
+                   std::vector<std::byte>& resp) -> Status {
+        MsgReader reader(req);
+        FMDS_ASSIGN_OR_RETURN(uint64_t key, reader.U64());
+        FMDS_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
+        map_[key] = value;
+        MsgWriter writer;
+        writer.U8(1);
+        resp = writer.Take();
+        return OkStatus();
+      });
+  server->RegisterHandler(
+      kDelete, [this](std::span<const std::byte> req,
+                      std::vector<std::byte>& resp) -> Status {
+        MsgReader reader(req);
+        FMDS_ASSIGN_OR_RETURN(uint64_t key, reader.U64());
+        MsgWriter writer;
+        writer.U8(map_.erase(key) != 0 ? 1 : 0);
+        resp = writer.Take();
+        return OkStatus();
+      });
+  server->RegisterHandler(
+      kSize, [this](std::span<const std::byte>,
+                    std::vector<std::byte>& resp) -> Status {
+        MsgWriter writer;
+        writer.U64(map_.size());
+        resp = writer.Take();
+        return OkStatus();
+      });
+}
+
+Result<uint64_t> KvStub::Get(uint64_t key) {
+  MsgWriter writer;
+  writer.U64(key);
+  std::vector<std::byte> resp;
+  FMDS_RETURN_IF_ERROR(rpc_.Call(KvService::kGet, writer.view(), resp));
+  MsgReader reader(resp);
+  FMDS_ASSIGN_OR_RETURN(uint8_t found, reader.U8());
+  FMDS_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
+  if (found == 0) {
+    return Status(StatusCode::kNotFound, "key absent");
+  }
+  return value;
+}
+
+Status KvStub::Put(uint64_t key, uint64_t value) {
+  MsgWriter writer;
+  writer.U64(key);
+  writer.U64(value);
+  std::vector<std::byte> resp;
+  return rpc_.Call(KvService::kPut, writer.view(), resp);
+}
+
+Status KvStub::Delete(uint64_t key) {
+  MsgWriter writer;
+  writer.U64(key);
+  std::vector<std::byte> resp;
+  FMDS_RETURN_IF_ERROR(rpc_.Call(KvService::kDelete, writer.view(), resp));
+  MsgReader reader(resp);
+  FMDS_ASSIGN_OR_RETURN(uint8_t erased, reader.U8());
+  if (erased == 0) {
+    return NotFound("key absent");
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> KvStub::Size() {
+  MsgWriter writer;
+  std::vector<std::byte> resp;
+  FMDS_RETURN_IF_ERROR(rpc_.Call(KvService::kSize, writer.view(), resp));
+  MsgReader reader(resp);
+  return reader.U64();
+}
+
+}  // namespace fmds

@@ -1,0 +1,45 @@
+// RPC key-value service: the two-sided hash-table baseline the paper's
+// referenced work (HERD/FaSST [24, 25]) showed beating naive one-sided
+// designs. One server-side hash table; clients do Get/Put/Delete in exactly
+// one RPC round trip each — at the cost of server CPU.
+#ifndef FMDS_SRC_RPC_KV_SERVICE_H_
+#define FMDS_SRC_RPC_KV_SERVICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/rpc/rpc.h"
+
+namespace fmds {
+
+class KvService {
+ public:
+  enum Method : uint32_t { kGet = 1, kPut = 2, kDelete = 3, kSize = 4 };
+
+  // Registers the handlers on `server`. The service owns the map.
+  explicit KvService(RpcServer* server);
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> map_;
+};
+
+// Client-side stub.
+class KvStub {
+ public:
+  explicit KvStub(RpcClient client) : rpc_(client) {}
+
+  Result<uint64_t> Get(uint64_t key);        // kNotFound when absent
+  Status Put(uint64_t key, uint64_t value);
+  Status Delete(uint64_t key);
+  Result<uint64_t> Size();
+
+ private:
+  RpcClient rpc_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_RPC_KV_SERVICE_H_

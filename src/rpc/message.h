@@ -1,0 +1,90 @@
+// Byte-level request/response codec for the two-sided (RPC) baselines.
+// Little-endian fixed-width fields; length-prefixed byte strings.
+#ifndef FMDS_SRC_RPC_MESSAGE_H_
+#define FMDS_SRC_RPC_MESSAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace fmds {
+
+class MsgWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Bytes(std::span<const std::byte> data) {
+    U32(static_cast<uint32_t>(data.size()));
+    Raw(data.data(), data.size());
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  std::span<const std::byte> view() const { return buf_; }
+  std::vector<std::byte> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const size_t at = buf_.size();
+    buf_.resize(at + n);
+    std::memcpy(buf_.data() + at, p, n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+class MsgReader {
+ public:
+  explicit MsgReader(std::span<const std::byte> data) : data_(data) {}
+
+  Result<uint8_t> U8() {
+    uint8_t v;
+    FMDS_RETURN_IF_ERROR(Raw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint32_t> U32() {
+    uint32_t v;
+    FMDS_RETURN_IF_ERROR(Raw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint64_t> U64() {
+    uint64_t v;
+    FMDS_RETURN_IF_ERROR(Raw(&v, sizeof(v)));
+    return v;
+  }
+  Result<std::vector<std::byte>> Bytes() {
+    FMDS_ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (pos_ + n > data_.size()) {
+      return Status(StatusCode::kOutOfRange, "truncated message");
+    }
+    std::vector<std::byte> out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Raw(void* p, size_t n) {
+    if (pos_ + n > data_.size()) {
+      return OutOfRange("truncated message");
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return OkStatus();
+  }
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_RPC_MESSAGE_H_

@@ -1,0 +1,72 @@
+#include "src/rpc/queue_service.h"
+
+#include "src/rpc/message.h"
+
+namespace fmds {
+
+QueueService::QueueService(RpcServer* server) {
+  server->RegisterHandler(
+      kEnqueue, [this](std::span<const std::byte> req,
+                       std::vector<std::byte>& resp) -> Status {
+        MsgReader reader(req);
+        FMDS_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
+        queue_.push_back(value);
+        MsgWriter writer;
+        writer.U8(1);
+        resp = writer.Take();
+        return OkStatus();
+      });
+  server->RegisterHandler(
+      kDequeue, [this](std::span<const std::byte>,
+                       std::vector<std::byte>& resp) -> Status {
+        MsgWriter writer;
+        if (queue_.empty()) {
+          writer.U8(0);
+          writer.U64(0);
+        } else {
+          writer.U8(1);
+          writer.U64(queue_.front());
+          queue_.pop_front();
+        }
+        resp = writer.Take();
+        return OkStatus();
+      });
+  server->RegisterHandler(
+      kLen, [this](std::span<const std::byte>,
+                   std::vector<std::byte>& resp) -> Status {
+        MsgWriter writer;
+        writer.U64(queue_.size());
+        resp = writer.Take();
+        return OkStatus();
+      });
+}
+
+Status QueueStub::Enqueue(uint64_t value) {
+  MsgWriter writer;
+  writer.U64(value);
+  std::vector<std::byte> resp;
+  return rpc_.Call(QueueService::kEnqueue, writer.view(), resp);
+}
+
+Result<uint64_t> QueueStub::Dequeue() {
+  MsgWriter writer;
+  std::vector<std::byte> resp;
+  FMDS_RETURN_IF_ERROR(rpc_.Call(QueueService::kDequeue, writer.view(), resp));
+  MsgReader reader(resp);
+  FMDS_ASSIGN_OR_RETURN(uint8_t ok, reader.U8());
+  FMDS_ASSIGN_OR_RETURN(uint64_t value, reader.U64());
+  if (ok == 0) {
+    return Status(StatusCode::kNotFound, "queue empty");
+  }
+  return value;
+}
+
+Result<uint64_t> QueueStub::Len() {
+  MsgWriter writer;
+  std::vector<std::byte> resp;
+  FMDS_RETURN_IF_ERROR(rpc_.Call(QueueService::kLen, writer.view(), resp));
+  MsgReader reader(resp);
+  return reader.U64();
+}
+
+}  // namespace fmds

@@ -1,0 +1,41 @@
+// RPC queue service: the two-sided baseline for §5.3. Enqueue/Dequeue each
+// cost one RPC round trip plus server CPU; the server-side deque gives the
+// queue trivial linearizability — the comparison point for the one-sided
+// faai/saai queue.
+#ifndef FMDS_SRC_RPC_QUEUE_SERVICE_H_
+#define FMDS_SRC_RPC_QUEUE_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/rpc/rpc.h"
+
+namespace fmds {
+
+class QueueService {
+ public:
+  enum Method : uint32_t { kEnqueue = 10, kDequeue = 11, kLen = 12 };
+
+  explicit QueueService(RpcServer* server);
+
+  size_t size() const { return queue_.size(); }
+
+ private:
+  std::deque<uint64_t> queue_;
+};
+
+class QueueStub {
+ public:
+  explicit QueueStub(RpcClient client) : rpc_(client) {}
+
+  Status Enqueue(uint64_t value);
+  Result<uint64_t> Dequeue();  // kNotFound when empty
+  Result<uint64_t> Len();
+
+ private:
+  RpcClient rpc_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_RPC_QUEUE_SERVICE_H_

@@ -1,0 +1,49 @@
+#include "src/rpc/rpc.h"
+
+namespace fmds {
+
+void RpcServer::RegisterHandler(uint32_t method, RpcHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[method] = std::move(handler);
+}
+
+Status RpcServer::Dispatch(uint32_t method,
+                           std::span<const std::byte> request,
+                           std::vector<std::byte>& response,
+                           uint64_t* service_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handlers_.find(method);
+  if (it == handlers_.end()) {
+    return Unimplemented("no handler for method");
+  }
+  const Status status = it->second(request, response);
+  const uint64_t ns =
+      options_.service_ns +
+      static_cast<uint64_t>(options_.per_byte_ns *
+                            static_cast<double>(request.size() +
+                                                response.size()));
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  busy_ns_.fetch_add(ns, std::memory_order_relaxed);
+  if (service_ns != nullptr) {
+    *service_ns = ns;
+  }
+  return status;
+}
+
+Status RpcClient::Call(uint32_t method, std::span<const std::byte> request,
+                       std::vector<std::byte>& response) {
+  uint64_t service_ns = 0;
+  const Status status =
+      server_->Dispatch(method, request, response, &service_ns);
+  auto& stats = client_->mutable_stats();
+  ++stats.rpc_calls;
+  stats.messages += 2;  // request + response messages
+  stats.bytes_written += request.size();
+  stats.bytes_read += response.size();
+  const auto& latency = client_->fabric()->options().latency;
+  client_->clock().Advance(
+      latency.FarRoundTripNs(request.size() + response.size()) + service_ns);
+  return status;
+}
+
+}  // namespace fmds

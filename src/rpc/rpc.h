@@ -1,0 +1,81 @@
+// Two-sided RPC substrate: the distributed-data-structure baseline of §3.1.
+//
+// An RpcServer models "a processor close to the memory [that] can receive
+// and service RPC requests". Handlers run inline under the server's dispatch
+// lock (the server is ONE processor — this serialization is the point: it is
+// what one-sided access avoids). The server accumulates modelled CPU busy
+// time so the throughput model can find where it saturates.
+//
+// An RpcClient charges its FarClient one fabric round trip (request +
+// response bytes) plus the server service time per call.
+#ifndef FMDS_SRC_RPC_RPC_H_
+#define FMDS_SRC_RPC_RPC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+using RpcHandler = std::function<Status(std::span<const std::byte> request,
+                                        std::vector<std::byte>& response)>;
+
+struct RpcServerOptions {
+  // Modelled CPU nanoseconds per request, excluding per-byte handling.
+  uint64_t service_ns = 400;
+  // Modelled CPU nanoseconds per request/response payload byte.
+  double per_byte_ns = 0.05;
+};
+
+class RpcServer {
+ public:
+  explicit RpcServer(RpcServerOptions options = {}) : options_(options) {}
+
+  void RegisterHandler(uint32_t method, RpcHandler handler);
+
+  // Executes the handler; fills `service_ns` with the modelled CPU time
+  // consumed. Thread-safe (serialized, as a single server core would be).
+  Status Dispatch(uint32_t method, std::span<const std::byte> request,
+                  std::vector<std::byte>& response, uint64_t* service_ns);
+
+  uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
+  const RpcServerOptions& options() const { return options_; }
+
+ private:
+  RpcServerOptions options_;
+  std::mutex mu_;
+  std::unordered_map<uint32_t, RpcHandler> handlers_;
+  std::atomic<uint64_t> calls_{0};
+  std::atomic<uint64_t> busy_ns_{0};
+};
+
+class RpcClient {
+ public:
+  RpcClient(FarClient* client, RpcServer* server)
+      : client_(client), server_(server) {}
+
+  // One round trip: ships `request`, runs the handler at the server,
+  // returns `response`. Advances the client clock by
+  // RTT(request+response bytes) + server service time.
+  Status Call(uint32_t method, std::span<const std::byte> request,
+              std::vector<std::byte>& response);
+
+  FarClient* client() { return client_; }
+  RpcServer* server() { return server_; }
+
+ private:
+  FarClient* client_;
+  RpcServer* server_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_RPC_RPC_H_

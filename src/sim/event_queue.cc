@@ -1,0 +1,38 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace fmds {
+
+void EventQueue::ScheduleAt(uint64_t at_ns, Action action) {
+  if (at_ns < now_ns_) {
+    at_ns = now_ns_;  // never schedule into the past
+  }
+  heap_.push(Event{at_ns, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top is const; move out via const_cast on the action only.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ns_ = ev.at_ns;
+  ev.action();
+  return true;
+}
+
+size_t EventQueue::RunUntil(uint64_t until_ns) {
+  size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at_ns <= until_ns) {
+    Step();
+    ++executed;
+  }
+  if (heap_.empty() && now_ns_ < until_ns && until_ns != UINT64_MAX) {
+    now_ns_ = until_ns;
+  }
+  return executed;
+}
+
+}  // namespace fmds

@@ -1,0 +1,57 @@
+// Deterministic time-ordered event queue. Used by the monitoring case study
+// and the notification-scalability experiments to replay producer/consumer
+// interleavings at virtual timestamps, independent of host scheduling.
+#ifndef FMDS_SRC_SIM_EVENT_QUEUE_H_
+#define FMDS_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fmds {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedule `action` to run at absolute virtual time `at_ns`. Events at the
+  // same timestamp run in scheduling order (stable).
+  void ScheduleAt(uint64_t at_ns, Action action);
+  void ScheduleAfter(uint64_t delay_ns, Action action) {
+    ScheduleAt(now_ns_ + delay_ns, std::move(action));
+  }
+
+  // Runs events until the queue is empty or `until_ns` is reached.
+  // Returns the number of events executed.
+  size_t RunUntil(uint64_t until_ns = UINT64_MAX);
+
+  // Runs at most one event; returns false if the queue is empty.
+  bool Step();
+
+  uint64_t now_ns() const { return now_ns_; }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    uint64_t at_ns;
+    uint64_t seq;  // tie-break for stability
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at_ns != b.at_ns) {
+        return a.at_ns > b.at_ns;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t now_ns_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_SIM_EVENT_QUEUE_H_

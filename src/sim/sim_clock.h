@@ -1,0 +1,23 @@
+// Per-client virtual clock. Each client of the fabric owns one; fabric
+// operations advance it by modelled latencies. Clocks are private to their
+// client, so multi-threaded experiments need no synchronization on time.
+#ifndef FMDS_SRC_SIM_SIM_CLOCK_H_
+#define FMDS_SRC_SIM_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace fmds {
+
+class SimClock {
+ public:
+  uint64_t now_ns() const { return now_ns_; }
+  void Advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_SIM_SIM_CLOCK_H_

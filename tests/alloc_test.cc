@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+TEST(AllocTest, NeverReturnsNull) {
+  TestEnv env;
+  for (int i = 0; i < 100; ++i) {
+    auto addr = env.alloc().Allocate(64);
+    ASSERT_TRUE(addr.ok());
+    EXPECT_NE(*addr, kNullFarAddr);
+    EXPECT_TRUE(IsWordAligned(*addr));
+  }
+}
+
+TEST(AllocTest, AllocationsDoNotOverlap) {
+  TestEnv env(SmallFabric(2, 1 << 20));
+  std::set<std::pair<FarAddr, FarAddr>> ranges;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t size = 8 + (i % 7) * 24;
+    auto addr = env.alloc().Allocate(size);
+    ASSERT_TRUE(addr.ok());
+    for (const auto& [lo, hi] : ranges) {
+      EXPECT_TRUE(*addr >= hi || *addr + size <= lo)
+          << "overlap at " << *addr;
+    }
+    ranges.emplace(*addr, *addr + size);
+  }
+}
+
+TEST(AllocTest, RoundRobinSpreadsAcrossNodes) {
+  TestEnv env(SmallFabric(4, 1 << 20));
+  std::set<NodeId> nodes;
+  for (int i = 0; i < 8; ++i) {
+    auto addr = env.alloc().Allocate(128);
+    ASSERT_TRUE(addr.ok());
+    nodes.insert(env.fabric().Translate(*addr)->node);
+  }
+  EXPECT_EQ(nodes.size(), 4u);
+}
+
+TEST(AllocTest, OnNodePlacement) {
+  TestEnv env(SmallFabric(4, 1 << 20));
+  for (NodeId node = 0; node < 4; ++node) {
+    auto addr = env.alloc().Allocate(64, AllocHint::OnNode(node));
+    ASSERT_TRUE(addr.ok());
+    EXPECT_EQ(env.fabric().Translate(*addr)->node, node);
+  }
+  EXPECT_FALSE(env.alloc().Allocate(64, AllocHint::OnNode(9)).ok());
+}
+
+TEST(AllocTest, NearPlacementColocates) {
+  TestEnv env(SmallFabric(4, 1 << 20));
+  auto anchor = env.alloc().Allocate(64, AllocHint::OnNode(2));
+  ASSERT_TRUE(anchor.ok());
+  auto near = env.alloc().Allocate(64, AllocHint::Near(*anchor));
+  ASSERT_TRUE(near.ok());
+  EXPECT_EQ(env.fabric().Translate(*near)->node, 2u);
+}
+
+TEST(AllocTest, PageAlignment) {
+  TestEnv env;
+  auto a = env.alloc().Allocate(100);  // misalign the bump pointer
+  ASSERT_TRUE(a.ok());
+  auto b = env.alloc().Allocate(256, AllocHint::Any(), kPageSize);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b % kPageSize, 0u);
+}
+
+TEST(AllocTest, StripedSingleNodeObjects) {
+  TestEnv env(StripedFabric(4, kPageSize, 1 << 20));
+  // Objects up to one stripe land on a single node.
+  for (int i = 0; i < 50; ++i) {
+    auto addr = env.alloc().Allocate(1024);
+    ASSERT_TRUE(addr.ok());
+    std::vector<Fabric::Segment> segs;
+    ASSERT_TRUE(env.fabric().Segments(*addr, 1024, segs).ok());
+    EXPECT_EQ(segs.size(), 1u);
+  }
+  // Larger than a stripe fails for node placement...
+  EXPECT_FALSE(env.alloc().Allocate(2 * kPageSize).ok());
+  // ...but works as a contiguous (striped) allocation.
+  auto big = env.alloc().Allocate(2 * kPageSize, AllocHint::Contiguous());
+  ASSERT_TRUE(big.ok());
+}
+
+TEST(AllocTest, QuarantineDelaysReuse) {
+  TestEnv env;
+  auto a = env.alloc().Allocate(64);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(env.alloc().Free(*a, 64).ok());
+  // Not reused immediately...
+  auto b = env.alloc().Allocate(64);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*b, *a);
+  // ...nor after one epoch...
+  env.alloc().AdvanceEpoch();
+  auto c = env.alloc().Allocate(64);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*c, *a);
+  // ...but after two epochs the block comes back.
+  env.alloc().AdvanceEpoch();
+  auto d = env.alloc().Allocate(64);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, *a);
+}
+
+TEST(AllocTest, FreeNullRejected) {
+  TestEnv env;
+  EXPECT_FALSE(env.alloc().Free(kNullFarAddr, 8).ok());
+}
+
+TEST(AllocTest, ExhaustionReported) {
+  FabricOptions tiny;
+  tiny.num_nodes = 1;
+  tiny.node_capacity = 2 * kPageSize;
+  TestEnv env(tiny);
+  // Drain the node.
+  while (env.alloc().Allocate(1024).ok()) {
+  }
+  auto last = env.alloc().Allocate(1024);
+  EXPECT_EQ(last.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AllocTest, ZeroSizeAndBadAlignmentRejected) {
+  TestEnv env;
+  EXPECT_FALSE(env.alloc().Allocate(0).ok());
+  EXPECT_FALSE(env.alloc().Allocate(8, AllocHint::Any(), 3).ok());
+}
+
+TEST(AllocTest, TracksByteCounts) {
+  TestEnv env;
+  const uint64_t before = env.alloc().allocated_bytes();
+  ASSERT_TRUE(env.alloc().Allocate(100).ok());  // rounds to 104
+  EXPECT_EQ(env.alloc().allocated_bytes() - before, 104u);
+}
+
+}  // namespace
+}  // namespace fmds

@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/baselines/btree.h"
+#include "src/common/histogram.h"
+#include "src/baselines/chained_hash.h"
+#include "src/baselines/linked_list.h"
+#include "src/baselines/neighborhood_hash.h"
+#include "src/baselines/simple_queues.h"
+#include "src/baselines/skip_list.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+FabricOptions BigFabric() { return SmallFabric(1, 256ull << 20); }
+
+// ------------------------------ ChainedHash -------------------------------
+
+TEST(ChainedHashTest, PutGetRemove) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  ChainedHash::Options options;
+  options.buckets = 64;
+  auto table = ChainedHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->Get(1).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(table->Put(1, 10).ok());
+  ASSERT_TRUE(table->Put(2, 20).ok());
+  EXPECT_EQ(*table->Get(1), 10u);
+  EXPECT_EQ(*table->Get(2), 20u);
+  ASSERT_TRUE(table->Remove(1).ok());
+  EXPECT_EQ(table->Get(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ChainedHashTest, LookupCostsAtLeastTwoWithoutIndirection) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  ChainedHash::Options options;
+  options.buckets = 4096;
+  auto table = ChainedHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Put(5, 50).ok());
+  const uint64_t before = client.stats().far_ops;
+  EXPECT_EQ(*table->Get(5), 50u);
+  EXPECT_EQ(client.stats().far_ops - before, 2u)
+      << "bucket word + item = two round trips with today's verbs";
+}
+
+TEST(ChainedHashTest, IndirectLookupIsOneAccess) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  ChainedHash::Options options;
+  options.buckets = 4096;
+  options.use_indirect = true;
+  auto table = ChainedHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Put(5, 50).ok());
+  const uint64_t before = client.stats().far_ops;
+  EXPECT_EQ(*table->Get(5), 50u);
+  EXPECT_EQ(client.stats().far_ops - before, 1u);
+}
+
+TEST(ChainedHashTest, ChainsGrowWithLoad) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  ChainedHash::Options options;
+  options.buckets = 16;  // forced collisions
+  auto table = ChainedHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  for (uint64_t k = 1; k <= 256; ++k) {
+    ASSERT_TRUE(table->Put(k, k).ok());
+  }
+  for (uint64_t k = 1; k <= 256; ++k) {
+    EXPECT_EQ(*table->Get(k), k);
+  }
+  EXPECT_GT(table->observed_chain_length(), 2.0)
+      << "fixed buckets at 16x load must chain";
+}
+
+TEST(ChainedHashTest, MatchesReferenceUnderMixedOps) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  ChainedHash::Options options;
+  options.buckets = 128;
+  auto table = ChainedHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(17);
+  for (int op = 0; op < 2000; ++op) {
+    const uint64_t key = rng.NextInRange(1, 200);
+    if (rng.NextBool(0.7)) {
+      const uint64_t value = rng.Next() | 1;
+      ASSERT_TRUE(table->Put(key, value).ok());
+      reference[key] = value;
+    } else {
+      ASSERT_TRUE(table->Remove(key).ok());
+      reference.erase(key);
+    }
+  }
+  for (uint64_t key = 1; key <= 200; ++key) {
+    auto it = reference.find(key);
+    auto got = table->Get(key);
+    if (it == reference.end()) {
+      EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+    } else {
+      EXPECT_EQ(*got, it->second);
+    }
+  }
+}
+
+// ---------------------------- NeighborhoodHash -----------------------------
+
+TEST(NeighborhoodHashTest, BasicOps) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  NeighborhoodHash::Options options;
+  options.buckets = 1024;
+  auto table = NeighborhoodHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Put(3, 30).ok());
+  EXPECT_EQ(*table->Get(3), 30u);
+  ASSERT_TRUE(table->Put(3, 31).ok());  // in-place update
+  EXPECT_EQ(*table->Get(3), 31u);
+  ASSERT_TRUE(table->Remove(3).ok());
+  EXPECT_EQ(table->Get(3).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(table->Put(0, 1).ok());  // key 0 reserved
+}
+
+TEST(NeighborhoodHashTest, LookupIsOneAccessButMoreBytes) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  NeighborhoodHash::Options options;
+  options.buckets = 1024;
+  options.neighborhood = 8;
+  auto table = NeighborhoodHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Put(9, 90).ok());
+  const auto before = client.stats();
+  EXPECT_EQ(*table->Get(9), 90u);
+  const auto delta = client.stats().Delta(before);
+  EXPECT_EQ(delta.far_ops, 1u);
+  EXPECT_EQ(delta.bytes_read, 8u * 16u)
+      << "FaRM-style inlining: one access, a whole neighborhood of bytes";
+}
+
+TEST(NeighborhoodHashTest, FillsNeighborhoodThenFails) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  NeighborhoodHash::Options options;
+  options.buckets = 1;  // everything collides
+  options.neighborhood = 4;
+  auto table = NeighborhoodHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  uint64_t inserted = 0;
+  for (uint64_t k = 1; k <= 10; ++k) {
+    if (table->Put(k, k).ok()) {
+      ++inserted;
+    }
+  }
+  EXPECT_EQ(inserted, 4u);
+}
+
+TEST(NeighborhoodHashTest, ManyKeysAtModerateLoad) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  NeighborhoodHash::Options options;
+  options.buckets = 4096;
+  auto table = NeighborhoodHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_TRUE(table->Put(k, k * 7).ok()) << "key " << k;
+  }
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    EXPECT_EQ(*table->Get(k), k * 7);
+  }
+}
+
+// -------------------------------- FarBTree ---------------------------------
+
+class FarBTreeParamTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(FarBTreeParamTest, SortedAndRandomInserts) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  FarBTree::Options options;
+  options.fanout = 8;
+  options.cache_internal = GetParam();
+  auto tree = FarBTree::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(tree.ok());
+  // Sorted.
+  for (uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_TRUE(tree->Put(k, k * 2).ok()) << k;
+  }
+  // Random interleave.
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t k = rng.NextInRange(1000, 2000);
+    ASSERT_TRUE(tree->Put(k, k * 2).ok());
+  }
+  for (uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_EQ(*tree->Get(k), k * 2) << k;
+  }
+  EXPECT_EQ(tree->Get(700).status().code(), StatusCode::kNotFound);
+  EXPECT_GT(tree->height(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheModes, FarBTreeParamTest, ::testing::Bool());
+
+TEST(FarBTreeTest, LookupCostGrowsWithHeightUncached) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  FarBTree::Options options;
+  options.fanout = 4;
+  auto tree = FarBTree::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_TRUE(tree->Put(k, k).ok());
+  }
+  ASSERT_TRUE(tree->Get(555).ok());
+  // O(log n): root-pointer read + one node per level.
+  EXPECT_GE(tree->last_get_far_accesses(), tree->height());
+  EXPECT_GT(tree->height(), 3u);
+}
+
+TEST(FarBTreeTest, CachedLookupsApproachOneAccess) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  FarBTree::Options options;
+  options.fanout = 8;
+  options.cache_internal = true;
+  auto tree = FarBTree::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    ASSERT_TRUE(tree->Put(k, k).ok());
+  }
+  // Warm the internal-node cache.
+  for (uint64_t k = 1; k <= 2000; k += 10) {
+    ASSERT_TRUE(tree->Get(k).ok());
+  }
+  ASSERT_TRUE(tree->Get(1001).ok());
+  // root-ptr word + leaf (internals cached).
+  EXPECT_LE(tree->last_get_far_accesses(), 2u);
+  EXPECT_GT(tree->cache_bytes(), 0u)
+      << "the 1-access B-tree pays with client cache";
+}
+
+TEST(FarBTreeTest, RemoveIsLazyButCorrect) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  FarBTree::Options options;
+  options.fanout = 8;
+  auto tree = FarBTree::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 1; k <= 100; ++k) {
+    ASSERT_TRUE(tree->Put(k, k).ok());
+  }
+  ASSERT_TRUE(tree->Remove(50).ok());
+  EXPECT_EQ(tree->Get(50).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree->Remove(50).code(), StatusCode::kNotFound);
+  EXPECT_EQ(*tree->Get(49), 49u);
+  EXPECT_EQ(*tree->Get(51), 51u);
+}
+
+// ------------------------------ FarLinkedList ------------------------------
+
+TEST(FarLinkedListTest, FindWalksOnePerNode) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto list = FarLinkedList::Create(&client, &env.alloc());
+  ASSERT_TRUE(list.ok());
+  for (uint64_t k = 1; k <= 100; ++k) {
+    ASSERT_TRUE(list->PushFront(k, k * 5).ok());
+  }
+  EXPECT_EQ(*list->Find(100), 500u);  // head: cheap
+  EXPECT_LE(list->last_find_far_accesses(), 2u);
+  EXPECT_EQ(*list->Find(1), 5u);  // tail: O(n)
+  EXPECT_GE(list->last_find_far_accesses(), 100u);
+  EXPECT_EQ(list->Find(999).status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------- FarSkipList -------------------------------
+
+TEST(FarSkipListTest, SortedSemantics) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto list = FarSkipList::Create(&client, &env.alloc());
+  ASSERT_TRUE(list.ok());
+  Rng rng(31);
+  std::map<uint64_t, uint64_t> reference;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t k = rng.NextInRange(1, 10000);
+    const uint64_t v = rng.Next() | 1;
+    ASSERT_TRUE(list->Put(k, v).ok());
+    reference[k] = v;
+  }
+  for (const auto& [k, v] : reference) {
+    ASSERT_EQ(*list->Get(k), v) << k;
+  }
+  EXPECT_EQ(list->Get(10001).status().code(), StatusCode::kNotFound);
+}
+
+TEST(FarSkipListTest, LookupIsLogarithmicish) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto list = FarSkipList::Create(&client, &env.alloc());
+  ASSERT_TRUE(list.ok());
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    ASSERT_TRUE(list->Put(k, k).ok());
+  }
+  RunningStat accesses;
+  Rng rng(37);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(list->Get(rng.NextInRange(1, 2000)).ok());
+    accesses.Record(static_cast<double>(list->last_get_far_accesses()));
+  }
+  EXPECT_GT(accesses.mean(), 4.0);   // clearly more than O(1)
+  EXPECT_LT(accesses.mean(), 80.0);  // clearly less than O(n)
+}
+
+// ------------------------------ Simple queues ------------------------------
+
+TEST(LockFarQueueTest, FifoAndFullEmpty) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto queue = LockFarQueue::Create(&client, &env.alloc(), 8);
+  ASSERT_TRUE(queue.ok());
+  EXPECT_EQ(queue->Dequeue().status().code(), StatusCode::kNotFound);
+  for (uint64_t v = 1; v <= 8; ++v) {
+    ASSERT_TRUE(queue->Enqueue(v).ok());
+  }
+  EXPECT_EQ(queue->Enqueue(9).code(), StatusCode::kResourceExhausted);
+  for (uint64_t v = 1; v <= 8; ++v) {
+    EXPECT_EQ(*queue->Dequeue(), v);
+  }
+}
+
+TEST(LockFarQueueTest, CostsManyFarAccesses) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto queue = LockFarQueue::Create(&client, &env.alloc(), 64);
+  ASSERT_TRUE(queue.ok());
+  const uint64_t before = client.stats().far_ops;
+  ASSERT_TRUE(queue->Enqueue(1).ok());
+  EXPECT_GE(client.stats().far_ops - before, 5u)
+      << "lock + pointer reads + slot + pointer write + unlock";
+}
+
+TEST(TicketFarQueueTest, FifoAndTwoAccessFastPath) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto queue = TicketFarQueue::Create(&client, &env.alloc(), 64);
+  ASSERT_TRUE(queue.ok());
+  for (uint64_t v = 1; v <= 10; ++v) {
+    ASSERT_TRUE(queue->Enqueue(v).ok());
+  }
+  const uint64_t before = client.stats().far_ops;
+  ASSERT_TRUE(queue->Enqueue(11).ok());
+  EXPECT_EQ(client.stats().far_ops - before, 2u)
+      << "today's atomics: FAA + slot write";
+  for (uint64_t v = 1; v <= 11; ++v) {
+    EXPECT_EQ(*queue->Dequeue(), v);
+  }
+  EXPECT_EQ(queue->Dequeue().status().code(), StatusCode::kNotFound);
+}
+
+TEST(TicketFarQueueTest, MpmcExactlyOnce) {
+  TestEnv env(BigFabric());
+  auto& creator = env.NewClient();
+  // The ticket queue has no flow control (that's the baseline's weakness):
+  // size the ring for the full load so laps cannot overwrite live slots.
+  auto queue = TicketFarQueue::Create(&creator, &env.alloc(), 4096);
+  ASSERT_TRUE(queue.ok());
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr uint64_t kPerProducer = 1000;
+  const uint64_t total = kProducers * kPerProducer;
+  std::vector<std::atomic<int>> seen(total + 1);
+  for (auto& s : seen) {
+    s.store(0);
+  }
+  std::atomic<uint64_t> consumed{0};
+  std::vector<FarClient*> clients;
+  for (int t = 0; t < kProducers + kConsumers; ++t) {
+    clients.push_back(&env.NewClient());
+  }
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      auto handle = TicketFarQueue::Attach(clients[p], queue->header());
+      ASSERT_TRUE(handle.ok());
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(handle->Enqueue(p * kPerProducer + i + 1).ok());
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      auto handle =
+          TicketFarQueue::Attach(clients[kProducers + c], queue->header());
+      ASSERT_TRUE(handle.ok());
+      while (consumed.load() < total) {
+        auto value = handle->Dequeue();
+        if (value.ok()) {
+          seen[*value].fetch_add(1);
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (uint64_t v = 1; v <= total; ++v) {
+    ASSERT_EQ(seen[v].load(), 1) << "value " << v;
+  }
+}
+
+}  // namespace
+}  // namespace fmds

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/core/blob_store.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+std::vector<std::byte> Blob(const std::string& text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+std::string Text(const std::vector<std::byte>& blob) {
+  return std::string(reinterpret_cast<const char*>(blob.data()),
+                     blob.size());
+}
+
+TEST(BlobStoreTest, PutGetRoundTrip) {
+  TestEnv env(SmallFabric(1, 64ull << 20));
+  auto& client = env.NewClient();
+  auto store = HtBlobStore::Create(&client, &env.alloc());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put(1, Blob("hello far memory")).ok());
+  auto got = store->Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(Text(*got), "hello far memory");
+  EXPECT_EQ(store->Get(2).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BlobStoreTest, EmptyAndLargeValues) {
+  TestEnv env(SmallFabric(1, 64ull << 20));
+  auto& client = env.NewClient();
+  auto store = HtBlobStore::Create(&client, &env.alloc());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put(1, {}).ok());
+  EXPECT_TRUE(store->Get(1)->empty());
+  // Larger than the speculative first fetch: needs the second read.
+  std::string big(10000, 'x');
+  big[9999] = 'Z';
+  ASSERT_TRUE(store->Put(2, Blob(big)).ok());
+  auto got = store->Get(2);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), big.size());
+  EXPECT_EQ(Text(*got), big);
+}
+
+TEST(BlobStoreTest, SmallValueGetIsTwoFarAccesses) {
+  TestEnv env(SmallFabric(1, 64ull << 20));
+  auto& client = env.NewClient();
+  HtTree::Options options;
+  options.buckets_per_table = 4096;
+  auto store = HtBlobStore::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put(7, Blob("v")).ok());
+  const uint64_t before = client.stats().far_ops;
+  ASSERT_TRUE(store->Get(7).ok());
+  EXPECT_EQ(client.stats().far_ops - before, 2u)
+      << "map lookup + one blob read";
+}
+
+TEST(BlobStoreTest, SizeHintAvoidsSecondRead) {
+  TestEnv env(SmallFabric(1, 64ull << 20));
+  auto& client = env.NewClient();
+  HtTree::Options options;
+  options.buckets_per_table = 4096;
+  auto store = HtBlobStore::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(store.ok());
+  std::string big(4000, 'y');
+  ASSERT_TRUE(store->Put(3, Blob(big)).ok());
+  const uint64_t before = client.stats().far_ops;
+  auto got = store->Get(3, /*size_hint=*/4000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 4000u);
+  EXPECT_EQ(client.stats().far_ops - before, 2u);
+}
+
+TEST(BlobStoreTest, OverwriteReplacesAtomically) {
+  TestEnv env(SmallFabric(1, 64ull << 20));
+  auto& client = env.NewClient();
+  auto store = HtBlobStore::Create(&client, &env.alloc());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put(5, Blob("old value")).ok());
+  ASSERT_TRUE(store->Put(5, Blob("new")).ok());
+  EXPECT_EQ(Text(*store->Get(5)), "new");
+}
+
+TEST(BlobStoreTest, RemoveAndSecondClient) {
+  TestEnv env(SmallFabric(1, 64ull << 20));
+  auto& a = env.NewClient();
+  auto& b = env.NewClient();
+  auto store_a = HtBlobStore::Create(&a, &env.alloc());
+  ASSERT_TRUE(store_a.ok());
+  ASSERT_TRUE(store_a->Put(9, Blob("shared")).ok());
+  auto store_b = HtBlobStore::Attach(&b, &env.alloc(), store_a->header());
+  ASSERT_TRUE(store_b.ok());
+  EXPECT_EQ(Text(*store_b->Get(9)), "shared");
+  ASSERT_TRUE(store_b->Remove(9).ok());
+  EXPECT_EQ(store_a->Get(9).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BlobStoreTest, ManyKeysWithSplits) {
+  TestEnv env(SmallFabric(1, 128ull << 20));
+  auto& client = env.NewClient();
+  HtTree::Options options;
+  options.buckets_per_table = 64;  // force splits
+  auto store = HtBlobStore::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(store.ok());
+  for (uint64_t k = 1; k <= 300; ++k) {
+    ASSERT_TRUE(store->Put(k, Blob("value-" + std::to_string(k))).ok());
+  }
+  for (uint64_t k = 1; k <= 300; ++k) {
+    ASSERT_EQ(Text(*store->Get(k)), "value-" + std::to_string(k)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace fmds

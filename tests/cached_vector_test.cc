@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cached_vector.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+TEST(CachedVectorTest, MirrorFollowsRemoteWrites) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  auto vec_w = CachedFarVector::Create(&writer, &env.alloc(), 128);
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = CachedFarVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(vec_r->EnableMirror().ok());
+  ASSERT_TRUE(vec_w->Set(7, 77).ok());
+  ASSERT_TRUE(vec_w->Set(99, 999).ok());
+  ASSERT_TRUE(vec_r->Sync().ok());
+  EXPECT_EQ(*vec_r->Get(7), 77u);
+  EXPECT_EQ(*vec_r->Get(99), 999u);
+  EXPECT_EQ(vec_r->stats().events_applied, 2u);
+}
+
+TEST(CachedVectorTest, ReadsCostZeroFarAccesses) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  auto vec_w = CachedFarVector::Create(&writer, &env.alloc(), 64);
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = CachedFarVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(vec_r->EnableMirror().ok());
+  ASSERT_TRUE(vec_w->Set(1, 11).ok());
+  const uint64_t before = reader.stats().far_ops;
+  ASSERT_TRUE(vec_r->Sync().ok());
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(vec_r->Get(i).ok());
+  }
+  EXPECT_EQ(reader.stats().far_ops - before, 0u)
+      << "§5.1: notification-updated caches serve reads locally";
+}
+
+TEST(CachedVectorTest, InitialMirrorSeesPreexistingData) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  auto vec_w = CachedFarVector::Create(&writer, &env.alloc(), 32);
+  ASSERT_TRUE(vec_w.ok());
+  ASSERT_TRUE(vec_w->Set(3, 333).ok());  // before the mirror exists
+  auto vec_r = CachedFarVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(vec_r->EnableMirror().ok());
+  EXPECT_EQ(*vec_r->Get(3), 333u);
+}
+
+TEST(CachedVectorTest, LossTriggersResync) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  ClientOptions tiny;
+  tiny.channel_capacity = 2;
+  FarClient reader(&env.fabric(), 88, tiny);
+  auto vec_w = CachedFarVector::Create(&writer, &env.alloc(), 256);
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = CachedFarVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(vec_r->EnableMirror().ok());
+  for (uint64_t i = 0; i < 256; i += 2) {
+    ASSERT_TRUE(vec_w->Set(i, i + 1).ok());  // overflows the channel
+  }
+  ASSERT_TRUE(vec_r->Sync().ok());
+  EXPECT_GT(vec_r->stats().loss_resyncs, 0u);
+  for (uint64_t i = 0; i < 256; i += 2) {
+    ASSERT_EQ(*vec_r->Get(i), i + 1);
+  }
+}
+
+TEST(CachedVectorTest, MultipleMirrorsAllFollow) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto vec_w = CachedFarVector::Create(&writer, &env.alloc(), 16);
+  ASSERT_TRUE(vec_w.ok());
+  std::vector<FarClient*> readers;
+  std::vector<CachedFarVector> mirrors;
+  for (int i = 0; i < 3; ++i) {
+    readers.push_back(&env.NewClient());
+    auto mirror = CachedFarVector::Attach(readers.back(), vec_w->header());
+    ASSERT_TRUE(mirror.ok());
+    ASSERT_TRUE(mirror->EnableMirror().ok());
+    mirrors.push_back(*std::move(mirror));
+  }
+  ASSERT_TRUE(vec_w->Set(5, 55).ok());
+  for (auto& mirror : mirrors) {
+    ASSERT_TRUE(mirror.Sync().ok());
+    EXPECT_EQ(*mirror.Get(5), 55u);
+  }
+}
+
+TEST(CachedVectorTest, BoundsAndPreconditions) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  auto vec = CachedFarVector::Create(&client, &env.alloc(), 8);
+  ASSERT_TRUE(vec.ok());
+  EXPECT_FALSE(vec->Set(8, 1).ok());
+  EXPECT_FALSE(vec->Get(0).ok());   // mirror not enabled
+  EXPECT_FALSE(vec->Sync().ok());
+  ASSERT_TRUE(vec->EnableMirror().ok());
+  EXPECT_FALSE(vec->Get(8).ok());
+  EXPECT_FALSE(CachedFarVector::Create(&client, &env.alloc(), 0).ok());
+}
+
+TEST(CachedVectorTest, SelfWriteAlsoNotifiesOwnMirror) {
+  // A client mirroring a vector it also writes sees its own writes pushed
+  // back through the fabric (hardware does not filter by origin).
+  TestEnv env;
+  auto& client = env.NewClient();
+  auto vec = CachedFarVector::Create(&client, &env.alloc(), 16);
+  ASSERT_TRUE(vec.ok());
+  ASSERT_TRUE(vec->EnableMirror().ok());
+  ASSERT_TRUE(vec->Set(2, 22).ok());
+  ASSERT_TRUE(vec->Sync().ok());
+  EXPECT_EQ(*vec->Get(2), 22u);
+}
+
+}  // namespace
+}  // namespace fmds

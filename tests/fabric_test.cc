@@ -1,0 +1,473 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/bytes.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+// --------------------------- Address translation --------------------------
+
+TEST(FabricTest, PartitionedTranslation) {
+  TestEnv env(SmallFabric(4, 1 << 20));
+  auto& fabric = env.fabric();
+  EXPECT_EQ(fabric.Translate(0)->node, 0u);
+  EXPECT_EQ(fabric.Translate((1 << 20) - 8)->node, 0u);
+  EXPECT_EQ(fabric.Translate(1 << 20)->node, 1u);
+  EXPECT_EQ(fabric.Translate(3u * (1 << 20) + 16)->node, 3u);
+  EXPECT_EQ(fabric.Translate(3u * (1 << 20) + 16)->offset, 16u);
+  EXPECT_FALSE(fabric.Translate(4ull << 20).ok());
+}
+
+TEST(FabricTest, StripedTranslation) {
+  TestEnv env(StripedFabric(4, kPageSize, 1 << 20));
+  auto& fabric = env.fabric();
+  // Consecutive pages hit consecutive nodes.
+  for (uint32_t page = 0; page < 8; ++page) {
+    EXPECT_EQ(fabric.Translate(page * kPageSize)->node, page % 4);
+  }
+  // Second stripe lap lands at the next local page.
+  auto loc = fabric.Translate(4 * kPageSize + 24);
+  EXPECT_EQ(loc->node, 0u);
+  EXPECT_EQ(loc->offset, kPageSize + 24);
+}
+
+TEST(FabricTest, SegmentsSplitAtStripeBoundaries) {
+  TestEnv env(StripedFabric(2, kPageSize, 1 << 20));
+  std::vector<Fabric::Segment> segs;
+  ASSERT_TRUE(env.fabric()
+                  .Segments(kPageSize - 16, 32, segs)
+                  .ok());
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].node, 0u);
+  EXPECT_EQ(segs[0].len, 16u);
+  EXPECT_EQ(segs[1].node, 1u);
+  EXPECT_EQ(segs[1].len, 16u);
+}
+
+TEST(FabricTest, SegmentsMergeWithinPartition) {
+  TestEnv env(SmallFabric(2, 1 << 20));
+  std::vector<Fabric::Segment> segs;
+  ASSERT_TRUE(env.fabric().Segments(1024, 4096, segs).ok());
+  EXPECT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].len, 4096u);
+}
+
+// ------------------------------- Word ops ---------------------------------
+
+TEST(FarClientTest, WordReadWrite) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 0x1234).ok());
+  EXPECT_EQ(*client.ReadWord(64), 0x1234u);
+  EXPECT_FALSE(client.ReadWord(65).ok());  // unaligned
+  EXPECT_FALSE(client.WriteWord(61, 1).ok());
+}
+
+TEST(FarClientTest, CompareSwapSemantics) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 10).ok());
+  EXPECT_EQ(*client.CompareSwap(64, 10, 20), 10u);  // success: returns old
+  EXPECT_EQ(*client.ReadWord(64), 20u);
+  EXPECT_EQ(*client.CompareSwap(64, 10, 30), 20u);  // fail: returns observed
+  EXPECT_EQ(*client.ReadWord(64), 20u);
+}
+
+TEST(FarClientTest, FetchAddWrapsNaturally) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 5).ok());
+  EXPECT_EQ(*client.FetchAdd(64, 3), 5u);
+  EXPECT_EQ(*client.ReadWord(64), 8u);
+  EXPECT_EQ(*client.FetchAdd(64, static_cast<uint64_t>(-8)), 8u);
+  EXPECT_EQ(*client.ReadWord(64), 0u);
+}
+
+TEST(FarClientTest, RangeReadWriteUnaligned) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  std::vector<std::byte> data(23);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i + 1);
+  }
+  ASSERT_TRUE(client.Write(101, data).ok());  // unaligned start, odd length
+  std::vector<std::byte> out(23);
+  ASSERT_TRUE(client.Read(101, out).ok());
+  EXPECT_EQ(out, data);
+  // Neighbors untouched.
+  std::vector<std::byte> before(5);
+  ASSERT_TRUE(client.Read(96, before).ok());
+  EXPECT_EQ(before[0], std::byte{0});
+}
+
+TEST(FarClientTest, CrossNodeRangeReadWrite) {
+  TestEnv env(StripedFabric(4, kPageSize, 1 << 20));
+  auto& client = env.NewClient();
+  std::vector<uint64_t> data(2048);  // 16 KB: 4 pages -> 4 nodes
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = i * 3 + 1;
+  }
+  const FarAddr base = 512;
+  ASSERT_TRUE(
+      client.Write(base, std::as_bytes(std::span<const uint64_t>(data)))
+          .ok());
+  std::vector<uint64_t> out(2048);
+  ASSERT_TRUE(
+      client.Read(base, std::as_writable_bytes(std::span<uint64_t>(out)))
+          .ok());
+  EXPECT_EQ(out, data);
+}
+
+// --------------------------- Figure 1: indirection -------------------------
+
+class IndirectTest : public ::testing::Test {
+ protected:
+  IndirectTest() : env_(SmallFabric()), client_(env_.NewClient()) {}
+
+  TestEnv env_;
+  FarClient& client_;
+};
+
+TEST_F(IndirectTest, Load0FollowsPointer) {
+  // *64 = 256; data at 256.
+  ASSERT_TRUE(client_.WriteWord(64, 256).ok());
+  ASSERT_TRUE(client_.WriteWord(256, 777).ok());
+  uint64_t out = 0;
+  auto ptr = client_.Load0(64, AsBytes(out));
+  ASSERT_TRUE(ptr.ok());
+  EXPECT_EQ(*ptr, 256u);
+  EXPECT_EQ(out, 777u);
+}
+
+TEST_F(IndirectTest, Load0NullPointerFails) {
+  ASSERT_TRUE(client_.WriteWord(64, 0).ok());
+  uint64_t out;
+  EXPECT_EQ(client_.Load0(64, AsBytes(out)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IndirectTest, Load1IndexesThePointerArray) {
+  // Pointer table at 64: [256, 320]; load1(64, 8) follows table[1].
+  ASSERT_TRUE(client_.WriteWord(64, 256).ok());
+  ASSERT_TRUE(client_.WriteWord(72, 320).ok());
+  ASSERT_TRUE(client_.WriteWord(320, 999).ok());
+  uint64_t out = 0;
+  auto ptr = client_.Load1(64, 8, AsBytes(out));
+  ASSERT_TRUE(ptr.ok());
+  EXPECT_EQ(*ptr, 320u);
+  EXPECT_EQ(out, 999u);
+}
+
+TEST_F(IndirectTest, Load2OffsetsTheTarget) {
+  // *64 = 256; load2(64, 16) reads 256+16.
+  ASSERT_TRUE(client_.WriteWord(64, 256).ok());
+  ASSERT_TRUE(client_.WriteWord(272, 555).ok());
+  uint64_t out = 0;
+  ASSERT_TRUE(client_.Load2(64, 16, AsBytes(out)).ok());
+  EXPECT_EQ(out, 555u);
+}
+
+TEST_F(IndirectTest, StoreVariantsWriteThroughPointers) {
+  ASSERT_TRUE(client_.WriteWord(64, 256).ok());
+  ASSERT_TRUE(client_.WriteWord(72, 512).ok());
+  uint64_t v = 11;
+  ASSERT_TRUE(client_.Store0(64, AsConstBytes(v)).ok());
+  EXPECT_EQ(*client_.ReadWord(256), 11u);
+  v = 22;
+  ASSERT_TRUE(client_.Store1(64, 8, AsConstBytes(v)).ok());
+  EXPECT_EQ(*client_.ReadWord(512), 22u);
+  v = 33;
+  ASSERT_TRUE(client_.Store2(64, 24, AsConstBytes(v)).ok());
+  EXPECT_EQ(*client_.ReadWord(280), 33u);
+}
+
+TEST_F(IndirectTest, FaaiBumpsPointerAndReturnsPointee) {
+  // Queue-style: *64 = 256 (cursor); slots at 256, 264 hold 100, 200.
+  ASSERT_TRUE(client_.WriteWord(64, 256).ok());
+  ASSERT_TRUE(client_.WriteWord(256, 100).ok());
+  ASSERT_TRUE(client_.WriteWord(264, 200).ok());
+  uint64_t out = 0;
+  auto old = client_.Faai(64, 8, AsBytes(out));
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(*old, 256u);
+  EXPECT_EQ(out, 100u);
+  EXPECT_EQ(*client_.ReadWord(64), 264u);  // pointer advanced
+  ASSERT_TRUE(client_.Faai(64, 8, AsBytes(out)).ok());
+  EXPECT_EQ(out, 200u);
+}
+
+TEST_F(IndirectTest, SaaiStoresAtOldPointer) {
+  ASSERT_TRUE(client_.WriteWord(64, 256).ok());
+  uint64_t v = 42;
+  auto old = client_.Saai(64, 8, AsConstBytes(v));
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(*old, 256u);
+  EXPECT_EQ(*client_.ReadWord(256), 42u);
+  EXPECT_EQ(*client_.ReadWord(64), 264u);
+}
+
+TEST_F(IndirectTest, AddVariants) {
+  ASSERT_TRUE(client_.WriteWord(64, 256).ok());   // add0 anchor
+  ASSERT_TRUE(client_.WriteWord(72, 512).ok());   // add1 anchor at 64+8
+  ASSERT_TRUE(client_.WriteWord(256, 1).ok());
+  ASSERT_TRUE(client_.WriteWord(512, 2).ok());
+  ASSERT_TRUE(client_.WriteWord(280, 3).ok());    // add2 target 256+24
+  ASSERT_TRUE(client_.Add0(64, 10).ok());
+  EXPECT_EQ(*client_.ReadWord(256), 11u);
+  ASSERT_TRUE(client_.Add1(64, 20, 8).ok());
+  EXPECT_EQ(*client_.ReadWord(512), 22u);
+  ASSERT_TRUE(client_.Add2(64, 30, 24).ok());
+  EXPECT_EQ(*client_.ReadWord(280), 33u);
+}
+
+TEST_F(IndirectTest, IndirectCostsOneFarAccess) {
+  ASSERT_TRUE(client_.WriteWord(64, 256).ok());
+  ASSERT_TRUE(client_.WriteWord(256, 5).ok());
+  const uint64_t before = client_.stats().far_ops;
+  uint64_t out;
+  ASSERT_TRUE(client_.Load0(64, AsBytes(out)).ok());
+  EXPECT_EQ(client_.stats().far_ops - before, 1u);
+  ASSERT_TRUE(client_.Add0(64, 1).ok());
+  EXPECT_EQ(client_.stats().far_ops - before, 2u);
+}
+
+// ---------------------- §7.1: cross-node indirection -----------------------
+
+TEST(IndirectionPolicyTest, ForwardKeepsOneRoundTrip) {
+  FabricOptions options = StripedFabric(2, kPageSize, 1 << 20);
+  options.indirection = IndirectionPolicy::kForward;
+  TestEnv env(options);
+  auto& client = env.NewClient();
+  // Pointer on node 0 (addr 64), target on node 1 (addr kPageSize + 64).
+  const FarAddr target = kPageSize + 64;
+  ASSERT_TRUE(client.WriteWord(64, target).ok());
+  ASSERT_TRUE(client.WriteWord(target, 321).ok());
+  const auto before = client.stats();
+  uint64_t out = 0;
+  ASSERT_TRUE(client.Load0(64, AsBytes(out)).ok());
+  EXPECT_EQ(out, 321u);
+  const auto delta = client.stats().Delta(before);
+  EXPECT_EQ(delta.far_ops, 1u);    // one client round trip
+  EXPECT_EQ(delta.messages, 2u);   // plus one node-to-node hop
+  EXPECT_EQ(env.fabric().node(0).stats().forwards.load(), 1u);
+}
+
+TEST(IndirectionPolicyTest, ErrorPolicyCostsTwoRoundTrips) {
+  FabricOptions options = StripedFabric(2, kPageSize, 1 << 20);
+  options.indirection = IndirectionPolicy::kError;
+  TestEnv env(options);
+  auto& client = env.NewClient();
+  const FarAddr target = kPageSize + 64;
+  ASSERT_TRUE(client.WriteWord(64, target).ok());
+  ASSERT_TRUE(client.WriteWord(target, 321).ok());
+  const auto before = client.stats();
+  uint64_t out = 0;
+  ASSERT_TRUE(client.Load0(64, AsBytes(out)).ok());
+  EXPECT_EQ(out, 321u);
+  EXPECT_EQ(client.stats().Delta(before).far_ops, 2u);
+  EXPECT_EQ(env.fabric().node(0).stats().forwards.load(), 0u);
+}
+
+TEST(IndirectionPolicyTest, SameNodeIndirectionNeverForwards) {
+  FabricOptions options = StripedFabric(2, kPageSize, 1 << 20);
+  TestEnv env(options);
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 128).ok());  // both on node 0
+  ASSERT_TRUE(client.WriteWord(128, 9).ok());
+  uint64_t out;
+  ASSERT_TRUE(client.Load0(64, AsBytes(out)).ok());
+  EXPECT_EQ(env.fabric().node(0).stats().forwards.load(), 0u);
+}
+
+TEST(CasBatchTest, IndependentCasesInOneRoundTrip) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 1).ok());
+  ASSERT_TRUE(client.WriteWord(72, 2).ok());
+  ASSERT_TRUE(client.WriteWord(80, 3).ok());
+  const auto before = client.stats();
+  FarClient::CasTarget targets[3] = {
+      {64, 1, 10},  // succeeds
+      {72, 9, 20},  // fails (expected mismatch)
+      {80, 3, 30},  // succeeds
+  };
+  uint64_t observed[3];
+  ASSERT_TRUE(client.CasBatch(targets, observed).ok());
+  const auto delta = client.stats().Delta(before);
+  EXPECT_EQ(delta.far_ops, 1u);   // one doorbell
+  EXPECT_EQ(delta.messages, 3u);  // three fabric messages
+  EXPECT_EQ(observed[0], 1u);
+  EXPECT_EQ(observed[1], 2u);  // pre-CAS value reported on failure
+  EXPECT_EQ(observed[2], 3u);
+  EXPECT_EQ(*client.ReadWord(64), 10u);
+  EXPECT_EQ(*client.ReadWord(72), 2u);  // untouched
+  EXPECT_EQ(*client.ReadWord(80), 30u);
+}
+
+TEST(CasBatchTest, ValidatesInput) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  FarClient::CasTarget bad[1] = {{65, 0, 1}};
+  uint64_t observed[1];
+  EXPECT_FALSE(client.CasBatch(bad, observed).ok());
+  FarClient::CasTarget ok_target[2] = {{64, 0, 1}, {72, 0, 1}};
+  uint64_t small[1];
+  EXPECT_FALSE(client.CasBatch(ok_target, small).ok());
+}
+
+// ------------------------------ Scatter-gather -----------------------------
+
+TEST(ScatterGatherTest, RScatterSplitsFarRangeIntoLocalBuffers) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  std::vector<uint64_t> data{1, 2, 3, 4};
+  ASSERT_TRUE(
+      client.Write(64, std::as_bytes(std::span<const uint64_t>(data))).ok());
+  uint64_t a[2] = {};
+  uint64_t b[2] = {};
+  LocalBuf iov[2] = {{reinterpret_cast<std::byte*>(a), 16},
+                     {reinterpret_cast<std::byte*>(b), 16}};
+  const uint64_t before = client.stats().far_ops;
+  ASSERT_TRUE(client.RScatter(64, iov).ok());
+  EXPECT_EQ(client.stats().far_ops - before, 1u);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 2u);
+  EXPECT_EQ(b[0], 3u);
+  EXPECT_EQ(b[1], 4u);
+}
+
+TEST(ScatterGatherTest, RGatherCollectsFarIovec) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 10).ok());
+  ASSERT_TRUE(client.WriteWord(4096, 20).ok());
+  ASSERT_TRUE(client.WriteWord(8192, 30).ok());
+  FarSeg iov[3] = {{64, 8}, {4096, 8}, {8192, 8}};
+  uint64_t out[3] = {};
+  const auto before = client.stats();
+  ASSERT_TRUE(client.RGather(
+      iov, std::as_writable_bytes(std::span<uint64_t>(out))).ok());
+  const auto delta = client.stats().Delta(before);
+  EXPECT_EQ(delta.far_ops, 1u);   // one round trip...
+  EXPECT_EQ(delta.messages, 3u);  // ...three concurrent segment reads
+  EXPECT_EQ(out[0], 10u);
+  EXPECT_EQ(out[1], 20u);
+  EXPECT_EQ(out[2], 30u);
+}
+
+TEST(ScatterGatherTest, WScatterWritesFarIovec) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  const uint64_t payload[2] = {111, 222};
+  FarSeg iov[2] = {{64, 8}, {1024, 8}};
+  ASSERT_TRUE(client.WScatter(
+      iov, std::as_bytes(std::span<const uint64_t>(payload))).ok());
+  EXPECT_EQ(*client.ReadWord(64), 111u);
+  EXPECT_EQ(*client.ReadWord(1024), 222u);
+}
+
+TEST(ScatterGatherTest, WGatherWritesFarRangeFromLocalBuffers) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  uint64_t a = 7;
+  uint64_t b = 8;
+  ConstLocalBuf iov[2] = {{reinterpret_cast<const std::byte*>(&a), 8},
+                          {reinterpret_cast<const std::byte*>(&b), 8}};
+  ASSERT_TRUE(client.WGather(64, iov).ok());
+  EXPECT_EQ(*client.ReadWord(64), 7u);
+  EXPECT_EQ(*client.ReadWord(72), 8u);
+}
+
+// ------------------------------ Cost model ---------------------------------
+
+TEST(LatencyModelTest, PaperNumbersHold) {
+  LatencyModel model;
+  // §3.1: far ≈ O(1 µs), near ≈ O(100 ns): at least a 5x gap, around 10x.
+  const double ratio = static_cast<double>(model.FarRoundTripNs(8)) /
+                       static_cast<double>(model.near_ns);
+  EXPECT_GE(ratio, 5.0);
+  EXPECT_LE(ratio, 20.0);
+  // §2: "transfer 1 KB in 1 µs".
+  EXPECT_NEAR(static_cast<double>(model.FarRoundTripNs(1024)), 1000.0, 300.0);
+}
+
+TEST(FarClientTest, ClockAdvancesPerOp) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  const uint64_t t0 = client.clock().now_ns();
+  ASSERT_TRUE(client.WriteWord(64, 1).ok());
+  const uint64_t t1 = client.clock().now_ns();
+  EXPECT_GE(t1 - t0, 800u);
+  client.AccountNear(1);
+  EXPECT_EQ(client.clock().now_ns() - t1,
+            env.fabric().options().latency.near_ns);
+}
+
+TEST(FarClientTest, BackgroundOpsDoNotAdvanceClock) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  const uint64_t t0 = client.clock().now_ns();
+  ASSERT_TRUE(client.PostWriteWordBackground(64, 5).ok());
+  ASSERT_TRUE(client.ReadWordBackground(64).ok());
+  EXPECT_EQ(client.clock().now_ns(), t0);
+  EXPECT_EQ(client.stats().background_ops, 2u);
+  EXPECT_EQ(*client.ReadWord(64), 5u);
+}
+
+// ------------------------------ Concurrency --------------------------------
+
+TEST(FabricConcurrencyTest, FetchAddIsAtomicAcrossThreads) {
+  TestEnv env;
+  auto& c0 = env.NewClient();
+  ASSERT_TRUE(c0.WriteWord(64, 0).ok());
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  std::vector<FarClient*> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(&env.NewClient());
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        ASSERT_TRUE(clients[t]->FetchAdd(64, 1).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(*c0.ReadWord(64),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(FabricConcurrencyTest, CasIsLinearizableAcrossThreads) {
+  TestEnv env;
+  auto& c0 = env.NewClient();
+  ASSERT_TRUE(c0.WriteWord(64, 0).ok());
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<FarClient*> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(&env.NewClient());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto old = clients[t]->CompareSwap(64, 0, t + 1);
+      if (old.ok() && *old == 0) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(winners.load(), 1);
+}
+
+}  // namespace
+}  // namespace fmds

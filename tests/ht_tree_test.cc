@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/core/ht_tree.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+FabricOptions BigFabric() { return SmallFabric(1, 256ull << 20); }
+
+HtTree::Options SmallTables(uint64_t buckets = 64, uint32_t depth = 0) {
+  HtTree::Options options;
+  options.buckets_per_table = buckets;
+  options.initial_depth = depth;
+  options.max_chain = 4;
+  return options;
+}
+
+TEST(HtTreeTest, PutGetRoundTrip) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto map = HtTree::Create(&client, &env.alloc(), SmallTables());
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->Get(1).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(map->Put(1, 100).ok());
+  EXPECT_EQ(*map->Get(1), 100u);
+  ASSERT_TRUE(map->Put(1, 200).ok());  // update shadows
+  EXPECT_EQ(*map->Get(1), 200u);
+}
+
+TEST(HtTreeTest, RemoveTombstones) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto map = HtTree::Create(&client, &env.alloc(), SmallTables());
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->Put(7, 70).ok());
+  ASSERT_TRUE(map->Remove(7).ok());
+  EXPECT_EQ(map->Get(7).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(map->Put(7, 71).ok());  // re-insert after remove
+  EXPECT_EQ(*map->Get(7), 71u);
+}
+
+TEST(HtTreeTest, FreshLookupIsOneFarAccess) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto map = HtTree::Create(&client, &env.alloc(),
+                            SmallTables(/*buckets=*/1024));
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->Put(5, 55).ok());
+  const uint64_t before = client.stats().far_ops;
+  EXPECT_EQ(*map->Get(5), 55u);
+  EXPECT_EQ(client.stats().far_ops - before, 1u)
+      << "§5.2: fresh-cache lookups take one far access";
+  // Negative lookups too (the sentinel carries the version).
+  const uint64_t before_miss = client.stats().far_ops;
+  EXPECT_EQ(map->Get(987654).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.stats().far_ops - before_miss, 1u);
+}
+
+TEST(HtTreeTest, FreshPutIsTwoFarAccesses) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto map = HtTree::Create(&client, &env.alloc(),
+                            SmallTables(/*buckets=*/4096));
+  ASSERT_TRUE(map.ok());
+  // Warm the arena so allocation is local.
+  ASSERT_TRUE(map->Put(1, 1).ok());
+  const uint64_t before = client.stats().far_ops;
+  ASSERT_TRUE(map->Put(2, 2).ok());
+  EXPECT_EQ(client.stats().far_ops - before, 2u)
+      << "§5.2: stores take two far accesses (item write + bucket CAS)";
+}
+
+TEST(HtTreeTest, ManyKeysWithSplits) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto map = HtTree::Create(&client, &env.alloc(), SmallTables(32));
+  ASSERT_TRUE(map.ok());
+  constexpr uint64_t kKeys = 2000;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_TRUE(map->Put(k, k * 2).ok()) << "key " << k;
+  }
+  EXPECT_GT(map->op_stats().splits, 0u) << "small tables must have split";
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_EQ(*map->Get(k), k * 2) << "key " << k;
+  }
+  EXPECT_GT(map->cached_tables(), 1u);
+}
+
+TEST(HtTreeTest, InitialDepthPreSplits) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto map = HtTree::Create(&client, &env.alloc(),
+                            SmallTables(64, /*depth=*/3));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->cached_tables(), 8u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(map->Put(k, k).ok());
+  }
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(*map->Get(k), k);
+  }
+}
+
+TEST(HtTreeTest, SecondClientSeesData) {
+  TestEnv env(BigFabric());
+  auto& a = env.NewClient();
+  auto& b = env.NewClient();
+  auto map_a = HtTree::Create(&a, &env.alloc(), SmallTables());
+  ASSERT_TRUE(map_a.ok());
+  ASSERT_TRUE(map_a->Put(11, 111).ok());
+  auto map_b = HtTree::Attach(&b, &env.alloc(), map_a->header());
+  ASSERT_TRUE(map_b.ok());
+  EXPECT_EQ(*map_b->Get(11), 111u);
+  ASSERT_TRUE(map_b->Put(22, 222).ok());
+  EXPECT_EQ(*map_a->Get(22), 222u);
+}
+
+TEST(HtTreeTest, StaleCacheRecoversAfterRemoteSplit) {
+  TestEnv env(BigFabric());
+  auto& a = env.NewClient();
+  auto& b = env.NewClient();
+  auto map_a = HtTree::Create(&a, &env.alloc(), SmallTables(16));
+  ASSERT_TRUE(map_a.ok());
+  auto map_b = HtTree::Attach(&b, &env.alloc(), map_a->header());
+  ASSERT_TRUE(map_b.ok());
+  // Client A inserts enough to split several times; B's cache goes stale.
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(map_a->Put(k, k + 1).ok());
+  }
+  ASSERT_GT(map_a->op_stats().splits, 0u);
+  // B still finds everything (staleness detected via retired buckets /
+  // version mismatches, then refresh).
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_EQ(*map_b->Get(k), k + 1) << "key " << k;
+  }
+  EXPECT_GT(map_b->op_stats().stale_refreshes, 0u);
+}
+
+TEST(HtTreeTest, ForcedSplitPreservesContent) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto map = HtTree::Create(&client, &env.alloc(), SmallTables(128));
+  ASSERT_TRUE(map.ok());
+  std::map<uint64_t, uint64_t> expected;
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(map->Put(k, k * 3).ok());
+    expected[k] = k * 3;
+  }
+  ASSERT_TRUE(map->Remove(5).ok());
+  expected.erase(5);
+  ASSERT_TRUE(map->SplitTableOf(0).ok());
+  for (const auto& [k, v] : expected) {
+    EXPECT_EQ(*map->Get(k), v);
+  }
+  EXPECT_EQ(map->Get(5).status().code(), StatusCode::kNotFound)
+      << "tombstones survive (as absence) across splits";
+}
+
+TEST(HtTreeTest, SplitNotificationsRefreshCache) {
+  TestEnv env(BigFabric());
+  auto& a = env.NewClient();
+  auto& b = env.NewClient();
+  auto map_a = HtTree::Create(&a, &env.alloc(), SmallTables(64));
+  ASSERT_TRUE(map_a.ok());
+  auto map_b = HtTree::Attach(&b, &env.alloc(), map_a->header());
+  ASSERT_TRUE(map_b.ok());
+  ASSERT_TRUE(map_b->EnableSplitNotifications().ok());
+  ASSERT_TRUE(map_a->Put(1, 2).ok());
+  ASSERT_TRUE(map_a->SplitTableOf(1).ok());
+  auto refreshed = map_b->PollSplitNotifications();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_TRUE(*refreshed);
+  // After the pushed refresh, the lookup is fresh: one access, no stale
+  // retry.
+  const uint64_t stale_before = map_b->op_stats().stale_refreshes;
+  EXPECT_EQ(*map_b->Get(1), 2u);
+  EXPECT_EQ(map_b->op_stats().stale_refreshes, stale_before);
+}
+
+TEST(HtTreeTest, CacheBytesGrowWithTables) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto map = HtTree::Create(&client, &env.alloc(), SmallTables(16));
+  ASSERT_TRUE(map.ok());
+  const uint64_t before = map->cache_bytes();
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(map->Put(k, k).ok());
+  }
+  EXPECT_GT(map->cache_bytes(), before);
+}
+
+TEST(HtTreeTest, ConcurrentWritersDistinctKeys) {
+  TestEnv env(BigFabric());
+  auto& creator = env.NewClient();
+  auto map = HtTree::Create(&creator, &env.alloc(), SmallTables(256));
+  ASSERT_TRUE(map.ok());
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 300;
+  std::vector<FarClient*> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(&env.NewClient());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto handle =
+          HtTree::Attach(clients[t], &env.alloc(), map->header());
+      ASSERT_TRUE(handle.ok());
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = t * kPerThread + i + 1;
+        ASSERT_TRUE(handle->Put(key, key * 10).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (uint64_t key = 1; key <= kThreads * kPerThread; ++key) {
+    ASSERT_EQ(*map->Get(key), key * 10) << "key " << key;
+  }
+}
+
+TEST(HtTreeTest, ConcurrentReadersDuringWrites) {
+  TestEnv env(BigFabric());
+  auto& creator = env.NewClient();
+  auto map = HtTree::Create(&creator, &env.alloc(), SmallTables(64));
+  ASSERT_TRUE(map.ok());
+  for (uint64_t k = 1; k <= 200; ++k) {
+    ASSERT_TRUE(map->Put(k, k).ok());
+  }
+  std::atomic<bool> stop{false};
+  auto& reader_client = env.NewClient();
+  auto& writer_client = env.NewClient();
+  std::thread reader([&] {
+    auto handle =
+        HtTree::Attach(&reader_client, &env.alloc(), map->header());
+    ASSERT_TRUE(handle.ok());
+    Rng rng(3);
+    while (!stop.load()) {
+      const uint64_t key = rng.NextInRange(1, 200);
+      auto value = handle->Get(key);
+      ASSERT_TRUE(value.ok());
+      ASSERT_EQ(*value % key == 0, true);  // value is k or k*7
+    }
+  });
+  std::thread writer([&] {
+    auto handle =
+        HtTree::Attach(&writer_client, &env.alloc(), map->header());
+    ASSERT_TRUE(handle.ok());
+    for (uint64_t k = 201; k <= 1200; ++k) {
+      ASSERT_TRUE(handle->Put(k, k).ok());  // force splits under readers
+    }
+  });
+  writer.join();
+  stop.store(true);
+  reader.join();
+}
+
+TEST(HtTreeTest, AblationModesStayCorrect) {
+  // The ablation knobs (no load0 indirection / no head hints) change the
+  // access count, never the semantics.
+  for (bool indirect : {true, false}) {
+    for (bool hints : {true, false}) {
+      TestEnv env(BigFabric());
+      auto& client = env.NewClient();
+      HtTree::Options options = SmallTables(64);
+      options.use_indirect = indirect;
+      options.use_head_hints = hints;
+      auto map = HtTree::Create(&client, &env.alloc(), options);
+      ASSERT_TRUE(map.ok());
+      for (uint64_t k = 1; k <= 400; ++k) {
+        ASSERT_TRUE(map->Put(k, k * 9).ok());
+      }
+      ASSERT_TRUE(map->Remove(13).ok());
+      for (uint64_t k = 1; k <= 400; ++k) {
+        if (k == 13) {
+          EXPECT_EQ(map->Get(k).status().code(), StatusCode::kNotFound);
+        } else {
+          ASSERT_EQ(*map->Get(k), k * 9) << "indirect=" << indirect
+                                         << " hints=" << hints;
+        }
+      }
+    }
+  }
+}
+
+TEST(HtTreeTest, NonIndirectLookupCostsTwoAccesses) {
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  HtTree::Options options = SmallTables(4096);
+  options.use_indirect = false;
+  auto map = HtTree::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->Put(5, 55).ok());
+  const uint64_t before = client.stats().far_ops;
+  EXPECT_EQ(*map->Get(5), 55u);
+  EXPECT_EQ(client.stats().far_ops - before, 2u)
+      << "without load0: bucket word + item";
+}
+
+// Property sweep: content matches a reference map across geometries.
+class HtTreeParamTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(HtTreeParamTest, MatchesReferenceMap) {
+  const auto [buckets, depth] = GetParam();
+  TestEnv env(BigFabric());
+  auto& client = env.NewClient();
+  auto map = HtTree::Create(&client, &env.alloc(),
+                            SmallTables(buckets, depth));
+  ASSERT_TRUE(map.ok());
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(buckets * 31 + depth);
+  for (int op = 0; op < 3000; ++op) {
+    const uint64_t key = rng.NextInRange(1, 400);
+    const int kind = static_cast<int>(rng.NextBelow(10));
+    if (kind < 6) {  // put
+      const uint64_t value = rng.Next() | 1;
+      ASSERT_TRUE(map->Put(key, value).ok());
+      reference[key] = value;
+    } else if (kind < 8) {  // remove
+      ASSERT_TRUE(map->Remove(key).ok());
+      reference.erase(key);
+    } else {  // get
+      auto value = map->Get(key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(value.status().code(), StatusCode::kNotFound);
+      } else {
+        ASSERT_TRUE(value.ok());
+        EXPECT_EQ(*value, it->second);
+      }
+    }
+  }
+  // Final full validation.
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(*map->Get(key), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HtTreeParamTest,
+    ::testing::Combine(::testing::Values<uint64_t>(8, 64, 512),
+                       ::testing::Values<uint32_t>(0, 2)));
+
+}  // namespace
+}  // namespace fmds

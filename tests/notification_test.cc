@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+NotifySpec OnWrite(FarAddr addr, uint64_t len = kWordSize) {
+  NotifySpec spec;
+  spec.mode = NotifyMode::kOnWrite;
+  spec.addr = addr;
+  spec.len = len;
+  return spec;
+}
+
+TEST(NotifyTest, Notify0FiresOnWrite) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  ASSERT_TRUE(watcher.Subscribe(OnWrite(64)).ok());
+  ASSERT_TRUE(writer.WriteWord(64, 42).ok());
+  auto event = watcher.PollNotification();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->kind, NotifyEventKind::kChanged);
+  EXPECT_EQ(event->addr, 64u);
+  EXPECT_EQ(event->len, 8u);
+}
+
+TEST(NotifyTest, NoEventWithoutWrite) {
+  TestEnv env;
+  auto& watcher = env.NewClient();
+  ASSERT_TRUE(watcher.Subscribe(OnWrite(64)).ok());
+  EXPECT_FALSE(watcher.PollNotification().has_value());
+}
+
+TEST(NotifyTest, OutsideRangeDoesNotFire) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  ASSERT_TRUE(watcher.Subscribe(OnWrite(64, 16)).ok());
+  ASSERT_TRUE(writer.WriteWord(96, 1).ok());
+  EXPECT_FALSE(watcher.PollNotification().has_value());
+  ASSERT_TRUE(writer.WriteWord(72, 1).ok());  // inside [64, 80)
+  EXPECT_TRUE(watcher.PollNotification().has_value());
+}
+
+TEST(NotifyTest, RangeWriteIntersectionReported) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  ASSERT_TRUE(watcher.Subscribe(OnWrite(64, 32)).ok());
+  std::vector<std::byte> data(64, std::byte{1});
+  ASSERT_TRUE(writer.Write(32, data).ok());  // covers [32, 96)
+  auto event = watcher.PollNotification();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->addr, 64u);  // clipped to the subscription
+  EXPECT_EQ(event->len, 32u);
+}
+
+TEST(NotifyTest, AtomicsPublishToo) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  ASSERT_TRUE(watcher.Subscribe(OnWrite(64)).ok());
+  ASSERT_TRUE(writer.FetchAdd(64, 1).ok());
+  EXPECT_TRUE(watcher.PollNotification().has_value());
+  ASSERT_TRUE(writer.CompareSwap(64, 1, 2).ok());
+  EXPECT_TRUE(watcher.PollNotification().has_value());
+  // Failed CAS does not publish.
+  ASSERT_TRUE(writer.CompareSwap(64, 99, 3).ok());
+  EXPECT_FALSE(watcher.PollNotification().has_value());
+}
+
+TEST(NotifyTest, NotifyeFiresOnlyOnTargetValue) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  NotifySpec spec;
+  spec.mode = NotifyMode::kOnEqual;
+  spec.addr = 64;
+  spec.len = kWordSize;
+  spec.value = 0;  // mutex-free convention
+  ASSERT_TRUE(watcher.Subscribe(spec).ok());
+  ASSERT_TRUE(writer.WriteWord(64, 7).ok());
+  EXPECT_FALSE(watcher.PollNotification().has_value());
+  ASSERT_TRUE(writer.WriteWord(64, 0).ok());
+  EXPECT_TRUE(watcher.PollNotification().has_value());
+}
+
+TEST(NotifyTest, Notify0dCarriesData) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  NotifySpec spec;
+  spec.mode = NotifyMode::kOnWriteData;
+  spec.addr = 64;
+  spec.len = 16;
+  ASSERT_TRUE(watcher.Subscribe(spec).ok());
+  ASSERT_TRUE(writer.WriteWord(72, 0xabcd).ok());
+  auto event = watcher.PollNotification();
+  ASSERT_TRUE(event.has_value());
+  ASSERT_EQ(event->data.size(), 8u);  // only the intersecting word
+  EXPECT_EQ(LoadAs<uint64_t>(std::span<const std::byte>(event->data)),
+            0xabcdull);
+}
+
+TEST(NotifyTest, PageCrossingSubscriptionRejected) {
+  TestEnv env;
+  auto& watcher = env.NewClient();
+  EXPECT_FALSE(watcher.Subscribe(OnWrite(kPageSize - 8, 16)).ok());
+  EXPECT_TRUE(watcher.Subscribe(OnWrite(kPageSize - 8, 8)).ok());
+}
+
+TEST(NotifyTest, UnalignedSubscriptionRejected) {
+  TestEnv env;
+  auto& watcher = env.NewClient();
+  EXPECT_FALSE(watcher.Subscribe(OnWrite(65)).ok());
+}
+
+TEST(NotifyTest, UnsubscribeStopsEvents) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  auto sub = watcher.Subscribe(OnWrite(64));
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(watcher.Unsubscribe(*sub).ok());
+  ASSERT_TRUE(writer.WriteWord(64, 1).ok());
+  EXPECT_FALSE(watcher.PollNotification().has_value());
+  EXPECT_FALSE(watcher.Unsubscribe(*sub).ok());  // idempotence check
+}
+
+TEST(NotifyTest, DropPolicyLosesRoughlyTheConfiguredFraction) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  NotifySpec spec = OnWrite(64);
+  spec.policy.drop_probability = 0.5;
+  spec.policy.coalesce = false;
+  ASSERT_TRUE(watcher.Subscribe(spec).ok());
+  constexpr int kWrites = 2000;
+  for (int i = 0; i < kWrites; ++i) {
+    ASSERT_TRUE(writer.WriteWord(64, i + 1).ok());
+    watcher.channel().Drain();  // keep the channel from overflowing
+  }
+  const uint64_t dropped =
+      env.fabric().node(0).stats().notifications_dropped.load();
+  EXPECT_NEAR(static_cast<double>(dropped), kWrites * 0.5, kWrites * 0.1);
+}
+
+TEST(NotifyTest, CoalescingMergesBackToBackEvents) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  NotifySpec spec = OnWrite(64, 32);
+  spec.policy.coalesce = true;
+  ASSERT_TRUE(watcher.Subscribe(spec).ok());
+  ASSERT_TRUE(writer.WriteWord(64, 1).ok());
+  ASSERT_TRUE(writer.WriteWord(80, 2).ok());
+  ASSERT_TRUE(writer.WriteWord(72, 3).ok());
+  // One merged event covering [64, 88).
+  auto event = watcher.PollNotification();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->coalesced, 2u);
+  EXPECT_EQ(event->addr, 64u);
+  EXPECT_EQ(event->len, 24u);
+  EXPECT_FALSE(watcher.PollNotification().has_value());
+  EXPECT_EQ(watcher.channel().coalesced(), 2u);
+}
+
+TEST(NotifyTest, OverflowSurfacesLossWarning) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  ClientOptions small;
+  small.channel_capacity = 4;
+  FarClient watcher(&env.fabric(), 99, small);
+  NotifySpec spec = OnWrite(64);
+  spec.policy.coalesce = false;
+  ASSERT_TRUE(watcher.Subscribe(spec).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.WriteWord(64, i + 1).ok());
+  }
+  bool saw_loss = false;
+  while (auto event = watcher.PollNotification()) {
+    saw_loss |= event->kind == NotifyEventKind::kLossWarning;
+  }
+  EXPECT_TRUE(saw_loss);
+  EXPECT_GT(watcher.channel().overflow_lost(), 0u);
+}
+
+TEST(NotifyTest, TwoSubscribersBothFire) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& w1 = env.NewClient();
+  auto& w2 = env.NewClient();
+  ASSERT_TRUE(w1.Subscribe(OnWrite(64)).ok());
+  ASSERT_TRUE(w2.Subscribe(OnWrite(64)).ok());
+  ASSERT_TRUE(writer.WriteWord(64, 5).ok());
+  EXPECT_TRUE(w1.PollNotification().has_value());
+  EXPECT_TRUE(w2.PollNotification().has_value());
+}
+
+TEST(NotifyTest, SubscriptionOnStripedNodeRoutesToOwner) {
+  TestEnv env(StripedFabric(4, kPageSize, 1 << 20));
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  const FarAddr addr = 2 * kPageSize + 128;  // node 2
+  ASSERT_TRUE(watcher.Subscribe(OnWrite(addr)).ok());
+  EXPECT_EQ(env.fabric().node(2).subscription_count(), 1u);
+  ASSERT_TRUE(writer.WriteWord(addr, 1).ok());
+  EXPECT_TRUE(watcher.PollNotification().has_value());
+}
+
+TEST(NotifyChannelTest, DrainReturnsEverything) {
+  NotificationChannel channel;
+  for (int i = 0; i < 5; ++i) {
+    NotifyEvent ev;
+    ev.sub_id = i + 1;
+    channel.Publish(std::move(ev), /*coalesce=*/false);
+  }
+  EXPECT_EQ(channel.size(), 5u);
+  EXPECT_EQ(channel.Drain().size(), 5u);
+  EXPECT_EQ(channel.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fmds

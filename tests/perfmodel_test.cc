@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/perfmodel/throughput_model.h"
+
+namespace fmds {
+namespace {
+
+TEST(PerfModelTest, SingleClientLatencyIsDelayPlusDemand) {
+  WorkloadCost cost;
+  cost.delay_ns = 1000.0;
+  cost.bottleneck_demand_ns = 400.0;
+  auto point = SolveClosedSystem(cost, 1);
+  EXPECT_NEAR(point.latency_ns, 1400.0, 1.0);
+  EXPECT_NEAR(point.ops_per_sec, 1e9 / 1400.0, 1e3);
+}
+
+TEST(PerfModelTest, ThroughputSaturatesAtServiceRate) {
+  WorkloadCost cost;
+  cost.delay_ns = 1000.0;
+  cost.bottleneck_demand_ns = 400.0;
+  auto saturated = SolveClosedSystem(cost, 256);
+  EXPECT_NEAR(saturated.ops_per_sec, 1e9 / 400.0, 1e9 / 400.0 * 0.02);
+  EXPECT_NEAR(saturated.utilization, 1.0, 0.02);
+}
+
+TEST(PerfModelTest, ThroughputMonotonicInClients) {
+  WorkloadCost cost;
+  cost.delay_ns = 2000.0;
+  cost.bottleneck_demand_ns = 100.0;
+  double prev = 0.0;
+  for (uint32_t n : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    auto point = SolveClosedSystem(cost, n);
+    EXPECT_GE(point.ops_per_sec, prev - 1.0);
+    prev = point.ops_per_sec;
+  }
+}
+
+TEST(PerfModelTest, MoreStationsRaiseTheCeiling) {
+  WorkloadCost one;
+  one.delay_ns = 1000.0;
+  one.bottleneck_demand_ns = 400.0;
+  one.bottleneck_stations = 1;
+  WorkloadCost four = one;
+  four.bottleneck_stations = 4;
+  EXPECT_GT(SolveClosedSystem(four, 512).ops_per_sec,
+            3.5 * SolveClosedSystem(one, 512).ops_per_sec);
+}
+
+TEST(PerfModelTest, RpcVsOneSidedCrossover) {
+  // §3.1's shape. RPC: one round trip but heavy serialized server CPU.
+  WorkloadCost rpc;
+  rpc.delay_ns = 1000.0;
+  rpc.bottleneck_demand_ns = 400.0;  // server CPU per request
+  // One-sided HT-tree-style: one round trip, tiny memory-controller demand.
+  WorkloadCost one_sided;
+  one_sided.delay_ns = 1000.0;
+  one_sided.bottleneck_demand_ns = 50.0;
+  // One-sided *traditional* structure: several round trips.
+  WorkloadCost multi_rtt;
+  multi_rtt.delay_ns = 3000.0;
+  multi_rtt.bottleneck_demand_ns = 150.0;
+
+  // Few clients: RPC beats the multi-round-trip one-sided design...
+  EXPECT_GT(SolveClosedSystem(rpc, 2).ops_per_sec,
+            SolveClosedSystem(multi_rtt, 2).ops_per_sec);
+  // ...but the 1-access one-sided design matches RPC at low load...
+  EXPECT_NEAR(SolveClosedSystem(one_sided, 1).latency_ns,
+              SolveClosedSystem(rpc, 1).latency_ns, 400.0);
+  // ...and at scale the RPC server saturates while 1-access one-sided
+  // keeps scaling.
+  EXPECT_GT(SolveClosedSystem(one_sided, 128).ops_per_sec,
+            3.0 * SolveClosedSystem(rpc, 128).ops_per_sec);
+}
+
+TEST(PerfModelTest, SweepReturnsAllPoints) {
+  WorkloadCost cost;
+  cost.delay_ns = 1000.0;
+  cost.bottleneck_demand_ns = 100.0;
+  auto points = SweepClients(cost, {1, 2, 4});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].clients, 1u);
+  EXPECT_EQ(points[2].clients, 4u);
+}
+
+}  // namespace
+}  // namespace fmds

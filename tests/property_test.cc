@@ -1,0 +1,257 @@
+// Property-based sweeps: the fabric and data structures are run against
+// local shadow models under randomized workloads, across parameterized
+// geometries (TEST_P).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "src/core/far_queue.h"
+#include "src/core/ht_tree.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+// ---- Fabric byte-level semantics vs a shadow buffer ----
+
+class FabricShadowTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(FabricShadowTest, RandomReadsWritesMatchShadow) {
+  const auto [nodes, stripe] = GetParam();
+  FabricOptions options;
+  options.num_nodes = nodes;
+  options.node_capacity = 1 << 20;
+  options.stripe_bytes = stripe;
+  TestEnv env(options);
+  auto& client = env.NewClient();
+
+  constexpr uint64_t kRegion = 64 * 1024;
+  std::vector<std::byte> shadow(kRegion, std::byte{0});
+  Rng rng(nodes * 131 + stripe);
+  for (int op = 0; op < 2000; ++op) {
+    const uint64_t offset = rng.NextBelow(kRegion - 1);
+    const uint64_t len = 1 + rng.NextBelow(
+        std::min<uint64_t>(kRegion - offset, 300));
+    if (rng.NextBool(0.5)) {
+      std::vector<std::byte> data(len);
+      for (auto& b : data) {
+        b = static_cast<std::byte>(rng.Next());
+      }
+      ASSERT_TRUE(client.Write(offset, data).ok());
+      std::copy(data.begin(), data.end(), shadow.begin() + offset);
+    } else {
+      std::vector<std::byte> got(len);
+      ASSERT_TRUE(client.Read(offset, got).ok());
+      for (uint64_t i = 0; i < len; ++i) {
+        ASSERT_EQ(got[i], shadow[offset + i])
+            << "offset " << offset + i << " nodes=" << nodes
+            << " stripe=" << stripe;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FabricShadowTest,
+    ::testing::Values(std::make_tuple(1u, uint64_t{0}),
+                      std::make_tuple(4u, uint64_t{0}),
+                      std::make_tuple(2u, kPageSize),
+                      std::make_tuple(8u, kPageSize),
+                      std::make_tuple(4u, 4 * kPageSize)));
+
+// ---- Segments(): exact, ordered, disjoint cover ----
+
+class SegmentsPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SegmentsPropertyTest, SegmentsTileTheRange) {
+  FabricOptions options;
+  options.num_nodes = GetParam();
+  options.node_capacity = 1 << 20;
+  options.stripe_bytes = kPageSize;
+  TestEnv env(options);
+  Rng rng(GetParam() * 7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t total = env.fabric().total_capacity();
+    const uint64_t addr = rng.NextBelow(total - 2);
+    const uint64_t len = 1 + rng.NextBelow(
+        std::min<uint64_t>(total - addr, 5 * kPageSize));
+    std::vector<Fabric::Segment> segs;
+    ASSERT_TRUE(env.fabric().Segments(addr, len, segs).ok());
+    uint64_t covered = 0;
+    FarAddr cursor = addr;
+    for (const auto& seg : segs) {
+      EXPECT_EQ(seg.addr, cursor) << "segments must tile in order";
+      const auto loc = env.fabric().Translate(seg.addr);
+      ASSERT_TRUE(loc.ok());
+      EXPECT_EQ(loc->node, seg.node);
+      EXPECT_EQ(loc->offset, seg.offset);
+      covered += seg.len;
+      cursor += seg.len;
+    }
+    EXPECT_EQ(covered, len);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, SegmentsPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 8u));
+
+// ---- FarQueue vs std::deque (single-threaded, exact FIFO incl. wraps) ----
+
+class QueueShadowTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(QueueShadowTest, MatchesDequeAcrossWraps) {
+  const auto [capacity, bias] = GetParam();
+  TestEnv env;
+  auto& client = env.NewClient();
+  FarQueue::Options options;
+  options.capacity = capacity;
+  options.max_clients = 2;
+  auto queue = FarQueue::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(queue.ok());
+  std::deque<uint64_t> shadow;
+  Rng rng(capacity * 3 + bias);
+  uint64_t next_value = 1;
+  for (int op = 0; op < 20000; ++op) {
+    // bias/10 = enqueue probability; drains and fills both get exercised.
+    if (rng.NextBelow(10) < bias) {
+      const Status status = queue->Enqueue(next_value);
+      if (status.ok()) {
+        shadow.push_back(next_value);
+        ++next_value;
+      } else {
+        ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+        // Conservative full: shadow occupancy must be near capacity.
+        ASSERT_GE(shadow.size() + 2 * options.max_clients + 2, capacity);
+      }
+    } else {
+      auto value = queue->Dequeue();
+      if (value.ok()) {
+        ASSERT_FALSE(shadow.empty());
+        ASSERT_EQ(*value, shadow.front());
+        shadow.pop_front();
+      } else {
+        ASSERT_EQ(value.status().code(), StatusCode::kNotFound);
+        ASSERT_TRUE(shadow.empty());
+      }
+    }
+  }
+  // Drain and compare the tail.
+  while (!shadow.empty()) {
+    auto value = queue->Dequeue();
+    ASSERT_TRUE(value.ok());
+    ASSERT_EQ(*value, shadow.front());
+    shadow.pop_front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, QueueShadowTest,
+    ::testing::Combine(::testing::Values<uint64_t>(16, 64, 256),
+                       ::testing::Values<uint64_t>(3, 5, 7)));
+
+// ---- Allocator: random alloc/free cycles never overlap live blocks ----
+
+class AllocatorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(AllocatorPropertyTest, LiveBlocksNeverOverlap) {
+  const auto [nodes, stripe] = GetParam();
+  FabricOptions options;
+  options.num_nodes = nodes;
+  options.node_capacity = 4 << 20;
+  options.stripe_bytes = stripe;
+  TestEnv env(options);
+  Rng rng(nodes + stripe);
+  struct Block {
+    FarAddr addr;
+    uint64_t size;
+  };
+  std::map<FarAddr, Block> live;  // keyed by addr
+  for (int op = 0; op < 3000; ++op) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      const uint64_t size = 8ull << rng.NextBelow(8);  // 8..1024
+      const uint64_t alignment = 8ull << rng.NextBelow(4);
+      auto addr = env.alloc().Allocate(size, AllocHint::Any(), alignment);
+      if (!addr.ok()) {
+        continue;  // node full is legitimate
+      }
+      EXPECT_EQ(*addr % alignment, 0u);
+      // Check non-overlap with neighbors.
+      auto next = live.lower_bound(*addr);
+      if (next != live.end()) {
+        EXPECT_LE(*addr + size, next->second.addr);
+      }
+      if (next != live.begin()) {
+        auto prev = std::prev(next);
+        EXPECT_LE(prev->second.addr + prev->second.size, *addr);
+      }
+      live[*addr] = Block{*addr, size};
+    } else {
+      auto victim = live.begin();
+      std::advance(victim, rng.NextBelow(live.size()));
+      ASSERT_TRUE(
+          env.alloc().Free(victim->second.addr, victim->second.size).ok());
+      live.erase(victim);
+      if (rng.NextBool(0.1)) {
+        env.alloc().AdvanceEpoch();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AllocatorPropertyTest,
+    ::testing::Values(std::make_tuple(1u, uint64_t{0}),
+                      std::make_tuple(4u, uint64_t{0}),
+                      std::make_tuple(4u, kPageSize)));
+
+// ---- HtTree vs std::map under hostile geometry + Zipf keys ----
+
+class HtTreeZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HtTreeZipfTest, SkewedWorkloadMatchesReference) {
+  const double theta = GetParam();
+  TestEnv env(SmallFabric(1, 128ull << 20));
+  auto& client = env.NewClient();
+  HtTree::Options options;
+  options.buckets_per_table = 32;  // force frequent splits
+  options.max_chain = 3;
+  auto map = HtTree::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(map.ok());
+  std::map<uint64_t, uint64_t> reference;
+  ZipfGenerator zipf(500, theta, 77);
+  Rng rng(99);
+  for (int op = 0; op < 5000; ++op) {
+    const uint64_t key = zipf.Next() + 1;
+    const int kind = static_cast<int>(rng.NextBelow(10));
+    if (kind < 7) {
+      const uint64_t value = rng.Next() | 1;
+      ASSERT_TRUE(map->Put(key, value).ok());
+      reference[key] = value;
+    } else if (kind < 8) {
+      ASSERT_TRUE(map->Remove(key).ok());
+      reference.erase(key);
+    } else {
+      auto got = map->Get(key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        ASSERT_EQ(got.status().code(), StatusCode::kNotFound);
+      } else {
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+  }
+  for (const auto& [key, value] : reference) {
+    ASSERT_EQ(*map->Get(key), value) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, HtTreeZipfTest,
+                         ::testing::Values(0.0, 0.7, 0.99));
+
+}  // namespace
+}  // namespace fmds

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "src/core/refreshable_vector.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+RefreshableVector::Options Vec(uint64_t size = 256, uint64_t group = 16) {
+  RefreshableVector::Options options;
+  options.size = size;
+  options.group_size = group;
+  return options;
+}
+
+TEST(RefreshableTest, ReaderSeesUpdatesAfterRefresh) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  auto vec_w = RefreshableVector::Create(&writer, &env.alloc(), Vec());
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = RefreshableVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(
+      vec_r->EnableReader(RefreshableVector::RefreshMode::kPollVersions)
+          .ok());
+  ASSERT_TRUE(vec_w->Update(7, 77).ok());
+  // Stale until refreshed — that's the contract.
+  EXPECT_EQ(*vec_r->Get(7), 0u);
+  ASSERT_TRUE(vec_r->Refresh().ok());
+  EXPECT_EQ(*vec_r->Get(7), 77u);
+}
+
+TEST(RefreshableTest, RefreshPullsOnlyChangedGroups) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  auto vec_w = RefreshableVector::Create(&writer, &env.alloc(),
+                                         Vec(1024, 64));
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = RefreshableVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(
+      vec_r->EnableReader(RefreshableVector::RefreshMode::kPollVersions)
+          .ok());
+  ASSERT_TRUE(vec_w->Update(3, 1).ok());   // group 0
+  ASSERT_TRUE(vec_w->Update(65, 2).ok());  // group 1
+  const auto before = reader.stats();
+  ASSERT_TRUE(vec_r->Refresh().ok());
+  const auto delta = reader.stats().Delta(before);
+  // One version-region read + one rgather of the two dirty groups.
+  EXPECT_EQ(delta.far_ops, 2u);
+  EXPECT_LT(delta.bytes_read, 1024 * 8u / 2)
+      << "refresh must not re-read the whole vector";
+  EXPECT_EQ(vec_r->refresh_stats().groups_refreshed, 2u);
+  EXPECT_EQ(*vec_r->Get(3), 1u);
+  EXPECT_EQ(*vec_r->Get(65), 2u);
+}
+
+TEST(RefreshableTest, NoChangesMeansOneAccessPoll) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  auto vec_w = RefreshableVector::Create(&writer, &env.alloc(), Vec());
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = RefreshableVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(
+      vec_r->EnableReader(RefreshableVector::RefreshMode::kPollVersions)
+          .ok());
+  const uint64_t before = reader.stats().far_ops;
+  ASSERT_TRUE(vec_r->Refresh().ok());
+  EXPECT_EQ(reader.stats().far_ops - before, 1u);  // just the version read
+}
+
+TEST(RefreshableTest, NotifyModeCostsZeroWhenQuiet) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  auto vec_w = RefreshableVector::Create(&writer, &env.alloc(), Vec());
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = RefreshableVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(
+      vec_r->EnableReader(RefreshableVector::RefreshMode::kNotify).ok());
+  const uint64_t before = reader.stats().far_ops;
+  ASSERT_TRUE(vec_r->Refresh().ok());
+  EXPECT_EQ(reader.stats().far_ops - before, 0u)
+      << "§5.4: notification mode avoids reading version numbers";
+  // An update triggers exactly the dirty group's pull.
+  ASSERT_TRUE(vec_w->Update(10, 5).ok());
+  ASSERT_TRUE(vec_r->Refresh().ok());
+  EXPECT_EQ(*vec_r->Get(10), 5u);
+}
+
+TEST(RefreshableTest, ScatterUpdateIsOneFarOp) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto vec = RefreshableVector::Create(&writer, &env.alloc(), Vec());
+  ASSERT_TRUE(vec.ok());
+  const auto before = writer.stats();
+  ASSERT_TRUE(vec->UpdateScatter(4, 44).ok());
+  const auto delta = writer.stats().Delta(before);
+  EXPECT_EQ(delta.far_ops, 1u);
+  EXPECT_EQ(delta.messages, 2u);  // element + version in one round trip
+  // Multi-writer Update costs two.
+  const auto before2 = writer.stats();
+  ASSERT_TRUE(vec->Update(4, 45).ok());
+  EXPECT_EQ(writer.stats().Delta(before2).far_ops, 2u);
+}
+
+TEST(RefreshableTest, AutoModeShiftsToNotificationsAsUpdatesDecay) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  auto vec_w = RefreshableVector::Create(&writer, &env.alloc(),
+                                         Vec(512, 32));
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = RefreshableVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(
+      vec_r->EnableReader(RefreshableVector::RefreshMode::kAuto).ok());
+  EXPECT_FALSE(vec_r->refresh_stats().notify_active);
+  // Hot phase: many groups change per refresh -> stays polling.
+  Rng rng(5);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(vec_w->Update(rng.NextBelow(512), i + 1).ok());
+    }
+    ASSERT_TRUE(vec_r->Refresh().ok());
+  }
+  EXPECT_FALSE(vec_r->refresh_stats().notify_active);
+  // Converged phase: nothing changes -> shifts to notifications.
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(vec_r->Refresh().ok());
+  }
+  EXPECT_TRUE(vec_r->refresh_stats().notify_active);
+  EXPECT_GT(vec_r->refresh_stats().mode_switches, 0u);
+  // Correctness unchanged in notify mode.
+  ASSERT_TRUE(vec_w->Update(100, 42).ok());
+  ASSERT_TRUE(vec_r->Refresh().ok());
+  EXPECT_EQ(*vec_r->Get(100), 42u);
+}
+
+TEST(RefreshableTest, AutoModeShiftsBackUnderUpdateStorm) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  auto vec_w = RefreshableVector::Create(&writer, &env.alloc(),
+                                         Vec(512, 32));
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = RefreshableVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(
+      vec_r->EnableReader(RefreshableVector::RefreshMode::kAuto).ok());
+  // Quiet -> notify.
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(vec_r->Refresh().ok());
+  }
+  ASSERT_TRUE(vec_r->refresh_stats().notify_active);
+  // Storm: most groups change -> back to polling.
+  for (uint64_t i = 0; i < 512; i += 8) {
+    ASSERT_TRUE(vec_w->Update(i, i).ok());
+  }
+  ASSERT_TRUE(vec_r->Refresh().ok());
+  EXPECT_FALSE(vec_r->refresh_stats().notify_active);
+}
+
+TEST(RefreshableTest, LossWarningFallsBackToFullPoll) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  ClientOptions tiny;
+  tiny.channel_capacity = 2;  // force overflow
+  FarClient reader(&env.fabric(), 77, tiny);
+  auto vec_w = RefreshableVector::Create(&writer, &env.alloc(),
+                                         Vec(256, 16));
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = RefreshableVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(
+      vec_r->EnableReader(RefreshableVector::RefreshMode::kNotify).ok());
+  // Blast updates across many groups: channel (capacity 2) overflows.
+  for (uint64_t i = 0; i < 256; i += 4) {
+    ASSERT_TRUE(vec_w->Update(i, i + 1).ok());
+  }
+  ASSERT_TRUE(vec_r->Refresh().ok());
+  EXPECT_GT(vec_r->refresh_stats().loss_fallbacks, 0u);
+  // Despite the loss, the mirror is correct (poll fallback).
+  for (uint64_t i = 0; i < 256; i += 4) {
+    EXPECT_EQ(*vec_r->Get(i), i + 1);
+  }
+}
+
+TEST(RefreshableTest, BoundsChecked) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto vec = RefreshableVector::Create(&writer, &env.alloc(), Vec(16, 4));
+  ASSERT_TRUE(vec.ok());
+  EXPECT_FALSE(vec->Update(16, 1).ok());
+  ASSERT_TRUE(vec->EnableReader(
+      RefreshableVector::RefreshMode::kPollVersions).ok());
+  EXPECT_FALSE(vec->Get(16).ok());
+}
+
+TEST(RefreshableTest, RaggedLastGroupHandled) {
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& reader = env.NewClient();
+  // 100 elements, groups of 16 -> last group has 4.
+  auto vec_w = RefreshableVector::Create(&writer, &env.alloc(),
+                                         Vec(100, 16));
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = RefreshableVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(
+      vec_r->EnableReader(RefreshableVector::RefreshMode::kPollVersions)
+          .ok());
+  ASSERT_TRUE(vec_w->Update(99, 999).ok());
+  ASSERT_TRUE(vec_r->Refresh().ok());
+  EXPECT_EQ(*vec_r->Get(99), 999u);
+}
+
+}  // namespace
+}  // namespace fmds

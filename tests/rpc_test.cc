@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "src/rpc/kv_service.h"
+#include "src/rpc/message.h"
+#include "src/rpc/queue_service.h"
+#include "src/rpc/rpc.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+TEST(MessageTest, RoundTrip) {
+  MsgWriter writer;
+  writer.U8(7);
+  writer.U32(1234);
+  writer.U64(0xdeadbeefcafeULL);
+  writer.Str("hello");
+  MsgReader reader(writer.view());
+  EXPECT_EQ(*reader.U8(), 7);
+  EXPECT_EQ(*reader.U32(), 1234u);
+  EXPECT_EQ(*reader.U64(), 0xdeadbeefcafeULL);
+  auto bytes = reader.Bytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(bytes->data()),
+                        bytes->size()),
+            "hello");
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(MessageTest, TruncationDetected) {
+  MsgWriter writer;
+  writer.U32(5);
+  MsgReader reader(writer.view());
+  EXPECT_FALSE(reader.U64().ok());
+}
+
+TEST(RpcTest, UnknownMethodFails) {
+  TestEnv env;
+  RpcServer server;
+  RpcClient rpc(&env.NewClient(), &server);
+  std::vector<std::byte> resp;
+  EXPECT_EQ(rpc.Call(999, {}, resp).code(), StatusCode::kUnimplemented);
+}
+
+TEST(RpcTest, CallAccountsLatencyAndServerBusyTime) {
+  TestEnv env;
+  RpcServer server;
+  KvService service(&server);
+  auto& client = env.NewClient();
+  KvStub stub{RpcClient(&client, &server)};
+  const uint64_t t0 = client.clock().now_ns();
+  ASSERT_TRUE(stub.Put(1, 2).ok());
+  EXPECT_GT(client.clock().now_ns(), t0);
+  EXPECT_EQ(client.stats().rpc_calls, 1u);
+  EXPECT_EQ(server.calls(), 1u);
+  EXPECT_GT(server.busy_ns(), 0u);
+  // An RPC costs zero one-sided far ops — that's the whole trade.
+  EXPECT_EQ(client.stats().far_ops, 0u);
+}
+
+TEST(KvServiceTest, PutGetDelete) {
+  TestEnv env;
+  RpcServer server;
+  KvService service(&server);
+  KvStub stub{RpcClient(&env.NewClient(), &server)};
+  EXPECT_EQ(stub.Get(42).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(stub.Put(42, 99).ok());
+  EXPECT_EQ(*stub.Get(42), 99u);
+  ASSERT_TRUE(stub.Put(42, 100).ok());
+  EXPECT_EQ(*stub.Get(42), 100u);
+  EXPECT_EQ(*stub.Size(), 1u);
+  ASSERT_TRUE(stub.Delete(42).ok());
+  EXPECT_EQ(stub.Get(42).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(stub.Delete(42).code(), StatusCode::kNotFound);
+}
+
+TEST(KvServiceTest, ManyKeys) {
+  TestEnv env;
+  RpcServer server;
+  KvService service(&server);
+  KvStub stub{RpcClient(&env.NewClient(), &server)};
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_TRUE(stub.Put(k, k * k).ok());
+  }
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    EXPECT_EQ(*stub.Get(k), k * k);
+  }
+  EXPECT_EQ(*stub.Size(), 1000u);
+}
+
+TEST(QueueServiceTest, Fifo) {
+  TestEnv env;
+  RpcServer server;
+  QueueService service(&server);
+  QueueStub stub{RpcClient(&env.NewClient(), &server)};
+  EXPECT_EQ(stub.Dequeue().status().code(), StatusCode::kNotFound);
+  for (uint64_t v = 1; v <= 10; ++v) {
+    ASSERT_TRUE(stub.Enqueue(v).ok());
+  }
+  EXPECT_EQ(*stub.Len(), 10u);
+  for (uint64_t v = 1; v <= 10; ++v) {
+    EXPECT_EQ(*stub.Dequeue(), v);
+  }
+  EXPECT_EQ(stub.Dequeue().status().code(), StatusCode::kNotFound);
+}
+
+TEST(RpcConcurrencyTest, ServerSerializesClients) {
+  TestEnv env;
+  RpcServer server;
+  KvService service(&server);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 500;
+  std::vector<FarClient*> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(&env.NewClient());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      KvStub stub{RpcClient(clients[t], &server)};
+      for (int i = 0; i < kOps; ++i) {
+        ASSERT_TRUE(stub.Put(t * kOps + i, i).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(server.calls(), static_cast<uint64_t>(kThreads) * kOps);
+  KvStub stub{RpcClient(clients[0], &server)};
+  EXPECT_EQ(*stub.Size(), static_cast<uint64_t>(kThreads) * kOps);
+}
+
+}  // namespace
+}  // namespace fmds

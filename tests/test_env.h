@@ -1,0 +1,55 @@
+// Shared test fixtures: a fabric + allocator + clients bundle with
+// convenient defaults.
+#ifndef FMDS_TESTS_TEST_ENV_H_
+#define FMDS_TESTS_TEST_ENV_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/alloc/far_allocator.h"
+#include "src/fabric/fabric.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+class TestEnv {
+ public:
+  explicit TestEnv(FabricOptions options = FabricOptions())
+      : fabric_(options), alloc_(&fabric_) {}
+
+  Fabric& fabric() { return fabric_; }
+  FarAllocator& alloc() { return alloc_; }
+
+  // Creates (and owns) a new client.
+  FarClient& NewClient() {
+    clients_.push_back(
+        std::make_unique<FarClient>(&fabric_, clients_.size() + 1));
+    return *clients_.back();
+  }
+
+ private:
+  Fabric fabric_;
+  FarAllocator alloc_;
+  std::vector<std::unique_ptr<FarClient>> clients_;
+};
+
+inline FabricOptions SmallFabric(uint32_t nodes = 1,
+                                 uint64_t capacity = 8ull << 20) {
+  FabricOptions options;
+  options.num_nodes = nodes;
+  options.node_capacity = capacity;
+  return options;
+}
+
+inline FabricOptions StripedFabric(uint32_t nodes, uint64_t stripe_bytes,
+                                   uint64_t capacity = 8ull << 20) {
+  FabricOptions options;
+  options.num_nodes = nodes;
+  options.node_capacity = capacity;
+  options.stripe_bytes = stripe_bytes;
+  return options;
+}
+
+}  // namespace fmds
+
+#endif  // FMDS_TESTS_TEST_ENV_H_
