@@ -3,6 +3,8 @@
 //  take O(log n)" — and the HT-tree takes ~1.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench/bench_util.h"
 #include "src/baselines/btree.h"
 #include "src/baselines/chained_hash.h"
@@ -34,6 +36,35 @@ Sample MeasureLookups(FarClient& client, uint64_t n, int probes,
   Sample sample;
   sample.far_accesses =
       static_cast<double>(delta.far_ops) / probes;
+  sample.bytes = static_cast<double>(delta.bytes_read + delta.bytes_written) /
+                 probes;
+  sample.cache_bytes = cache_bytes;
+  return sample;
+}
+
+// Batched variant: `probes` lookups issued as MultiGet batches of
+// `batch` keys. far_ops then counts round trips actually *waited on*,
+// so the column shows the doorbell win directly.
+constexpr int kBatch = 16;
+
+template <typename MultiLookup>
+Sample MeasureBatchedLookups(FarClient& client, uint64_t n, int probes,
+                             uint64_t cache_bytes, MultiLookup&& multi) {
+  Rng rng(n * 7 + 5);
+  const ClientStats before = client.stats();
+  int issued = 0;
+  while (issued < probes) {
+    const int take = std::min(kBatch, probes - issued);
+    std::vector<uint64_t> keys(take);
+    for (int i = 0; i < take; ++i) {
+      keys[i] = rng.NextInRange(1, n);
+    }
+    multi(keys);
+    issued += take;
+  }
+  const ClientStats delta = client.stats().Delta(before);
+  Sample sample;
+  sample.far_accesses = static_cast<double>(delta.far_ops) / probes;
   sample.bytes = static_cast<double>(delta.bytes_read + delta.bytes_written) /
                  probes;
   sample.cache_bytes = cache_bytes;
@@ -188,6 +219,67 @@ void RunSize(Table& table, uint64_t n) {
     });
     sample.cache_bytes = map.cache_bytes();
     add("HT-tree (1)", sample);
+  }
+
+  // ---- Batched (async doorbell) variants: k lookups share round trips ----
+
+  {
+    BenchEnv env(DefaultFabric());
+    auto& client = env.NewClient();
+    ChainedHash::Options options;
+    options.buckets = n / 2;
+    auto table_ds = CheckOk(
+        ChainedHash::Create(&client, &env.alloc(), options), "chained");
+    for (uint64_t k = 1; k <= n; ++k) {
+      CheckOk(table_ds.Put(k, k), "put");
+    }
+    add("chained HT, batched x16",
+        MeasureBatchedLookups(client, n, probes, 0,
+                              [&](std::span<const uint64_t> keys) {
+                                for (auto& r : table_ds.MultiGet(keys)) {
+                                  CheckOk(r.status(), "mget");
+                                }
+                              }));
+  }
+
+  {
+    BenchEnv env(DefaultFabric());
+    auto& client = env.NewClient();
+    NeighborhoodHash::Options options;
+    options.buckets = n * 2;
+    auto table_ds = CheckOk(
+        NeighborhoodHash::Create(&client, &env.alloc(), options), "hood");
+    for (uint64_t k = 1; k <= n; ++k) {
+      const Status put = table_ds.Put(k, k);
+      if (!put.ok() && put.code() != StatusCode::kResourceExhausted) {
+        CheckOk(put, "put");
+      }
+    }
+    add("FaRM-style inline, batched x16",
+        MeasureBatchedLookups(client, n, probes, 0,
+                              [&](std::span<const uint64_t> keys) {
+                                (void)table_ds.MultiGet(keys);
+                              }));
+  }
+
+  {
+    BenchEnv env(DefaultFabric());
+    auto& client = env.NewClient();
+    HtTree::Options options;
+    options.buckets_per_table = 4096;
+    auto map = CheckOk(HtTree::Create(&client, &env.alloc(), options),
+                       "httree");
+    for (uint64_t k = 1; k <= n; ++k) {
+      CheckOk(map.Put(k, k), "put");
+    }
+    auto sample = MeasureBatchedLookups(
+        client, n, probes, 0, [&](std::span<const uint64_t> keys) {
+          for (auto& r : map.MultiGet(keys)) {
+            CheckOk(r.status(), "mget");
+          }
+        });
+    sample.cache_bytes = map.cache_bytes();
+    add("HT-tree batched x16", sample);
   }
 }
 

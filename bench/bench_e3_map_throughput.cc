@@ -50,6 +50,36 @@ MeasuredCost MeasureWorkload(FarClient& client,
   return cost;
 }
 
+// Batched variant: lookups ride MultiGet doorbells of `kBatchSize` keys.
+// far_accesses then counts round trips *waited on* per lookup, and
+// latency_ns is the per-lookup share of the batch's simulated time.
+constexpr int kBatchSize = 16;
+
+MeasuredCost MeasureBatchedWorkload(
+    FarClient& client,
+    const std::function<void(std::span<const uint64_t>)>& op) {
+  Rng rng(99);
+  const ClientStats before = client.stats();
+  const uint64_t t0 = client.clock().now_ns();
+  int issued = 0;
+  while (issued < kProbes) {
+    uint64_t keys[kBatchSize];
+    for (int i = 0; i < kBatchSize; ++i) {
+      keys[i] = rng.NextInRange(1, kKeys);
+    }
+    op(std::span<const uint64_t>(keys, kBatchSize));
+    issued += kBatchSize;
+  }
+  const ClientStats delta = client.stats().Delta(before);
+  MeasuredCost cost;
+  cost.far_accesses = static_cast<double>(delta.far_ops) / kProbes;
+  cost.rpc_calls = static_cast<double>(delta.rpc_calls) / kProbes;
+  cost.messages = static_cast<double>(delta.messages) / kProbes;
+  cost.latency_ns =
+      static_cast<double>(client.clock().now_ns() - t0) / kProbes;
+  return cost;
+}
+
 }  // namespace
 }  // namespace fmds
 
@@ -111,6 +141,26 @@ int main() {
     });
   }
 
+  // ---- (d) HT-tree, batched MultiGet(kBatchSize) ----
+  MeasuredCost batched_cost;
+  {
+    BenchEnv env(DefaultFabric());
+    auto& client = env.NewClient();
+    HtTree::Options options;
+    options.buckets_per_table = 8192;
+    auto map =
+        CheckOk(HtTree::Create(&client, &env.alloc(), options), "httree");
+    for (uint64_t k = 1; k <= kKeys; ++k) {
+      CheckOk(map.Put(k, k), "put");
+    }
+    batched_cost =
+        MeasureBatchedWorkload(client, [&](std::span<const uint64_t> keys) {
+          for (auto& r : map.MultiGet(keys)) {
+            CheckOk(r.status(), "mget");
+          }
+        });
+  }
+
   Table costs({"design", "far_accesses/op", "messages/op", "1-client ns/op"});
   costs.AddRow({"RPC KV (two-sided)", Table::Cell(rpc_cost.rpc_calls, 2),
                 Table::Cell(rpc_cost.messages, 2),
@@ -123,6 +173,10 @@ int main() {
                 Table::Cell(httree_cost.far_accesses, 2),
                 Table::Cell(httree_cost.messages, 2),
                 Table::Cell(httree_cost.latency_ns, 0)});
+  costs.AddRow({"HT-tree batched x16",
+                Table::Cell(batched_cost.far_accesses, 2),
+                Table::Cell(batched_cost.messages, 2),
+                Table::Cell(batched_cost.latency_ns, 0)});
   costs.Print(std::cout, "E3a: measured per-lookup costs (100k keys)");
 
   // ---- Closed-system throughput curves ----
@@ -140,17 +194,24 @@ int main() {
   httree_model.bottleneck_demand_ns =
       httree_cost.messages * kMemNodeServiceNs;
 
+  WorkloadCost batched_model;
+  batched_model.delay_ns = batched_cost.latency_ns;
+  batched_model.bottleneck_demand_ns =
+      batched_cost.messages * kMemNodeServiceNs;
+
   std::vector<uint32_t> clients{1, 2, 4, 8, 16, 32, 64, 128, 256};
   Table curve({"clients", "RPC_Mops", "chainedHT_Mops", "HTtree_Mops",
-               "RPC_util"});
+               "HTtree_batch_Mops", "RPC_util"});
   for (uint32_t n : clients) {
     auto rpc_pt = SolveClosedSystem(rpc_model, n);
     auto ch_pt = SolveClosedSystem(chained_model, n);
     auto ht_pt = SolveClosedSystem(httree_model, n);
+    auto hb_pt = SolveClosedSystem(batched_model, n);
     curve.AddRow({Table::Cell(static_cast<uint64_t>(n)),
                   Table::Cell(rpc_pt.ops_per_sec / 1e6, 3),
                   Table::Cell(ch_pt.ops_per_sec / 1e6, 3),
                   Table::Cell(ht_pt.ops_per_sec / 1e6, 3),
+                  Table::Cell(hb_pt.ops_per_sec / 1e6, 3),
                   Table::Cell(rpc_pt.utilization, 2)});
   }
   curve.Print(std::cout,

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repo check: normal build + full test suite, then a ThreadSanitizer build
+# running the concurrency-sensitive suites (fabric, async pipeline,
+# notifications). Run from the repo root:
+#
+#   scripts/check.sh
+#
+# Env:
+#   JOBS       parallel build jobs (default: nproc)
+#   SKIP_TSAN  set to 1 to skip the sanitizer pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> normal build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "==> full test suite"
+ctest --test-dir build --output-on-failure
+
+if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
+  echo "==> TSan pass skipped (SKIP_TSAN=1)"
+  exit 0
+fi
+
+echo "==> TSan build"
+cmake -B build-tsan -S . -DFMDS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target \
+  fabric_test fabric_edge_test async_client_test notification_test
+
+echo "==> TSan: fabric + async + notification tests"
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'Fabric|AsyncClient|Notif'
+
+echo "==> all checks passed"

@@ -90,6 +90,114 @@ Result<uint64_t> ChainedHash::Get(uint64_t key) {
   }
 }
 
+std::vector<Result<uint64_t>> ChainedHash::MultiGet(
+    std::span<const uint64_t> keys) {
+  struct Probe {
+    size_t idx = 0;
+    uint64_t key = 0;
+    Item item{};
+  };
+  std::vector<Result<uint64_t>> results(
+      keys.size(), Status(StatusCode::kInternal, "multiget unresolved"));
+  gets_ += keys.size();
+
+  std::vector<Probe> probes;
+  probes.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    probes.push_back(Probe{i, keys[i], {}});
+  }
+
+  std::vector<size_t> walking;
+  std::vector<FarClient::Completion> done;
+
+  // Wave 1: all bucket probes in one doorbell (completions in post order).
+  if (options_.use_indirect) {
+    for (auto& probe : probes) {
+      client_->PostLoad0(BucketAddr(probe.key), AsBytes(probe.item));
+    }
+    (void)client_->WaitAll(&done);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (done[i].status.ok()) {
+        walking.push_back(i);
+      } else if (done[i].status.code() == StatusCode::kFailedPrecondition) {
+        results[probes[i].idx] =
+            Status(StatusCode::kNotFound, "empty bucket");
+      } else {
+        results[probes[i].idx] = done[i].status;
+      }
+    }
+  } else {
+    for (auto& probe : probes) {
+      client_->PostReadWord(BucketAddr(probe.key));
+    }
+    (void)client_->WaitAll(&done);
+    std::vector<size_t> live;
+    std::vector<FarAddr> heads;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (!done[i].status.ok()) {
+        results[probes[i].idx] = done[i].status;
+      } else if (done[i].word == kNullFarAddr) {
+        results[probes[i].idx] =
+            Status(StatusCode::kNotFound, "empty bucket");
+      } else {
+        live.push_back(i);
+        heads.push_back(done[i].word);
+      }
+    }
+    done.clear();
+    for (size_t j = 0; j < live.size(); ++j) {
+      client_->PostRead(heads[j], AsBytes(probes[live[j]].item));
+    }
+    (void)client_->WaitAll(&done);
+    for (size_t j = 0; j < live.size(); ++j) {
+      if (done[j].status.ok()) {
+        walking.push_back(live[j]);
+      } else {
+        results[probes[live[j]].idx] = done[j].status;
+      }
+    }
+  }
+
+  // Chain waves: one doorbell resolves the next hop of every open chain.
+  while (!walking.empty()) {
+    std::vector<size_t> continuing;
+    for (size_t i : walking) {
+      const Probe& probe = probes[i];
+      if (probe.item.key == probe.key) {
+        if ((probe.item.flags & kFlagTombstone) != 0) {
+          results[probe.idx] = Status(StatusCode::kNotFound, "key removed");
+        } else {
+          results[probe.idx] = probe.item.value;
+        }
+      } else if (probe.item.next == kNullFarAddr) {
+        results[probe.idx] = Status(StatusCode::kNotFound, "key absent");
+      } else {
+        continuing.push_back(i);
+      }
+    }
+    if (continuing.empty()) {
+      break;
+    }
+    done.clear();
+    for (size_t i : continuing) {
+      Probe& probe = probes[i];
+      client_->PostRead(probe.item.next, AsBytes(probe.item));
+      ++chain_hops_;
+    }
+    (void)client_->WaitAll(&done);
+    std::vector<size_t> still;
+    for (size_t j = 0; j < continuing.size(); ++j) {
+      if (done[j].status.ok()) {
+        still.push_back(continuing[j]);
+      } else {
+        results[probes[continuing[j]].idx] = done[j].status;
+      }
+    }
+    walking = std::move(still);
+  }
+  return results;
+}
+
 Status ChainedHash::InsertAtHead(uint64_t key, uint64_t value,
                                  uint64_t flags) {
   const FarAddr bucket = BucketAddr(key);

@@ -38,6 +38,11 @@ class ChainedHash {
   Status Put(uint64_t key, uint64_t value);
   Status Remove(uint64_t key);  // tombstone insert, like Put
 
+  // Batched multi-key lookup over the async pipeline: all bucket probes in
+  // one doorbell, chain hops in batched waves. Same per-key semantics as
+  // Get. Requires no other async ops pending on the client.
+  std::vector<Result<uint64_t>> MultiGet(std::span<const uint64_t> keys);
+
   // Average chain length observed by this handle's Gets.
   double observed_chain_length() const {
     return gets_ == 0 ? 0.0

@@ -59,6 +59,44 @@ Result<uint64_t> NeighborhoodHash::Get(uint64_t key) {
   return Status(StatusCode::kNotFound, "key absent");
 }
 
+std::vector<Result<uint64_t>> NeighborhoodHash::MultiGet(
+    std::span<const uint64_t> keys) {
+  std::vector<Result<uint64_t>> results(
+      keys.size(), Status(StatusCode::kInternal, "multiget unresolved"));
+  // One doorbell: every key's whole neighborhood in a single batched
+  // round trip (the sync path pays one round trip per key).
+  std::vector<std::vector<Slot>> windows(keys.size());
+  std::vector<size_t> posted;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == 0) {
+      results[i] = Status(StatusCode::kInvalidArgument, "key 0 reserved");
+      continue;
+    }
+    windows[i].resize(neighborhood_);
+    client_->PostRead(SlotAddr(HomeBucket(keys[i])),
+                      std::as_writable_bytes(std::span<Slot>(windows[i])));
+    posted.push_back(i);
+  }
+  std::vector<FarClient::Completion> done;
+  (void)client_->WaitAll(&done);
+  for (size_t j = 0; j < posted.size(); ++j) {
+    const size_t i = posted[j];
+    if (!done[j].status.ok()) {
+      results[i] = done[j].status;
+      continue;
+    }
+    client_->AccountNear(neighborhood_ / 4 + 1);  // local scan
+    results[i] = Status(StatusCode::kNotFound, "key absent");
+    for (const Slot& slot : windows[i]) {
+      if (slot.key == keys[i]) {
+        results[i] = slot.value;
+        break;
+      }
+    }
+  }
+  return results;
+}
+
 Status NeighborhoodHash::Put(uint64_t key, uint64_t value) {
   if (key == 0) {
     return InvalidArgument("key 0 reserved");

@@ -38,6 +38,11 @@ class NeighborhoodHash {
   Status Put(uint64_t key, uint64_t value);
   Status Remove(uint64_t key);
 
+  // Batched multi-key lookup: every neighborhood read rides one doorbell —
+  // k lookups cost one batched round trip instead of k. Requires no other
+  // async ops pending on the client.
+  std::vector<Result<uint64_t>> MultiGet(std::span<const uint64_t> keys);
+
   // Payload bytes a single lookup moves (the bandwidth cost of inlining).
   uint64_t lookup_bytes() const { return neighborhood_ * kSlotBytes; }
 

@@ -55,6 +55,76 @@ Result<std::vector<std::byte>> HtBlobStore::Get(uint64_t key,
   return value;
 }
 
+std::vector<Result<std::vector<std::byte>>> HtBlobStore::MultiGet(
+    std::span<const uint64_t> keys, uint64_t size_hint) {
+  std::vector<Result<std::vector<std::byte>>> results(
+      keys.size(),
+      Result<std::vector<std::byte>>(
+          Status(StatusCode::kInternal, "multiget unresolved")));
+  // Phase 1: all map lookups in batched waves.
+  std::vector<Result<uint64_t>> blobs = map_.MultiGet(keys);
+  // Phase 2: metadata + payload gather — every live blob's length prefix
+  // and speculative payload in one doorbell.
+  const uint64_t first_fetch =
+      kWordSize + (size_hint > 0 ? size_hint : kInlineFetch - kWordSize);
+  struct Fetch {
+    size_t idx = 0;
+    FarAddr blob = kNullFarAddr;
+    std::vector<std::byte> buf;
+  };
+  std::vector<Fetch> fetches;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!blobs[i].ok()) {
+      results[i] = blobs[i].status();
+      continue;
+    }
+    fetches.push_back(Fetch{i, *blobs[i], std::vector<std::byte>(first_fetch)});
+  }
+  for (Fetch& fetch : fetches) {
+    client_->PostRead(fetch.blob, fetch.buf);
+  }
+  std::vector<FarClient::Completion> done;
+  (void)client_->WaitAll(&done);
+  // Phase 3: tails beyond the speculative fetch share a final doorbell.
+  struct Tail {
+    size_t idx = 0;
+    uint64_t have = 0;
+  };
+  std::vector<Tail> tails;
+  for (size_t j = 0; j < fetches.size(); ++j) {
+    const Fetch& fetch = fetches[j];
+    if (!done[j].status.ok()) {
+      results[fetch.idx] = done[j].status;
+      continue;
+    }
+    const uint64_t len = LoadAs<uint64_t>(fetch.buf);
+    std::vector<std::byte> value(len);
+    const uint64_t have = std::min<uint64_t>(len, first_fetch - kWordSize);
+    std::memcpy(value.data(), fetch.buf.data() + kWordSize, have);
+    results[fetch.idx] = std::move(value);
+    if (have < len) {
+      tails.push_back(Tail{j, have});
+    }
+  }
+  if (tails.empty()) {
+    return results;
+  }
+  for (const Tail& tail : tails) {
+    const Fetch& fetch = fetches[tail.idx];
+    client_->PostRead(
+        fetch.blob + kWordSize + tail.have,
+        std::span<std::byte>(*results[fetch.idx]).subspan(tail.have));
+  }
+  done.clear();
+  (void)client_->WaitAll(&done);
+  for (size_t j = 0; j < tails.size(); ++j) {
+    if (!done[j].status.ok()) {
+      results[fetches[tails[j].idx].idx] = done[j].status;
+    }
+  }
+  return results;
+}
+
 Status HtBlobStore::Remove(uint64_t key) { return map_.Remove(key); }
 
 }  // namespace fmds

@@ -222,29 +222,37 @@ Status HtTree::RefreshCache() {
   options_.buckets_per_table = buckets_per_table_;
   options_.max_chain = hdr[kHdrMaxChain / 8];
 
-  // Level-order traversal, one rgather per level: the whole trie costs
-  // depth+1 round trips to mirror, not one per node.
-  std::vector<CachedNode> fresh;
-  std::vector<std::pair<FarAddr, int32_t>> frontier;  // (far addr, local idx)
-  fresh.push_back(CachedNode{});
-  frontier.emplace_back(hdr[kHdrRoot / 8], 0);
+  // Mirror the trie breadth-first through the batched pipeline: the whole
+  // trie costs depth+1 round trips, not one per node.
+  nodes_.clear();
+  FMDS_ASSIGN_OR_RETURN(int32_t root, FetchSubtree(hdr[kHdrRoot / 8]));
+  (void)root;  // appended into an empty cache, so always index 0
+  return OkStatus();
+}
+
+Result<int32_t> HtTree::FetchSubtree(FarAddr addr) {
+  // Level-order batched fetch: all nodes of one level ride one doorbell
+  // (both children of every internal node in a single round trip).
+  const int32_t root_idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(CachedNode{});
+  struct Fetch {
+    FarAddr addr;
+    int32_t idx;
+  };
+  std::vector<Fetch> frontier{{addr, root_idx}};
   while (!frontier.empty()) {
-    std::vector<FarSeg> iov;
-    iov.reserve(frontier.size());
-    for (const auto& [addr, idx] : frontier) {
-      iov.push_back(FarSeg{addr, kNodeBytes});
-    }
     std::vector<NodeRec> recs(frontier.size());
-    FMDS_RETURN_IF_ERROR(client_->RGather(
-        iov, std::as_writable_bytes(std::span<NodeRec>(recs))));
-    std::vector<std::pair<FarAddr, int32_t>> next;
     for (size_t i = 0; i < frontier.size(); ++i) {
-      const auto [addr, idx] = frontier[i];
+      client_->PostRead(frontier[i].addr, AsBytes(recs[i]));
+    }
+    FMDS_RETURN_IF_ERROR(client_->WaitAll());
+    std::vector<Fetch> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
       const NodeRec& rec = recs[i];
       // Build locally and assign by index: the push_backs below reallocate
-      // `fresh`, so no reference into it may be held across them.
+      // `nodes_`, so no reference into it may be held across them.
       CachedNode node;
-      node.addr = addr;
+      node.addr = frontier[i].addr;
       node.depth = rec.depth();
       if (rec.leaf()) {
         node.leaf = true;
@@ -253,41 +261,18 @@ Status HtTree::RefreshCache() {
         node.sentinel = rec.c;
       } else {
         node.leaf = false;
-        node.child[0] = static_cast<int32_t>(fresh.size());
-        fresh.push_back(CachedNode{});
-        node.child[1] = static_cast<int32_t>(fresh.size());
-        fresh.push_back(CachedNode{});
-        next.emplace_back(rec.a, node.child[0]);
-        next.emplace_back(rec.b, node.child[1]);
+        node.child[0] = static_cast<int32_t>(nodes_.size());
+        nodes_.push_back(CachedNode{});
+        node.child[1] = static_cast<int32_t>(nodes_.size());
+        nodes_.push_back(CachedNode{});
+        next.push_back(Fetch{rec.a, node.child[0]});
+        next.push_back(Fetch{rec.b, node.child[1]});
       }
-      fresh[idx] = node;
+      nodes_[frontier[i].idx] = node;
     }
     frontier = std::move(next);
   }
-  nodes_ = std::move(fresh);
-  return OkStatus();
-}
-
-Result<int32_t> HtTree::FetchSubtree(FarAddr addr) {
-  NodeRec rec;
-  FMDS_RETURN_IF_ERROR(client_->Read(addr, AsBytes(rec)));
-  const int32_t idx = static_cast<int32_t>(nodes_.size());
-  nodes_.push_back(CachedNode{});
-  CachedNode node;
-  node.addr = addr;
-  node.depth = rec.depth();
-  if (rec.leaf()) {
-    node.leaf = true;
-    node.table = rec.a;
-    node.version = rec.b;
-    node.sentinel = rec.c;
-  } else {
-    node.leaf = false;
-    FMDS_ASSIGN_OR_RETURN(node.child[0], FetchSubtree(rec.a));
-    FMDS_ASSIGN_OR_RETURN(node.child[1], FetchSubtree(rec.b));
-  }
-  nodes_[idx] = node;
-  return idx;
+  return root_idx;
 }
 
 Status HtTree::RefreshPath(uint64_t hash) {
@@ -400,6 +385,149 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
     }
   }
   return Status(StatusCode::kAborted, "get retries exhausted");
+}
+
+std::vector<Result<uint64_t>> HtTree::MultiGet(
+    std::span<const uint64_t> keys) {
+  struct Probe {
+    size_t idx = 0;  // index into keys/results
+    uint64_t key = 0;
+    uint64_t hash = 0;
+    CachedNode leaf;
+    FarAddr bucket = kNullFarAddr;
+    Item item{};  // current chain item image
+  };
+  std::vector<Result<uint64_t>> results(
+      keys.size(), Status(StatusCode::kInternal, "multiget unresolved"));
+  op_stats_.gets += keys.size();
+
+  std::vector<Probe> probes;
+  probes.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Probe probe;
+    probe.idx = i;
+    probe.key = keys[i];
+    probe.hash = Mix64(keys[i]);
+    probe.leaf = nodes_[DescendCached(probe.hash)];
+    probe.bucket = BucketAddr(probe.leaf.table, BucketIndex(probe.hash));
+    probes.push_back(probe);
+  }
+
+  std::vector<size_t> stale;    // probes retried via the sync path
+  std::vector<size_t> walking;  // probes holding a valid item image
+  std::vector<FarClient::Completion> done;
+
+  // Wave 1: every bucket probe rides one doorbell. Completions come back in
+  // post order, so done[j] matches the j-th posted probe.
+  if (options_.use_indirect) {
+    for (auto& probe : probes) {
+      client_->PostLoad0(probe.bucket, AsBytes(probe.item));
+    }
+    (void)client_->WaitAll(&done);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (!done[i].status.ok()) {
+        results[probes[i].idx] = done[i].status;
+      } else {
+        walking.push_back(i);
+      }
+    }
+  } else {
+    // Today's verbs (ablation): one doorbell of bucket words, then one of
+    // head items — two batched round trips where the sync path pays two
+    // round trips *per key*.
+    for (auto& probe : probes) {
+      client_->PostReadWord(probe.bucket);
+    }
+    (void)client_->WaitAll(&done);
+    std::vector<size_t> live;
+    std::vector<FarAddr> heads;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (!done[i].status.ok()) {
+        results[probes[i].idx] = done[i].status;
+      } else {
+        live.push_back(i);
+        heads.push_back(done[i].word);
+      }
+    }
+    done.clear();
+    for (size_t j = 0; j < live.size(); ++j) {
+      client_->PostRead(heads[j], AsBytes(probes[live[j]].item));
+    }
+    (void)client_->WaitAll(&done);
+    for (size_t j = 0; j < live.size(); ++j) {
+      if (!done[j].status.ok()) {
+        results[probes[live[j]].idx] = done[j].status;
+      } else {
+        walking.push_back(live[j]);
+      }
+    }
+  }
+
+  // Staleness check on the heads; stale views fall back to the sync path.
+  {
+    std::vector<size_t> fresh;
+    for (size_t i : walking) {
+      const Probe& probe = probes[i];
+      client_->AccountNear(1);
+      if ((probe.item.meta & kFlagRetired) != 0 ||
+          VersionOf(probe.item.meta) != probe.leaf.version) {
+        stale.push_back(i);
+      } else {
+        fresh.push_back(i);
+      }
+    }
+    walking = std::move(fresh);
+  }
+
+  // Chain walk: each wave resolves every still-walking key's next item in
+  // one doorbell (no proactive splits on this read-only path).
+  while (!walking.empty()) {
+    std::vector<size_t> continuing;
+    for (size_t i : walking) {
+      const Probe& probe = probes[i];
+      const Item& item = probe.item;
+      if ((item.meta & kFlagSentinel) != 0) {
+        results[probe.idx] = Status(StatusCode::kNotFound, "key absent");
+      } else if (item.key == probe.key) {
+        if ((item.meta & kFlagTombstone) != 0) {
+          results[probe.idx] = Status(StatusCode::kNotFound, "key removed");
+        } else {
+          results[probe.idx] = item.value;
+        }
+      } else if (item.next == kNullFarAddr) {
+        results[probe.idx] = Status(StatusCode::kNotFound, "key absent");
+      } else {
+        continuing.push_back(i);
+      }
+    }
+    if (continuing.empty()) {
+      break;
+    }
+    done.clear();
+    for (size_t i : continuing) {
+      Probe& probe = probes[i];
+      // addr is captured at post time, so reading into `item` is safe even
+      // though it overwrites the `next` field the address came from.
+      client_->PostRead(probe.item.next, AsBytes(probe.item));
+      ++op_stats_.chain_hops;
+    }
+    (void)client_->WaitAll(&done);
+    std::vector<size_t> still;
+    for (size_t j = 0; j < continuing.size(); ++j) {
+      if (!done[j].status.ok()) {
+        results[probes[continuing[j]].idx] = done[j].status;
+      } else {
+        still.push_back(continuing[j]);
+      }
+    }
+    walking = std::move(still);
+  }
+
+  for (size_t i : stale) {
+    --op_stats_.gets;  // Get() bumps it again
+    results[probes[i].idx] = Get(probes[i].key);
+  }
+  return results;
 }
 
 Status HtTree::Put(uint64_t key, uint64_t value) {

@@ -88,6 +88,15 @@ class HtTree {
   Status Put(uint64_t key, uint64_t value);
   Status Remove(uint64_t key);
 
+  // Batched multi-key lookup over the async pipeline: every key's bucket
+  // probe rides one doorbell (one client round trip for the whole batch
+  // instead of one per key), and chain continuations proceed in batched
+  // waves. Per-key semantics match Get exactly; keys whose cached view turns
+  // out stale fall back to the synchronous path. Unlike Get this never
+  // triggers proactive splits (it is a read-only fast path). Requires no
+  // other async ops pending on the client.
+  std::vector<Result<uint64_t>> MultiGet(std::span<const uint64_t> keys);
+
   // Re-reads the trie from far memory (level-by-level rgather).
   Status RefreshCache();
 

@@ -419,6 +419,338 @@ Status FarClient::CasBatch(std::span<const CasTarget> targets,
   return OkStatus();
 }
 
+// ------------------------- Async batched pipeline -------------------------
+
+FarClient::OpId FarClient::Enqueue(PendingOp op) {
+  op.id = next_op_id_++;
+  const OpId id = op.id;
+  issue_queue_.push_back(std::move(op));
+  return id;
+}
+
+FarClient::OpId FarClient::PostRead(FarAddr addr, std::span<std::byte> out) {
+  PendingOp op;
+  op.kind = OpKind::kRead;
+  op.addr = addr;
+  op.out = out;
+  return Enqueue(std::move(op));
+}
+
+FarClient::OpId FarClient::PostWrite(FarAddr addr,
+                                     std::span<const std::byte> data) {
+  PendingOp op;
+  op.kind = OpKind::kWrite;
+  op.addr = addr;
+  op.payload.assign(data.begin(), data.end());
+  return Enqueue(std::move(op));
+}
+
+FarClient::OpId FarClient::PostReadWord(FarAddr addr) {
+  PendingOp op;
+  op.kind = OpKind::kReadWord;
+  op.addr = addr;
+  return Enqueue(std::move(op));
+}
+
+FarClient::OpId FarClient::PostWriteWord(FarAddr addr, uint64_t value) {
+  PendingOp op;
+  op.kind = OpKind::kWriteWord;
+  op.addr = addr;
+  op.arg0 = value;
+  return Enqueue(std::move(op));
+}
+
+FarClient::OpId FarClient::PostCompareSwap(FarAddr addr, uint64_t expected,
+                                           uint64_t desired) {
+  PendingOp op;
+  op.kind = OpKind::kCas;
+  op.addr = addr;
+  op.arg0 = expected;
+  op.arg1 = desired;
+  return Enqueue(std::move(op));
+}
+
+FarClient::OpId FarClient::PostFetchAdd(FarAddr addr, uint64_t delta) {
+  PendingOp op;
+  op.kind = OpKind::kFetchAdd;
+  op.addr = addr;
+  op.arg0 = delta;
+  return Enqueue(std::move(op));
+}
+
+FarClient::OpId FarClient::PostLoad0(FarAddr ad, std::span<std::byte> out) {
+  PendingOp op;
+  op.kind = OpKind::kLoad0;
+  op.addr = ad;
+  op.out = out;
+  return Enqueue(std::move(op));
+}
+
+FarClient::OpId FarClient::PostRGather(std::vector<FarSeg> iov,
+                                       std::span<std::byte> out) {
+  PendingOp op;
+  op.kind = OpKind::kRGather;
+  op.iov = std::move(iov);
+  op.out = out;
+  return Enqueue(std::move(op));
+}
+
+Status FarClient::ExecuteBatchedOp(
+    PendingOp& op, uint64_t* word,
+    std::unordered_map<NodeId, BatchGroup>& groups, uint64_t* messages,
+    uint64_t* fabric_ops, uint64_t* serial_ns, uint64_t* serial_rtts) {
+  // One node-group contribution: `msgs` fabric messages carrying
+  // `payload_bytes` whose occupancy lands on `node`, plus forward hops.
+  auto charge = [&](NodeId node, uint64_t payload_bytes, uint64_t msgs,
+                    uint64_t hops) {
+    BatchGroup& group = groups[node];
+    ++group.contribs;
+    group.wire_ns +=
+        latency_.per_byte_ns * static_cast<double>(payload_bytes);
+    group.hops += hops;
+    *messages += msgs;
+  };
+
+  switch (op.kind) {
+    case OpKind::kRead: {
+      std::vector<Fabric::Segment> segs;
+      FMDS_RETURN_IF_ERROR(fabric_->Segments(op.addr, op.out.size(), segs));
+      size_t produced = 0;
+      for (const auto& seg : segs) {
+        fabric_->node(seg.node).ReadRange(
+            seg.offset,
+            op.out.subspan(produced, static_cast<size_t>(seg.len)));
+        charge(seg.node, seg.len, 1, 0);
+        produced += static_cast<size_t>(seg.len);
+      }
+      stats_.bytes_read += op.out.size();
+      ++*fabric_ops;
+      return OkStatus();
+    }
+    case OpKind::kWrite: {
+      std::vector<Fabric::Segment> segs;
+      FMDS_RETURN_IF_ERROR(
+          fabric_->Segments(op.addr, op.payload.size(), segs));
+      size_t consumed = 0;
+      for (const auto& seg : segs) {
+        fabric_->node(seg.node).WriteRange(
+            seg.offset,
+            std::span<const std::byte>(op.payload)
+                .subspan(consumed, static_cast<size_t>(seg.len)),
+            clock_.now_ns());
+        charge(seg.node, seg.len, 1, 0);
+        consumed += static_cast<size_t>(seg.len);
+      }
+      stats_.bytes_written += op.payload.size();
+      ++*fabric_ops;
+      return OkStatus();
+    }
+    case OpKind::kReadWord:
+    case OpKind::kWriteWord:
+    case OpKind::kCas:
+    case OpKind::kFetchAdd: {
+      if (!IsWordAligned(op.addr)) {
+        return InvalidArgument("unaligned word op in batch");
+      }
+      FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(op.addr));
+      MemoryNode& node = fabric_->node(loc.node);
+      switch (op.kind) {
+        case OpKind::kReadWord:
+          *word = node.LoadWord(loc.offset);
+          stats_.bytes_read += kWordSize;
+          break;
+        case OpKind::kWriteWord:
+          node.StoreWord(loc.offset, op.arg0, clock_.now_ns());
+          stats_.bytes_written += kWordSize;
+          break;
+        case OpKind::kCas:
+          *word = node.CompareSwapWord(loc.offset, op.arg0, op.arg1,
+                                       clock_.now_ns());
+          stats_.bytes_read += kWordSize;
+          stats_.bytes_written += kWordSize;
+          break;
+        default:  // OpKind::kFetchAdd
+          *word = node.FetchAddWord(loc.offset, op.arg0, clock_.now_ns());
+          stats_.bytes_read += kWordSize;
+          stats_.bytes_written += kWordSize;
+          break;
+      }
+      charge(loc.node, kWordSize, 1, 0);
+      ++*fabric_ops;
+      return OkStatus();
+    }
+    case OpKind::kLoad0: {
+      if (!IsWordAligned(op.addr)) {
+        return InvalidArgument("indirect pointer location must be word-aligned");
+      }
+      FMDS_ASSIGN_OR_RETURN(auto home, fabric_->Translate(op.addr));
+      MemoryNode& home_node = fabric_->node(home.node);
+      home_node.stats().indirections.fetch_add(1, std::memory_order_relaxed);
+      const FarAddr pointer = home_node.LoadWord(home.offset);
+      if (pointer == kNullFarAddr) {
+        // The round trip completed and found a null pointer.
+        stats_.bytes_read += kWordSize;
+        charge(home.node, kWordSize, 1, 0);
+        ++*fabric_ops;
+        return Status(StatusCode::kFailedPrecondition,
+                      "null indirect pointer");
+      }
+      const uint64_t len = op.out.size();
+      std::vector<Fabric::Segment> segs;
+      Status seg_status = fabric_->Segments(pointer, len, segs);
+      if (!seg_status.ok()) {
+        stats_.bytes_read += kWordSize;
+        charge(home.node, kWordSize, 1, 0);
+        ++*fabric_ops;
+        return seg_status;
+      }
+      uint64_t remote_hops = 0;
+      for (const auto& seg : segs) {
+        if (seg.node != home.node) {
+          ++remote_hops;
+        }
+      }
+      if (remote_hops > 0 &&
+          fabric_->options().indirection == IndirectionPolicy::kError) {
+        // §7.1 kError: the pointer bounces back inside the batch; the client
+        // completes the read with a second round trip that cannot overlap
+        // anything (it depends on this batch), so it is charged serially.
+        stats_.bytes_read += kWordSize;
+        charge(home.node, kWordSize, 1, 0);
+        ++*fabric_ops;
+        size_t produced = 0;
+        for (const auto& seg : segs) {
+          fabric_->node(seg.node).ReadRange(
+              seg.offset,
+              op.out.subspan(produced, static_cast<size_t>(seg.len)));
+          produced += static_cast<size_t>(seg.len);
+        }
+        stats_.bytes_read += len;
+        *messages += segs.size();
+        *serial_ns += latency_.FarRoundTripNs(len);
+        ++*serial_rtts;
+        ++*fabric_ops;
+        *word = pointer;
+        return OkStatus();
+      }
+      if (remote_hops > 0) {
+        home_node.stats().forwards.fetch_add(remote_hops,
+                                             std::memory_order_relaxed);
+      }
+      size_t produced = 0;
+      for (const auto& seg : segs) {
+        fabric_->node(seg.node).ReadRange(
+            seg.offset,
+            op.out.subspan(produced, static_cast<size_t>(seg.len)));
+        produced += static_cast<size_t>(seg.len);
+      }
+      stats_.bytes_read += len;
+      charge(home.node, kWordSize + len, 1 + remote_hops, remote_hops);
+      ++*fabric_ops;
+      *word = pointer;
+      return OkStatus();
+    }
+    case OpKind::kRGather: {
+      uint64_t total = 0;
+      for (const auto& far : op.iov) {
+        total += far.len;
+      }
+      if (total > op.out.size()) {
+        return InvalidArgument("rgather output buffer too small");
+      }
+      size_t produced = 0;
+      for (const auto& far : op.iov) {
+        std::vector<Fabric::Segment> segs;
+        FMDS_RETURN_IF_ERROR(fabric_->Segments(far.addr, far.len, segs));
+        size_t inner = 0;
+        for (const auto& seg : segs) {
+          fabric_->node(seg.node).ReadRange(
+              seg.offset,
+              op.out.subspan(produced + inner,
+                             static_cast<size_t>(seg.len)));
+          charge(seg.node, seg.len, 1, 0);
+          inner += static_cast<size_t>(seg.len);
+        }
+        produced += static_cast<size_t>(far.len);
+      }
+      stats_.bytes_read += total;
+      ++*fabric_ops;
+      return OkStatus();
+    }
+  }
+  return Internal("bad batched op kind");
+}
+
+Status FarClient::Flush() {
+  if (issue_queue_.empty()) {
+    return OkStatus();
+  }
+  std::vector<PendingOp> batch;
+  batch.swap(issue_queue_);
+  std::unordered_map<NodeId, BatchGroup> groups;
+  uint64_t messages = 0;
+  uint64_t fabric_ops = 0;   // logical round trips the sync path would pay
+  uint64_t serial_ns = 0;    // dependent second accesses (kError policy)
+  uint64_t serial_rtts = 0;
+  for (auto& op : batch) {
+    Completion completion;
+    completion.id = op.id;
+    uint64_t word = 0;
+    completion.status = ExecuteBatchedOp(op, &word, groups, &messages,
+                                         &fabric_ops, &serial_ns,
+                                         &serial_rtts);
+    completion.word = word;
+    completion_queue_.push_back(std::move(completion));
+  }
+  // One doorbell: per-node groups proceed in parallel; the client waits for
+  // the slowest, then for any serialized dependent accesses.
+  uint64_t batch_ns = 0;
+  for (const auto& [node, group] : groups) {
+    const uint64_t cost =
+        latency_.far_base_ns + static_cast<uint64_t>(group.wire_ns) +
+        (group.contribs - 1) * latency_.batch_op_ns +
+        group.hops * latency_.node_hop_ns;
+    batch_ns = std::max(batch_ns, cost);
+  }
+  ++stats_.batches;
+  stats_.batched_ops += batch.size();
+  stats_.messages += messages;
+  const uint64_t waited_rtts = (groups.empty() ? 0 : 1) + serial_rtts;
+  stats_.far_ops += waited_rtts;
+  if (fabric_ops > waited_rtts) {
+    stats_.overlapped_rtts_saved += fabric_ops - waited_rtts;
+  }
+  clock_.Advance(batch_ns + serial_ns);
+  return OkStatus();
+}
+
+std::optional<FarClient::Completion> FarClient::Poll() {
+  AccountNear(1);  // completion-queue check
+  if (completion_queue_.empty()) {
+    return std::nullopt;
+  }
+  Completion completion = std::move(completion_queue_.front());
+  completion_queue_.pop_front();
+  return completion;
+}
+
+Status FarClient::WaitAll(std::vector<Completion>* out) {
+  FMDS_RETURN_IF_ERROR(Flush());
+  AccountNear(1);
+  Status first = OkStatus();
+  while (!completion_queue_.empty()) {
+    Completion completion = std::move(completion_queue_.front());
+    completion_queue_.pop_front();
+    if (first.ok() && !completion.status.ok()) {
+      first = completion.status;
+    }
+    if (out != nullptr) {
+      out->push_back(std::move(completion));
+    }
+  }
+  return first;
+}
+
 // ------------------------------ Notifications ------------------------------
 
 Result<SubId> FarClient::Subscribe(const NotifySpec& spec) {
@@ -477,9 +809,10 @@ Result<NotifyEvent> FarClient::WaitNotification(uint64_t timeout_ms) {
 // ------------------------------- Accounting -------------------------------
 
 void FarClient::Fence() {
-  // All operations in this implementation are synchronous, so ordering is
-  // already program order; the fence is kept for API fidelity and costs one
-  // near access (completion-queue check).
+  // Synchronous ops already execute in program order; posted async ops are
+  // submitted here so nothing issued before the fence can reorder past it.
+  // Costs one near access (completion-queue check) on top of the flush.
+  (void)Flush();
   AccountNear(1);
 }
 

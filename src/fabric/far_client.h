@@ -19,9 +19,11 @@
 #define FMDS_SRC_FABRIC_FAR_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
@@ -112,6 +114,54 @@ class FarClient {
   Status CasBatch(std::span<const CasTarget> targets,
                   std::span<uint64_t> observed);
 
+  // ------------------ Async batched pipeline (§3.1, §4.2) ------------------
+  // The paper's round-trip argument cuts both ways: dependent accesses cost
+  // one RTT each, but *independent* accesses can be overlapped. Post*
+  // enqueues an operation into the client's issue queue without touching the
+  // fabric; Flush() is the doorbell that submits the whole batch. The
+  // latency model charges a batch of k independent ops to the same memory
+  // node one base round trip plus per-op wire/occupancy cost (not k RTTs);
+  // ops bound for different nodes overlap, so the client waits for the
+  // slowest node group. Completions are delivered in post order through
+  // Poll()/WaitAll() and carry a per-op Status plus the word result (read
+  // value / pre-op value / indirect pointer).
+  //
+  // Lifetime: read output spans must stay valid until the op's completion is
+  // observed; write payloads are copied at Post time. A FarClient is owned
+  // by one application thread, so the queues need no locking.
+  using OpId = uint64_t;
+
+  struct Completion {
+    OpId id = 0;
+    Status status;
+    // ReadWord value, CAS/fetch-add pre-op value, or indirect pointer.
+    uint64_t word = 0;
+  };
+
+  OpId PostRead(FarAddr addr, std::span<std::byte> out);
+  OpId PostWrite(FarAddr addr, std::span<const std::byte> data);
+  OpId PostReadWord(FarAddr addr);
+  OpId PostWriteWord(FarAddr addr, uint64_t value);
+  OpId PostCompareSwap(FarAddr addr, uint64_t expected, uint64_t desired);
+  OpId PostFetchAdd(FarAddr addr, uint64_t delta);
+  // Indirect read (Fig. 1 load0): tmp = *ad, read out.size() bytes at tmp.
+  OpId PostLoad0(FarAddr ad, std::span<std::byte> out);
+  // Scatter-gather read of a far iovec into the contiguous `out`.
+  OpId PostRGather(std::vector<FarSeg> iov, std::span<std::byte> out);
+
+  size_t pending_ops() const { return issue_queue_.size(); }
+  size_t pending_completions() const { return completion_queue_.size(); }
+
+  // Doorbell: submits every posted op in post order, advances the clock by
+  // the modelled batch latency, and moves completions to the completion
+  // queue. A flush with nothing posted is a (free) no-op.
+  Status Flush();
+  // Pops the oldest completion, if any. Completions surface in post order.
+  std::optional<Completion> Poll();
+  // Flushes pending ops, drains every completion into `out` (if given), and
+  // returns OK iff all drained ops succeeded (first error otherwise).
+  Status WaitAll(std::vector<Completion>* out = nullptr);
+
   // ----------------------- Notifications (§4.3) -----------------------
   Result<SubId> Subscribe(const NotifySpec& spec);
   Status Unsubscribe(SubId id);
@@ -125,8 +175,9 @@ class FarClient {
 
   // --------------------------- Ordering (§2) ---------------------------
   // Memory barrier: all previously issued operations complete before any
-  // later one. Our ops are synchronous, so this is a (counted) no-op kept
-  // for API fidelity.
+  // later one. Synchronous ops already execute in program order; posted
+  // async ops are flushed here, so a fence orders them against everything
+  // that follows. Completions stay pollable after the fence.
   void Fence();
 
   // -------------------------- Accounting hooks --------------------------
@@ -172,6 +223,47 @@ class FarClient {
   void AccountRoundTrip(uint64_t payload_bytes, uint64_t messages,
                         uint64_t extra_hops);
 
+  // ---- Async pipeline internals ----
+  enum class OpKind : uint8_t {
+    kRead,
+    kWrite,
+    kReadWord,
+    kWriteWord,
+    kCas,
+    kFetchAdd,
+    kLoad0,
+    kRGather,
+  };
+
+  struct PendingOp {
+    OpId id = 0;
+    OpKind kind = OpKind::kRead;
+    FarAddr addr = kNullFarAddr;
+    uint64_t arg0 = 0;  // CAS expected / fetch-add delta / write word value
+    uint64_t arg1 = 0;  // CAS desired
+    std::span<std::byte> out;        // read destination (caller-owned)
+    std::vector<std::byte> payload;  // write data (copied at Post time)
+    std::vector<FarSeg> iov;         // rgather source list
+  };
+
+  // Per-node accumulator for one Flush: cost_n = far_base + wire_ns +
+  // (contribs-1)*batch_op_ns + hops*node_hop_ns; the clock advances by the
+  // max over nodes plus any serialized extra round trips (kError policy).
+  struct BatchGroup {
+    uint64_t contribs = 0;
+    double wire_ns = 0.0;
+    uint64_t hops = 0;
+  };
+
+  OpId Enqueue(PendingOp op);
+  // Executes one posted op against the memory nodes, accumulating node-group
+  // charges into `groups` and message/serial-RTT totals; returns the
+  // per-op status and fills `word`.
+  Status ExecuteBatchedOp(PendingOp& op, uint64_t* word,
+                          std::unordered_map<NodeId, BatchGroup>& groups,
+                          uint64_t* messages, uint64_t* fabric_ops,
+                          uint64_t* serial_ns, uint64_t* serial_rtts);
+
   Fabric* fabric_;
   uint64_t client_id_;
   LatencyModel latency_;
@@ -179,6 +271,10 @@ class FarClient {
   ClientStats stats_;
   NotificationChannel channel_;
   std::unordered_map<SubId, NodeId> sub_homes_;
+
+  std::vector<PendingOp> issue_queue_;
+  std::deque<Completion> completion_queue_;
+  OpId next_op_id_ = 1;
 };
 
 }  // namespace fmds

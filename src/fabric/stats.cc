@@ -5,10 +5,11 @@
 namespace fmds {
 
 std::string ClientStats::ToString() const {
-  char buf[320];
+  char buf[448];
   std::snprintf(buf, sizeof(buf),
                 "far_ops=%llu msgs=%llu rd=%lluB wr=%lluB near=%llu rpc=%llu "
-                "notif=%llu slow=%llu bg=%llu",
+                "notif=%llu slow=%llu bg=%llu batches=%llu batched=%llu "
+                "rtts_saved=%llu",
                 static_cast<unsigned long long>(far_ops),
                 static_cast<unsigned long long>(messages),
                 static_cast<unsigned long long>(bytes_read),
@@ -17,7 +18,10 @@ std::string ClientStats::ToString() const {
                 static_cast<unsigned long long>(rpc_calls),
                 static_cast<unsigned long long>(notifications),
                 static_cast<unsigned long long>(slow_path_ops),
-                static_cast<unsigned long long>(background_ops));
+                static_cast<unsigned long long>(background_ops),
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(batched_ops),
+                static_cast<unsigned long long>(overlapped_rtts_saved));
   return buf;
 }
 

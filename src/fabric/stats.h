@@ -22,6 +22,12 @@ struct ClientStats {
   uint64_t notifications = 0;   // notification events consumed
   uint64_t slow_path_ops = 0;   // data-structure slow-path entries
   uint64_t background_ops = 0;  // far ops posted off the critical path
+  // Async pipeline (doorbell batching): far_ops counts round-trip latencies
+  // the client serially waited for, so a flushed batch of k independent ops
+  // bumps far_ops once and these three record the pipelining.
+  uint64_t batches = 0;               // Flush() doorbells issued
+  uint64_t batched_ops = 0;           // ops carried inside those batches
+  uint64_t overlapped_rtts_saved = 0; // round trips overlapped vs sync path
 
   ClientStats Delta(const ClientStats& earlier) const {
     ClientStats d;
@@ -34,6 +40,10 @@ struct ClientStats {
     d.notifications = notifications - earlier.notifications;
     d.slow_path_ops = slow_path_ops - earlier.slow_path_ops;
     d.background_ops = background_ops - earlier.background_ops;
+    d.batches = batches - earlier.batches;
+    d.batched_ops = batched_ops - earlier.batched_ops;
+    d.overlapped_rtts_saved =
+        overlapped_rtts_saved - earlier.overlapped_rtts_saved;
     return d;
   }
 
@@ -47,6 +57,9 @@ struct ClientStats {
     notifications += other.notifications;
     slow_path_ops += other.slow_path_ops;
     background_ops += other.background_ops;
+    batches += other.batches;
+    batched_ops += other.batched_ops;
+    overlapped_rtts_saved += other.overlapped_rtts_saved;
   }
 
   std::string ToString() const;

@@ -35,10 +35,27 @@ struct LatencyModel {
   // Fabric-to-client latency of a notification event (§4.3).
   uint64_t notify_delay_ns = 1200;
 
+  // Issue/occupancy cost of each additional operation riding in a doorbell
+  // batch (§3.1 / doorbell batching): the NIC and memory-node controller
+  // process batched ops back to back, so a batch of k independent ops to one
+  // node costs one base round trip plus (k-1) of these, not k round trips.
+  uint64_t batch_op_ns = 100;
+
   // Latency of one one-sided round trip moving `payload_bytes`.
   uint64_t FarRoundTripNs(uint64_t payload_bytes) const {
     return far_base_ns +
            static_cast<uint64_t>(per_byte_ns * static_cast<double>(payload_bytes));
+  }
+
+  // Latency of a doorbell batch of `ops` independent operations moving
+  // `payload_bytes` in total to ONE memory node: one base round trip, each
+  // op's wire bytes, and per-op controller occupancy beyond the first.
+  // Cross-node batches overlap: the client charges the max across nodes.
+  uint64_t BatchNs(uint64_t ops, uint64_t payload_bytes) const {
+    if (ops == 0) {
+      return 0;
+    }
+    return FarRoundTripNs(payload_bytes) + (ops - 1) * batch_op_ns;
   }
 
   // Latency of an RPC: one round trip plus server service time.

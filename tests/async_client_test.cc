@@ -1,0 +1,572 @@
+// Async batched pipeline (Post*/Flush/Poll/WaitAll): completion ordering,
+// partial-batch flushes, per-op error propagation, latency/stats accounting
+// (doorbell batching, §3.1/§4.2), equivalence of async interleavings with
+// the sync path, a multi-threaded flush stress, and MultiGet hot paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/chained_hash.h"
+#include "src/baselines/neighborhood_hash.h"
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/core/blob_store.h"
+#include "src/core/ht_tree.h"
+#include "tests/test_env.h"
+
+namespace fmds {
+namespace {
+
+// ---------------------------- Core pipeline ----------------------------
+
+TEST(AsyncClientTest, CompletionsArriveInPostOrder) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 11).ok());
+  ASSERT_TRUE(client.WriteWord(72, 22).ok());
+  ASSERT_TRUE(client.WriteWord(80, 33).ok());
+
+  const auto id1 = client.PostReadWord(80);
+  const auto id2 = client.PostReadWord(64);
+  const auto id3 = client.PostReadWord(72);
+  EXPECT_EQ(client.pending_ops(), 3u);
+  ASSERT_TRUE(client.Flush().ok());
+  EXPECT_EQ(client.pending_ops(), 0u);
+  EXPECT_EQ(client.pending_completions(), 3u);
+
+  auto c1 = client.Poll();
+  auto c2 = client.Poll();
+  auto c3 = client.Poll();
+  ASSERT_TRUE(c1 && c2 && c3);
+  EXPECT_EQ(c1->id, id1);
+  EXPECT_EQ(c2->id, id2);
+  EXPECT_EQ(c3->id, id3);
+  EXPECT_EQ(c1->word, 33u);
+  EXPECT_EQ(c2->word, 11u);
+  EXPECT_EQ(c3->word, 22u);
+  EXPECT_FALSE(client.Poll().has_value());
+}
+
+TEST(AsyncClientTest, BatchExecutesInPostOrderWithinOneFlush) {
+  // A write posted before a read of the same word must be visible to it.
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 1).ok());
+  client.PostWriteWord(64, 42);
+  client.PostReadWord(64);
+  client.PostCompareSwap(64, 42, 99);
+  client.PostFetchAdd(64, 1);
+  std::vector<FarClient::Completion> done;
+  ASSERT_TRUE(client.WaitAll(&done).ok());
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done[1].word, 42u);   // read sees the posted write
+  EXPECT_EQ(done[2].word, 42u);   // CAS observes 42, installs 99
+  EXPECT_EQ(done[3].word, 99u);   // fetch-add observes the CAS result
+  EXPECT_EQ(*client.ReadWord(64), 100u);
+}
+
+TEST(AsyncClientTest, PartialBatchFlushes) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  const ClientStats before = client.stats();
+  client.PostWriteWord(64, 7);
+  client.PostWriteWord(72, 8);
+  ASSERT_TRUE(client.Flush().ok());
+  client.PostReadWord(64);
+  client.PostReadWord(72);
+  client.PostReadWord(64);
+  ASSERT_TRUE(client.Flush().ok());
+  const ClientStats delta = client.stats().Delta(before);
+  EXPECT_EQ(delta.batches, 2u);
+  EXPECT_EQ(delta.batched_ops, 5u);
+  EXPECT_EQ(delta.far_ops, 2u);  // one waited round trip per doorbell
+  EXPECT_EQ(client.pending_completions(), 5u);
+  // An empty flush is free.
+  const ClientStats before_empty = client.stats();
+  ASSERT_TRUE(client.Flush().ok());
+  EXPECT_EQ(client.stats().Delta(before_empty).batches, 0u);
+}
+
+TEST(AsyncClientTest, WaitAllFlushesPendingOps) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  client.PostWriteWord(64, 5);
+  client.PostReadWord(64);
+  EXPECT_EQ(client.pending_ops(), 2u);
+  std::vector<FarClient::Completion> done;
+  ASSERT_TRUE(client.WaitAll(&done).ok());  // no explicit Flush
+  EXPECT_EQ(client.pending_ops(), 0u);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[1].word, 5u);
+}
+
+TEST(AsyncClientTest, PerOpErrorsDoNotPoisonTheBatch) {
+  TestEnv env(SmallFabric(1, 1 << 20));
+  auto& client = env.NewClient();
+  const FarAddr beyond = env.fabric().total_capacity();
+  ASSERT_TRUE(client.WriteWord(64, 77).ok());
+
+  client.PostReadWord(64);
+  client.PostReadWord(beyond);       // out of range
+  client.PostWriteWord(beyond, 1);   // out of range
+  client.PostReadWord(64 + 1);       // misaligned
+  client.PostReadWord(72);
+  std::vector<FarClient::Completion> done;
+  const Status overall = client.WaitAll(&done);
+  EXPECT_FALSE(overall.ok());  // first error surfaces
+  ASSERT_EQ(done.size(), 5u);
+  EXPECT_TRUE(done[0].status.ok());
+  EXPECT_EQ(done[0].word, 77u);
+  EXPECT_EQ(done[1].status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(done[2].status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(done[3].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(done[4].status.ok());
+}
+
+TEST(AsyncClientTest, PostReadAndWriteBuffers) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  std::vector<std::byte> payload(100);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i);
+  }
+  client.PostWrite(256, payload);
+  // Write payloads are copied at Post time: clobber the source before Flush.
+  std::fill(payload.begin(), payload.end(), std::byte{0xFF});
+  std::vector<std::byte> echo(100);
+  client.PostRead(256, echo);
+  ASSERT_TRUE(client.WaitAll().ok());
+  for (size_t i = 0; i < echo.size(); ++i) {
+    EXPECT_EQ(echo[i], static_cast<std::byte>(i));
+  }
+}
+
+TEST(AsyncClientTest, PostRGatherCollectsScatteredSegments) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 0x1111).ok());
+  ASSERT_TRUE(client.WriteWord(512, 0x2222).ok());
+  uint64_t out[2] = {0, 0};
+  client.PostRGather({{64, 8}, {512, 8}},
+                     std::as_writable_bytes(std::span<uint64_t>(out)));
+  ASSERT_TRUE(client.WaitAll().ok());
+  EXPECT_EQ(out[0], 0x1111u);
+  EXPECT_EQ(out[1], 0x2222u);
+}
+
+TEST(AsyncClientTest, PostLoad0NullPointerFailsPrecondition) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(64, 0).ok());  // null pointer word
+  uint64_t out;
+  client.PostLoad0(64, AsBytes(out));
+  std::vector<FarClient::Completion> done;
+  EXPECT_FALSE(client.WaitAll(&done).ok());
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AsyncClientTest, PostLoad0FollowsPointerLikeSyncLoad0) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  ASSERT_TRUE(client.WriteWord(128, 0xabcd).ok());
+  ASSERT_TRUE(client.WriteWord(64, 128).ok());  // pointer -> 128
+  uint64_t out = 0;
+  client.PostLoad0(64, AsBytes(out));
+  std::vector<FarClient::Completion> done;
+  ASSERT_TRUE(client.WaitAll(&done).ok());
+  EXPECT_EQ(out, 0xabcdu);
+  EXPECT_EQ(done[0].word, 128u);  // indirect pointer surfaces in the word
+}
+
+TEST(AsyncClientTest, FenceFlushesPostedOps) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  client.PostWriteWord(64, 123);
+  client.Fence();
+  EXPECT_EQ(client.pending_ops(), 0u);
+  EXPECT_EQ(*client.ReadWord(64), 123u);
+  // Completions remain pollable after the fence.
+  EXPECT_EQ(client.pending_completions(), 1u);
+}
+
+// ------------------------- Latency accounting -------------------------
+
+TEST(AsyncClientTest, SingleOpBatchCostsExactlyOneSyncOp) {
+  TestEnv env;
+  auto& sync_client = env.NewClient();
+  auto& async_client = env.NewClient();
+
+  const uint64_t sync_t0 = sync_client.clock().now_ns();
+  ASSERT_TRUE(sync_client.ReadWord(64).ok());
+  const uint64_t sync_cost = sync_client.clock().now_ns() - sync_t0;
+
+  const uint64_t async_t0 = async_client.clock().now_ns();
+  async_client.PostReadWord(64);
+  ASSERT_TRUE(async_client.Flush().ok());
+  const uint64_t async_cost = async_client.clock().now_ns() - async_t0;
+  EXPECT_EQ(async_cost, sync_cost);
+}
+
+TEST(AsyncClientTest, BatchOfKCostsOneRttPlusPerOpOccupancy) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  const LatencyModel model;  // defaults match the fabric's model
+  constexpr uint64_t kOps = 8;
+
+  const ClientStats before = client.stats();
+  const uint64_t t0 = client.clock().now_ns();
+  for (uint64_t i = 0; i < kOps; ++i) {
+    client.PostReadWord(64 + 8 * i);
+  }
+  ASSERT_TRUE(client.Flush().ok());
+  const uint64_t elapsed = client.clock().now_ns() - t0;
+  EXPECT_EQ(elapsed, model.BatchNs(kOps, kOps * kWordSize));
+
+  const ClientStats delta = client.stats().Delta(before);
+  EXPECT_EQ(delta.far_ops, 1u);               // one waited round trip
+  EXPECT_EQ(delta.messages, kOps);            // traffic is still k messages
+  EXPECT_EQ(delta.batches, 1u);
+  EXPECT_EQ(delta.batched_ops, kOps);
+  EXPECT_EQ(delta.overlapped_rtts_saved, kOps - 1);
+  // Strictly cheaper than k sync round trips.
+  EXPECT_LT(elapsed, kOps * model.FarRoundTripNs(kWordSize));
+}
+
+TEST(AsyncClientTest, CrossNodeGroupsOverlap) {
+  TestEnv env(SmallFabric(2, 1 << 20));
+  auto& client = env.NewClient();
+  const FarAddr node1_word = (1ull << 20) + 64;  // contiguous partitions
+
+  const uint64_t t0 = client.clock().now_ns();
+  client.PostReadWord(64);          // node 0
+  client.PostReadWord(node1_word);  // node 1
+  ASSERT_TRUE(client.Flush().ok());
+  const uint64_t both = client.clock().now_ns() - t0;
+
+  const uint64_t t1 = client.clock().now_ns();
+  client.PostReadWord(64);
+  ASSERT_TRUE(client.Flush().ok());
+  const uint64_t one = client.clock().now_ns() - t1;
+
+  // Two single-op groups on different nodes overlap: same cost as one.
+  EXPECT_EQ(both, one);
+}
+
+TEST(AsyncClientTest, ErrorPolicyIndirectionChargesSerialRoundTrip) {
+  // Pointer on node 0 targeting node 1 under kError: the client completes
+  // the dependent read itself — a second, non-overlappable round trip.
+  FabricOptions options = SmallFabric(2, 1 << 20);
+  options.indirection = IndirectionPolicy::kError;
+  TestEnv env(options);
+  auto& client = env.NewClient();
+  const FarAddr remote = (1ull << 20) + 256;
+  ASSERT_TRUE(client.WriteWord(remote, 0x5a5a).ok());
+  ASSERT_TRUE(client.WriteWord(64, remote).ok());
+
+  const ClientStats before = client.stats();
+  uint64_t out = 0;
+  client.PostLoad0(64, AsBytes(out));
+  std::vector<FarClient::Completion> done;
+  ASSERT_TRUE(client.WaitAll(&done).ok());
+  EXPECT_EQ(out, 0x5a5au);
+  // Doorbell round trip + serialized dependent access.
+  EXPECT_EQ(client.stats().Delta(before).far_ops, 2u);
+}
+
+// ------------------- Async/sync equivalence (property) -------------------
+
+TEST(AsyncClientTest, RandomAsyncInterleavingsMatchSyncExecution) {
+  // The same deterministic op stream applied (a) synchronously and (b) in
+  // randomly sized batches must produce identical memory images and
+  // identical per-op results.
+  constexpr uint64_t kWords = 32;
+  constexpr int kOpsTotal = 600;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    TestEnv sync_env(SmallFabric());
+    TestEnv async_env(SmallFabric());
+    auto& sync_client = sync_env.NewClient();
+    auto& async_client = async_env.NewClient();
+
+    // One deterministic op stream drives both legs.
+    struct Op {
+      uint64_t kind;
+      uint64_t slot;
+      uint64_t arg;
+      bool flush_after;
+    };
+    Rng rng(seed);
+    std::vector<Op> ops;
+    for (int i = 0; i < kOpsTotal; ++i) {
+      ops.push_back(Op{rng.NextBelow(4), rng.NextBelow(kWords),
+                       rng.NextBelow(1000), rng.NextBool(0.2)});
+    }
+    std::vector<uint64_t> sync_results;
+
+    auto addr_of = [](uint64_t slot) { return 64 + 8 * slot; };
+
+    // Sync leg.
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case 0:
+          ASSERT_TRUE(sync_client.WriteWord(addr_of(op.slot), op.arg).ok());
+          sync_results.push_back(0);
+          break;
+        case 1:
+          sync_results.push_back(*sync_client.ReadWord(addr_of(op.slot)));
+          break;
+        case 2:
+          sync_results.push_back(*sync_client.CompareSwap(
+              addr_of(op.slot), op.arg, op.arg + 1));
+          break;
+        default:
+          sync_results.push_back(
+              *sync_client.FetchAdd(addr_of(op.slot), op.arg));
+          break;
+      }
+    }
+
+    // Async leg: identical stream, flushed at random batch boundaries.
+    std::vector<FarClient::Completion> done;
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case 0:
+          async_client.PostWriteWord(addr_of(op.slot), op.arg);
+          break;
+        case 1:
+          async_client.PostReadWord(addr_of(op.slot));
+          break;
+        case 2:
+          async_client.PostCompareSwap(addr_of(op.slot), op.arg, op.arg + 1);
+          break;
+        default:
+          async_client.PostFetchAdd(addr_of(op.slot), op.arg);
+          break;
+      }
+      if (op.flush_after) {
+        ASSERT_TRUE(async_client.WaitAll(&done).ok());
+      }
+    }
+    ASSERT_TRUE(async_client.WaitAll(&done).ok());
+
+    ASSERT_EQ(done.size(), sync_results.size());
+    for (size_t i = 0; i < done.size(); ++i) {
+      EXPECT_EQ(done[i].word, sync_results[i]) << "op " << i;
+    }
+    for (uint64_t slot = 0; slot < kWords; ++slot) {
+      EXPECT_EQ(*async_client.ReadWord(addr_of(slot)),
+                *sync_client.ReadWord(addr_of(slot)))
+          << "slot " << slot;
+    }
+    // Batching must have saved round trips somewhere.
+    EXPECT_GT(async_client.stats().overlapped_rtts_saved, 0u);
+    EXPECT_LT(async_client.stats().far_ops, sync_client.stats().far_ops);
+  }
+}
+
+// --------------------------- Threaded stress ---------------------------
+
+TEST(AsyncClientTest, ConcurrentFlushesKeepWordsAtomic) {
+  // N client threads flush mixed batches against one memory node. Counter
+  // words accumulate exactly; hammered words never tear (always hold a
+  // value some thread wrote whole).
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  constexpr uint64_t kCounter = 64;
+  constexpr uint64_t kShared = 72;
+  TestEnv env(SmallFabric(1));
+  std::vector<FarClient*> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(&env.NewClient());
+  }
+  ASSERT_TRUE(clients[0]->WriteWord(kCounter, 0).ok());
+  ASSERT_TRUE(clients[0]->WriteWord(kShared, 0).ok());
+
+  auto tagged = [](int thread, int round) {
+    const uint64_t tag = 0x1000 + thread;
+    return tag << 32 | static_cast<uint64_t>(round);
+  };
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      FarClient& client = *clients[t];
+      for (int r = 0; r < kRounds; ++r) {
+        client.PostFetchAdd(kCounter, 1);
+        client.PostWriteWord(kShared, tagged(t, r));
+        client.PostReadWord(kShared);
+        std::vector<FarClient::Completion> done;
+        if (!client.WaitAll(&done).ok() || done.size() != 3) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // The shared word must be SOME whole tagged value (no tearing).
+        const uint64_t seen = done[2].word;
+        const uint64_t tag = seen >> 32;
+        const uint64_t round = seen & 0xffffffffu;
+        if (tag < 0x1000 || tag >= 0x1000 + kThreads ||
+            round >= static_cast<uint64_t>(kRounds)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(*clients[0]->ReadWord(kCounter),
+            static_cast<uint64_t>(kThreads) * kRounds);
+}
+
+// ------------------------- MultiGet hot paths -------------------------
+
+TEST(AsyncClientTest, HtTreeMultiGetMatchesSyncGets) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  HtTree::Options options;
+  options.buckets_per_table = 256;
+  auto map = HtTree::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(map.ok());
+  constexpr uint64_t kKeys = 500;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_TRUE(map->Put(k, k * 3).ok());
+  }
+  std::vector<uint64_t> lookups;
+  for (uint64_t k = 1; k <= 40; ++k) {
+    lookups.push_back(k * 13 % (kKeys + 50) + 1);  // mix of hits and misses
+  }
+  const ClientStats before = client.stats();
+  auto batched = map->MultiGet(lookups);
+  const ClientStats batch_delta = client.stats().Delta(before);
+  ASSERT_EQ(batched.size(), lookups.size());
+  const ClientStats mid = client.stats();
+  for (size_t i = 0; i < lookups.size(); ++i) {
+    auto expected = map->Get(lookups[i]);
+    EXPECT_EQ(batched[i].ok(), expected.ok()) << "key " << lookups[i];
+    if (expected.ok()) {
+      EXPECT_EQ(*batched[i], *expected) << "key " << lookups[i];
+    } else {
+      EXPECT_EQ(batched[i].status().code(), expected.status().code());
+    }
+  }
+  const ClientStats sync_delta = client.stats().Delta(mid);
+  // The batched path waits on strictly fewer round trips than sync.
+  EXPECT_LT(batch_delta.far_ops, sync_delta.far_ops);
+  EXPECT_GT(batch_delta.overlapped_rtts_saved, 0u);
+}
+
+TEST(AsyncClientTest, ChainedHashMultiGetMatchesSyncGets) {
+  for (const bool indirect : {false, true}) {
+    TestEnv env;
+    auto& client = env.NewClient();
+    ChainedHash::Options options;
+    options.buckets = 64;  // load factor forces chains
+    options.use_indirect = indirect;
+    auto table = ChainedHash::Create(&client, &env.alloc(), options);
+    ASSERT_TRUE(table.ok());
+    for (uint64_t k = 1; k <= 300; ++k) {
+      ASSERT_TRUE(table->Put(k, k + 7).ok());
+    }
+    ASSERT_TRUE(table->Remove(42).ok());  // tombstone
+
+    std::vector<uint64_t> lookups;
+    for (uint64_t k = 30; k < 60; ++k) {
+      lookups.push_back(k);  // includes the tombstoned 42
+    }
+    lookups.push_back(4040);  // absent
+    const ClientStats before = client.stats();
+    auto batched = table->MultiGet(lookups);
+    const ClientStats batch_delta = client.stats().Delta(before);
+    ASSERT_EQ(batched.size(), lookups.size());
+    const ClientStats mid = client.stats();
+    for (size_t i = 0; i < lookups.size(); ++i) {
+      auto expected = table->Get(lookups[i]);
+      EXPECT_EQ(batched[i].ok(), expected.ok())
+          << "key " << lookups[i] << " indirect " << indirect;
+      if (expected.ok()) {
+        EXPECT_EQ(*batched[i], *expected);
+      } else {
+        EXPECT_EQ(batched[i].status().code(), expected.status().code());
+      }
+    }
+    const ClientStats sync_delta = client.stats().Delta(mid);
+    EXPECT_LT(batch_delta.far_ops, sync_delta.far_ops);
+  }
+}
+
+TEST(AsyncClientTest, NeighborhoodHashMultiGetMatchesSyncGets) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  NeighborhoodHash::Options options;
+  options.buckets = 512;
+  auto table = NeighborhoodHash::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(table.ok());
+  for (uint64_t k = 1; k <= 200; ++k) {
+    const Status put = table->Put(k, k * 2);
+    if (put.code() != StatusCode::kResourceExhausted) {
+      ASSERT_TRUE(put.ok());
+    }
+  }
+  std::vector<uint64_t> lookups{5, 17, 9999, 0, 60, 123};
+  const ClientStats before = client.stats();
+  auto batched = table->MultiGet(lookups);
+  const ClientStats batch_delta = client.stats().Delta(before);
+  ASSERT_EQ(batched.size(), lookups.size());
+  for (size_t i = 0; i < lookups.size(); ++i) {
+    auto expected = table->Get(lookups[i]);
+    EXPECT_EQ(batched[i].ok(), expected.ok()) << "key " << lookups[i];
+    if (expected.ok()) {
+      EXPECT_EQ(*batched[i], *expected);
+    } else {
+      EXPECT_EQ(batched[i].status().code(), expected.status().code());
+    }
+  }
+  // 5 live probes (key 0 never leaves the client) ride one doorbell.
+  EXPECT_EQ(batch_delta.far_ops, 1u);
+  EXPECT_EQ(batch_delta.batches, 1u);
+}
+
+TEST(AsyncClientTest, BlobStoreMultiGetMatchesSyncGets) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  auto store = HtBlobStore::Create(&client, &env.alloc());
+  ASSERT_TRUE(store.ok());
+  // Small values (inline fetch) and large ones (tail wave).
+  auto value_for = [](uint64_t key) {
+    const size_t len = key % 3 == 0 ? 700 : 40;
+    std::vector<std::byte> value(len);
+    for (size_t i = 0; i < len; ++i) {
+      value[i] = static_cast<std::byte>((key + i) & 0xff);
+    }
+    return value;
+  };
+  for (uint64_t k = 1; k <= 60; ++k) {
+    ASSERT_TRUE(store->Put(k, value_for(k)).ok());
+  }
+  std::vector<uint64_t> lookups{1, 3, 6, 9, 12, 25, 777, 30};
+  const ClientStats before = client.stats();
+  auto batched = store->MultiGet(lookups);
+  const ClientStats batch_delta = client.stats().Delta(before);
+  ASSERT_EQ(batched.size(), lookups.size());
+  const ClientStats mid = client.stats();
+  for (size_t i = 0; i < lookups.size(); ++i) {
+    auto expected = store->Get(lookups[i]);
+    EXPECT_EQ(batched[i].ok(), expected.ok()) << "key " << lookups[i];
+    if (expected.ok()) {
+      EXPECT_EQ(*batched[i], *expected) << "key " << lookups[i];
+    } else {
+      EXPECT_EQ(batched[i].status().code(), expected.status().code());
+    }
+  }
+  const ClientStats sync_delta = client.stats().Delta(mid);
+  EXPECT_LT(batch_delta.far_ops, sync_delta.far_ops);
+  EXPECT_GT(batch_delta.overlapped_rtts_saved, 0u);
+}
+
+}  // namespace
+}  // namespace fmds

@@ -3,6 +3,9 @@
 // corrupt pointers, and accounting invariants.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "src/common/bytes.h"
 #include "tests/test_env.h"
 

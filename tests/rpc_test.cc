@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "src/rpc/kv_service.h"
 #include "src/rpc/message.h"
 #include "src/rpc/queue_service.h"
