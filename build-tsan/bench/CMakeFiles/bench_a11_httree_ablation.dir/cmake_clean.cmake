@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a11_httree_ablation.dir/bench_a11_httree_ablation.cc.o"
+  "CMakeFiles/bench_a11_httree_ablation.dir/bench_a11_httree_ablation.cc.o.d"
+  "bench_a11_httree_ablation"
+  "bench_a11_httree_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a11_httree_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

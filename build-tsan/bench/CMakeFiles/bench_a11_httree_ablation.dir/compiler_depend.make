@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_a11_httree_ablation.
+# This may be replaced when dependencies are built.

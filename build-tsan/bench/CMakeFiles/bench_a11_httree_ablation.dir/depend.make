@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a11_httree_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a12_ycsb.dir/bench_a12_ycsb.cc.o"
+  "CMakeFiles/bench_a12_ycsb.dir/bench_a12_ycsb.cc.o.d"
+  "bench_a12_ycsb"
+  "bench_a12_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a12_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_sync_primitives.dir/bench_e10_sync_primitives.cc.o"
+  "CMakeFiles/bench_e10_sync_primitives.dir/bench_e10_sync_primitives.cc.o.d"
+  "bench_e10_sync_primitives"
+  "bench_e10_sync_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_sync_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_latency_gap.dir/bench_e1_latency_gap.cc.o"
+  "CMakeFiles/bench_e1_latency_gap.dir/bench_e1_latency_gap.cc.o.d"
+  "bench_e1_latency_gap"
+  "bench_e1_latency_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_latency_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

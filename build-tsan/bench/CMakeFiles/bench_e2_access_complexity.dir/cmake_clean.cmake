@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_access_complexity.dir/bench_e2_access_complexity.cc.o"
+  "CMakeFiles/bench_e2_access_complexity.dir/bench_e2_access_complexity.cc.o.d"
+  "bench_e2_access_complexity"
+  "bench_e2_access_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_access_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

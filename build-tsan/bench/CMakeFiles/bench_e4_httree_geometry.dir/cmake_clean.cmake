@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_httree_geometry.dir/bench_e4_httree_geometry.cc.o"
+  "CMakeFiles/bench_e4_httree_geometry.dir/bench_e4_httree_geometry.cc.o.d"
+  "bench_e4_httree_geometry"
+  "bench_e4_httree_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_httree_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_queue.dir/bench_e5_queue.cc.o"
+  "CMakeFiles/bench_e5_queue.dir/bench_e5_queue.cc.o.d"
+  "bench_e5_queue"
+  "bench_e5_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_refreshable_vector.dir/bench_e6_refreshable_vector.cc.o"
+  "CMakeFiles/bench_e6_refreshable_vector.dir/bench_e6_refreshable_vector.cc.o.d"
+  "bench_e6_refreshable_vector"
+  "bench_e6_refreshable_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_refreshable_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

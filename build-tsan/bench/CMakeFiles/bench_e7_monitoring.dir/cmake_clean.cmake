@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_monitoring.dir/bench_e7_monitoring.cc.o"
+  "CMakeFiles/bench_e7_monitoring.dir/bench_e7_monitoring.cc.o.d"
+  "bench_e7_monitoring"
+  "bench_e7_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_indirection_scale.dir/bench_e8_indirection_scale.cc.o"
+  "CMakeFiles/bench_e8_indirection_scale.dir/bench_e8_indirection_scale.cc.o.d"
+  "bench_e8_indirection_scale"
+  "bench_e8_indirection_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_indirection_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_notification_scale.dir/bench_e9_notification_scale.cc.o"
+  "CMakeFiles/bench_e9_notification_scale.dir/bench_e9_notification_scale.cc.o.d"
+  "bench_e9_notification_scale"
+  "bench_e9_notification_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_notification_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

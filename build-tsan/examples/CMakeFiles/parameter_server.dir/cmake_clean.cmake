@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_server.dir/parameter_server.cc.o"
+  "CMakeFiles/parameter_server.dir/parameter_server.cc.o.d"
+  "parameter_server"
+  "parameter_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmds_alloc.dir/far_allocator.cc.o"
+  "CMakeFiles/fmds_alloc.dir/far_allocator.cc.o.d"
+  "libfmds_alloc.a"
+  "libfmds_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmds_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

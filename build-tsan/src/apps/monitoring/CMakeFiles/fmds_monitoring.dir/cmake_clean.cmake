@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmds_monitoring.dir/monitoring.cc.o"
+  "CMakeFiles/fmds_monitoring.dir/monitoring.cc.o.d"
+  "libfmds_monitoring.a"
+  "libfmds_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmds_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/btree.cc" "src/baselines/CMakeFiles/fmds_baselines.dir/btree.cc.o" "gcc" "src/baselines/CMakeFiles/fmds_baselines.dir/btree.cc.o.d"
+  "/root/repo/src/baselines/chained_hash.cc" "src/baselines/CMakeFiles/fmds_baselines.dir/chained_hash.cc.o" "gcc" "src/baselines/CMakeFiles/fmds_baselines.dir/chained_hash.cc.o.d"
+  "/root/repo/src/baselines/linked_list.cc" "src/baselines/CMakeFiles/fmds_baselines.dir/linked_list.cc.o" "gcc" "src/baselines/CMakeFiles/fmds_baselines.dir/linked_list.cc.o.d"
+  "/root/repo/src/baselines/neighborhood_hash.cc" "src/baselines/CMakeFiles/fmds_baselines.dir/neighborhood_hash.cc.o" "gcc" "src/baselines/CMakeFiles/fmds_baselines.dir/neighborhood_hash.cc.o.d"
+  "/root/repo/src/baselines/simple_queues.cc" "src/baselines/CMakeFiles/fmds_baselines.dir/simple_queues.cc.o" "gcc" "src/baselines/CMakeFiles/fmds_baselines.dir/simple_queues.cc.o.d"
+  "/root/repo/src/baselines/skip_list.cc" "src/baselines/CMakeFiles/fmds_baselines.dir/skip_list.cc.o" "gcc" "src/baselines/CMakeFiles/fmds_baselines.dir/skip_list.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/fabric/CMakeFiles/fmds_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alloc/CMakeFiles/fmds_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/fmds_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rpc/CMakeFiles/fmds_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/fmds_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fmds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmds_baselines.dir/btree.cc.o"
+  "CMakeFiles/fmds_baselines.dir/btree.cc.o.d"
+  "CMakeFiles/fmds_baselines.dir/chained_hash.cc.o"
+  "CMakeFiles/fmds_baselines.dir/chained_hash.cc.o.d"
+  "CMakeFiles/fmds_baselines.dir/linked_list.cc.o"
+  "CMakeFiles/fmds_baselines.dir/linked_list.cc.o.d"
+  "CMakeFiles/fmds_baselines.dir/neighborhood_hash.cc.o"
+  "CMakeFiles/fmds_baselines.dir/neighborhood_hash.cc.o.d"
+  "CMakeFiles/fmds_baselines.dir/simple_queues.cc.o"
+  "CMakeFiles/fmds_baselines.dir/simple_queues.cc.o.d"
+  "CMakeFiles/fmds_baselines.dir/skip_list.cc.o"
+  "CMakeFiles/fmds_baselines.dir/skip_list.cc.o.d"
+  "libfmds_baselines.a"
+  "libfmds_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmds_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmds_common.dir/histogram.cc.o"
+  "CMakeFiles/fmds_common.dir/histogram.cc.o.d"
+  "CMakeFiles/fmds_common.dir/rng.cc.o"
+  "CMakeFiles/fmds_common.dir/rng.cc.o.d"
+  "CMakeFiles/fmds_common.dir/status.cc.o"
+  "CMakeFiles/fmds_common.dir/status.cc.o.d"
+  "CMakeFiles/fmds_common.dir/table.cc.o"
+  "CMakeFiles/fmds_common.dir/table.cc.o.d"
+  "libfmds_common.a"
+  "libfmds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blob_store.cc" "src/core/CMakeFiles/fmds_core.dir/blob_store.cc.o" "gcc" "src/core/CMakeFiles/fmds_core.dir/blob_store.cc.o.d"
+  "/root/repo/src/core/cached_vector.cc" "src/core/CMakeFiles/fmds_core.dir/cached_vector.cc.o" "gcc" "src/core/CMakeFiles/fmds_core.dir/cached_vector.cc.o.d"
+  "/root/repo/src/core/far_barrier.cc" "src/core/CMakeFiles/fmds_core.dir/far_barrier.cc.o" "gcc" "src/core/CMakeFiles/fmds_core.dir/far_barrier.cc.o.d"
+  "/root/repo/src/core/far_mutex.cc" "src/core/CMakeFiles/fmds_core.dir/far_mutex.cc.o" "gcc" "src/core/CMakeFiles/fmds_core.dir/far_mutex.cc.o.d"
+  "/root/repo/src/core/far_queue.cc" "src/core/CMakeFiles/fmds_core.dir/far_queue.cc.o" "gcc" "src/core/CMakeFiles/fmds_core.dir/far_queue.cc.o.d"
+  "/root/repo/src/core/ht_tree.cc" "src/core/CMakeFiles/fmds_core.dir/ht_tree.cc.o" "gcc" "src/core/CMakeFiles/fmds_core.dir/ht_tree.cc.o.d"
+  "/root/repo/src/core/refreshable_vector.cc" "src/core/CMakeFiles/fmds_core.dir/refreshable_vector.cc.o" "gcc" "src/core/CMakeFiles/fmds_core.dir/refreshable_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/fabric/CMakeFiles/fmds_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alloc/CMakeFiles/fmds_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/fmds_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fmds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmds_core.dir/blob_store.cc.o"
+  "CMakeFiles/fmds_core.dir/blob_store.cc.o.d"
+  "CMakeFiles/fmds_core.dir/cached_vector.cc.o"
+  "CMakeFiles/fmds_core.dir/cached_vector.cc.o.d"
+  "CMakeFiles/fmds_core.dir/far_barrier.cc.o"
+  "CMakeFiles/fmds_core.dir/far_barrier.cc.o.d"
+  "CMakeFiles/fmds_core.dir/far_mutex.cc.o"
+  "CMakeFiles/fmds_core.dir/far_mutex.cc.o.d"
+  "CMakeFiles/fmds_core.dir/far_queue.cc.o"
+  "CMakeFiles/fmds_core.dir/far_queue.cc.o.d"
+  "CMakeFiles/fmds_core.dir/ht_tree.cc.o"
+  "CMakeFiles/fmds_core.dir/ht_tree.cc.o.d"
+  "CMakeFiles/fmds_core.dir/refreshable_vector.cc.o"
+  "CMakeFiles/fmds_core.dir/refreshable_vector.cc.o.d"
+  "libfmds_core.a"
+  "libfmds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/fabric.cc" "src/fabric/CMakeFiles/fmds_fabric.dir/fabric.cc.o" "gcc" "src/fabric/CMakeFiles/fmds_fabric.dir/fabric.cc.o.d"
+  "/root/repo/src/fabric/far_client.cc" "src/fabric/CMakeFiles/fmds_fabric.dir/far_client.cc.o" "gcc" "src/fabric/CMakeFiles/fmds_fabric.dir/far_client.cc.o.d"
+  "/root/repo/src/fabric/memory_node.cc" "src/fabric/CMakeFiles/fmds_fabric.dir/memory_node.cc.o" "gcc" "src/fabric/CMakeFiles/fmds_fabric.dir/memory_node.cc.o.d"
+  "/root/repo/src/fabric/notification.cc" "src/fabric/CMakeFiles/fmds_fabric.dir/notification.cc.o" "gcc" "src/fabric/CMakeFiles/fmds_fabric.dir/notification.cc.o.d"
+  "/root/repo/src/fabric/stats.cc" "src/fabric/CMakeFiles/fmds_fabric.dir/stats.cc.o" "gcc" "src/fabric/CMakeFiles/fmds_fabric.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fmds_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/fmds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

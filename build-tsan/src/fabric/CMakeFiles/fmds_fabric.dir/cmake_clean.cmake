@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmds_fabric.dir/fabric.cc.o"
+  "CMakeFiles/fmds_fabric.dir/fabric.cc.o.d"
+  "CMakeFiles/fmds_fabric.dir/far_client.cc.o"
+  "CMakeFiles/fmds_fabric.dir/far_client.cc.o.d"
+  "CMakeFiles/fmds_fabric.dir/memory_node.cc.o"
+  "CMakeFiles/fmds_fabric.dir/memory_node.cc.o.d"
+  "CMakeFiles/fmds_fabric.dir/notification.cc.o"
+  "CMakeFiles/fmds_fabric.dir/notification.cc.o.d"
+  "CMakeFiles/fmds_fabric.dir/stats.cc.o"
+  "CMakeFiles/fmds_fabric.dir/stats.cc.o.d"
+  "libfmds_fabric.a"
+  "libfmds_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmds_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fmds_fabric.
+# This may be replaced when dependencies are built.

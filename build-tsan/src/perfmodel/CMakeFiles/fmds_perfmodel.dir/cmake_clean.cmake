@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmds_perfmodel.dir/throughput_model.cc.o"
+  "CMakeFiles/fmds_perfmodel.dir/throughput_model.cc.o.d"
+  "libfmds_perfmodel.a"
+  "libfmds_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmds_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

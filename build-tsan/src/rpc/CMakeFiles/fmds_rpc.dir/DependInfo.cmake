@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/kv_service.cc" "src/rpc/CMakeFiles/fmds_rpc.dir/kv_service.cc.o" "gcc" "src/rpc/CMakeFiles/fmds_rpc.dir/kv_service.cc.o.d"
+  "/root/repo/src/rpc/queue_service.cc" "src/rpc/CMakeFiles/fmds_rpc.dir/queue_service.cc.o" "gcc" "src/rpc/CMakeFiles/fmds_rpc.dir/queue_service.cc.o.d"
+  "/root/repo/src/rpc/rpc.cc" "src/rpc/CMakeFiles/fmds_rpc.dir/rpc.cc.o" "gcc" "src/rpc/CMakeFiles/fmds_rpc.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/fabric/CMakeFiles/fmds_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/fmds_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/fmds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

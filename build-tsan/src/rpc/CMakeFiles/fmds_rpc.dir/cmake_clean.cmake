@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmds_rpc.dir/kv_service.cc.o"
+  "CMakeFiles/fmds_rpc.dir/kv_service.cc.o.d"
+  "CMakeFiles/fmds_rpc.dir/queue_service.cc.o"
+  "CMakeFiles/fmds_rpc.dir/queue_service.cc.o.d"
+  "CMakeFiles/fmds_rpc.dir/rpc.cc.o"
+  "CMakeFiles/fmds_rpc.dir/rpc.cc.o.d"
+  "libfmds_rpc.a"
+  "libfmds_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmds_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

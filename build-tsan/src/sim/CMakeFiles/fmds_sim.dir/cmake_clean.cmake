@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmds_sim.dir/event_queue.cc.o"
+  "CMakeFiles/fmds_sim.dir/event_queue.cc.o.d"
+  "libfmds_sim.a"
+  "libfmds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

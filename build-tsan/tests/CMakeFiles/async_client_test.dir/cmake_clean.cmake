@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_client_test.dir/async_client_test.cc.o"
+  "CMakeFiles/async_client_test.dir/async_client_test.cc.o.d"
+  "async_client_test"
+  "async_client_test.pdb"
+  "async_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_vector_test.dir/cached_vector_test.cc.o"
+  "CMakeFiles/cached_vector_test.dir/cached_vector_test.cc.o.d"
+  "cached_vector_test"
+  "cached_vector_test.pdb"
+  "cached_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

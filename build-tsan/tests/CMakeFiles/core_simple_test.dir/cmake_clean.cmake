@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_simple_test.dir/core_simple_test.cc.o"
+  "CMakeFiles/core_simple_test.dir/core_simple_test.cc.o.d"
+  "core_simple_test"
+  "core_simple_test.pdb"
+  "core_simple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_simple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

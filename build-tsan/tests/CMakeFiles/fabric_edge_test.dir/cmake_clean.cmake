@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_edge_test.dir/fabric_edge_test.cc.o"
+  "CMakeFiles/fabric_edge_test.dir/fabric_edge_test.cc.o.d"
+  "fabric_edge_test"
+  "fabric_edge_test.pdb"
+  "fabric_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/far_queue_test.dir/far_queue_test.cc.o"
+  "CMakeFiles/far_queue_test.dir/far_queue_test.cc.o.d"
+  "far_queue_test"
+  "far_queue_test.pdb"
+  "far_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/far_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_tree_test.dir/ht_tree_test.cc.o"
+  "CMakeFiles/ht_tree_test.dir/ht_tree_test.cc.o.d"
+  "ht_tree_test"
+  "ht_tree_test.pdb"
+  "ht_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notification_test.dir/notification_test.cc.o"
+  "CMakeFiles/notification_test.dir/notification_test.cc.o.d"
+  "notification_test"
+  "notification_test.pdb"
+  "notification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

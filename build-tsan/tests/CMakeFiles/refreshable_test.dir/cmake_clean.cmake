@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refreshable_test.dir/refreshable_test.cc.o"
+  "CMakeFiles/refreshable_test.dir/refreshable_test.cc.o.d"
+  "refreshable_test"
+  "refreshable_test.pdb"
+  "refreshable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refreshable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_test.dir/rpc_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc_test.cc.o.d"
+  "rpc_test"
+  "rpc_test.pdb"
+  "rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

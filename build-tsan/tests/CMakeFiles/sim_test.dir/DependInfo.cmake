@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/fmds_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/fmds_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fabric/CMakeFiles/fmds_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/alloc/CMakeFiles/fmds_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rpc/CMakeFiles/fmds_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/fmds_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/fmds_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/monitoring/CMakeFiles/fmds_monitoring.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/perfmodel/CMakeFiles/fmds_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/notification_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/alloc_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_simple_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ht_tree_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/far_queue_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/refreshable_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/monitoring_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cached_vector_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fabric_edge_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/blob_store_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/async_client_test[1]_include.cmake")

@@ -293,15 +293,22 @@ tests/CMakeFiles/rpc_test.dir/rpc_test.cc.o: /root/repo/tests/rpc_test.cc \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/rpc/kv_service.h /root/repo/src/rpc/rpc.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/span /root/repo/src/common/status.h \
- /root/repo/src/fabric/far_client.h /root/repo/src/common/bytes.h \
- /usr/include/c++/12/cstring /root/repo/src/fabric/fabric.h \
- /root/repo/src/fabric/far_addr.h /root/repo/src/fabric/memory_node.h \
- /root/repo/src/fabric/notification.h /usr/include/c++/12/deque \
+ /root/repo/src/fabric/far_client.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
+ /root/repo/src/fabric/fabric.h /root/repo/src/fabric/far_addr.h \
+ /root/repo/src/fabric/memory_node.h /root/repo/src/fabric/notification.h \
  /root/repo/src/common/rng.h /root/repo/src/fabric/stats.h \
  /root/repo/src/sim/latency_model.h /root/repo/src/sim/sim_clock.h \
  /root/repo/src/rpc/message.h /root/repo/src/rpc/queue_service.h \

@@ -23,3 +23,4 @@ include("/root/repo/build/tests/cached_vector_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
 include("/root/repo/build/tests/fabric_edge_test[1]_include.cmake")
 include("/root/repo/build/tests/blob_store_test[1]_include.cmake")
+include("/root/repo/build/tests/async_client_test[1]_include.cmake")
