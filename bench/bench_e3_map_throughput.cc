@@ -83,7 +83,7 @@ MeasuredCost MeasureBatchedWorkload(
 }  // namespace
 }  // namespace fmds
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fmds;
 
   // ---- (a) RPC KV ----
@@ -226,5 +226,23 @@ int main() {
   std::cout << "\nsummary: at 4 clients RPC/chained = "
             << rpc_low / ch_low << "x; at 256 clients HT-tree/RPC = "
             << ht_high / rpc_high << "x\n";
+
+  BenchJson json;
+  const auto emit = [&](const std::string& name, const MeasuredCost& cost,
+                        const WorkloadCost& model) {
+    json.Begin(name);
+    json.Int("keys", kKeys);
+    json.Num("far_accesses_per_op", cost.far_accesses);
+    json.Num("rpc_calls_per_op", cost.rpc_calls);
+    json.Num("messages_per_op", cost.messages);
+    json.Num("latency_ns", cost.latency_ns);
+    json.Num("ops_per_sec_256_clients",
+             SolveClosedSystem(model, 256).ops_per_sec);
+  };
+  emit("rpc_kv", rpc_cost, rpc_model);
+  emit("chained_hash", chained_cost, chained_model);
+  emit("ht_tree", httree_cost, httree_model);
+  emit("ht_tree_batched_x16", batched_cost, batched_model);
+  json.Write(JsonOutputPath(argc, argv, "BENCH_e3.json"));
   return 0;
 }

@@ -7,8 +7,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/alloc/far_allocator.h"
@@ -57,6 +60,84 @@ template <typename T>
 T CheckOk(Result<T> result, const char* what) {
   CheckOk(result.status(), what);
   return std::move(result).value();
+}
+
+// Machine-readable results alongside the stdout tables: each bench writes a
+// JSON array of {"name": ..., <config and metric fields>} objects so runs
+// are diffable across commits and scripts can track headline numbers.
+// The default output path is per-bench (BENCH_<id>.json in the working
+// directory); `--json=<path>` overrides it.
+class BenchJson {
+ public:
+  // Starts a new result entry; subsequent Num/Int/Str calls attach to it.
+  void Begin(const std::string& name) {
+    entries_.push_back(Entry{name, {}});
+  }
+  void Num(const std::string& key, double value, int significant = 6) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", significant, value);
+    entries_.back().fields.emplace_back(key, std::string(buf));
+  }
+  void Int(const std::string& key, uint64_t value) {
+    entries_.back().fields.emplace_back(key, std::to_string(value));
+  }
+  void Str(const std::string& key, const std::string& value) {
+    entries_.back().fields.emplace_back(key, Quote(value));
+  }
+
+  // Writes the array; aborts the bench on I/O failure (results files are
+  // part of the experiment output, losing one silently would be worse).
+  void Write(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    out << "[\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& entry = entries_[i];
+      out << "  {\"name\": " << Quote(entry.name);
+      for (const auto& [key, rendered] : entry.fields) {
+        out << ", " << Quote(key) << ": " << rendered;
+      }
+      out << (i + 1 < entries_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+      std::abort();
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    // Field values pre-rendered as JSON tokens, in insertion order.
+    std::vector<std::pair<std::string, std::string>> fields;
+  };
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+// The --json=<path> argument, or `default_path` when absent.
+inline std::string JsonOutputPath(int argc, char** argv,
+                                  const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      return arg.substr(7);
+    }
+  }
+  return default_path;
 }
 
 }  // namespace fmds

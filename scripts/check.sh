@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
-# Repo check: normal build + full test suite, then a ThreadSanitizer build
-# running the concurrency-sensitive suites (fabric, async pipeline,
-# notifications). Run from the repo root:
+# Repo check: normal build + full test suite, then ThreadSanitizer and
+# AddressSanitizer builds running the concurrency-sensitive suites
+# (fabric, async pipeline, notifications, sharded fan-out). Run from the
+# repo root:
 #
 #   scripts/check.sh
 #
 # Env:
 #   JOBS       parallel build jobs (default: nproc)
-#   SKIP_TSAN  set to 1 to skip the sanitizer pass
+#   SKIP_TSAN  set to 1 to skip the ThreadSanitizer pass
+#   SKIP_ASAN  set to 1 to skip the AddressSanitizer pass
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
+
+SANITIZER_TARGETS=(fabric_test fabric_edge_test async_client_test
+  notification_test sharded_map_test)
+SANITIZER_FILTER='Fabric|AsyncClient|Notif|ShardedMap'
 
 echo "==> normal build"
 cmake -B build -S . >/dev/null
@@ -22,16 +28,24 @@ ctest --test-dir build --output-on-failure
 
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "==> TSan pass skipped (SKIP_TSAN=1)"
-  exit 0
+else
+  echo "==> TSan build"
+  cmake -B build-tsan -S . -DFMDS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target "${SANITIZER_TARGETS[@]}"
+
+  echo "==> TSan: fabric + async + notification + sharding tests"
+  ctest --test-dir build-tsan --output-on-failure -R "${SANITIZER_FILTER}"
 fi
 
-echo "==> TSan build"
-cmake -B build-tsan -S . -DFMDS_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target \
-  fabric_test fabric_edge_test async_client_test notification_test
+if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
+  echo "==> ASan pass skipped (SKIP_ASAN=1)"
+else
+  echo "==> ASan build"
+  cmake -B build-asan -S . -DFMDS_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target "${SANITIZER_TARGETS[@]}"
 
-echo "==> TSan: fabric + async + notification tests"
-ctest --test-dir build-tsan --output-on-failure \
-  -R 'Fabric|AsyncClient|Notif'
+  echo "==> ASan: fabric + async + notification + sharding tests"
+  ctest --test-dir build-asan --output-on-failure -R "${SANITIZER_FILTER}"
+fi
 
 echo "==> all checks passed"

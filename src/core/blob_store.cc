@@ -9,21 +9,38 @@ namespace fmds {
 Result<HtBlobStore> HtBlobStore::Create(FarClient* client,
                                         FarAllocator* alloc,
                                         HtTree::Options options) {
-  FMDS_ASSIGN_OR_RETURN(HtTree map, HtTree::Create(client, alloc, options));
+  ShardedMap::Options sharded;
+  sharded.num_shards = 1;
+  sharded.shard = options;
+  sharded.pin_shards = false;  // keep the caller's placement choice
+  return CreateSharded(client, alloc, sharded);
+}
+
+Result<HtBlobStore> HtBlobStore::CreateSharded(FarClient* client,
+                                               FarAllocator* alloc,
+                                               ShardedMap::Options options) {
+  FMDS_ASSIGN_OR_RETURN(ShardedMap map,
+                        ShardedMap::Create(client, alloc, options));
   return HtBlobStore(std::move(map), client, alloc);
 }
 
 Result<HtBlobStore> HtBlobStore::Attach(FarClient* client,
                                         FarAllocator* alloc,
                                         FarAddr header) {
-  FMDS_ASSIGN_OR_RETURN(HtTree map, HtTree::Attach(client, alloc, header));
+  FMDS_ASSIGN_OR_RETURN(ShardedMap map,
+                        ShardedMap::Attach(client, alloc, header));
   return HtBlobStore(std::move(map), client, alloc);
 }
 
 Status HtBlobStore::Put(uint64_t key, std::span<const std::byte> value) {
-  // Blob layout: [0] length word, then the bytes.
+  // Blob layout: [0] length word, then the bytes. The blob lives on the
+  // same node as the key's shard so batched reads of many keys split
+  // cleanly into per-node sub-batches (§7 fan-out).
   const uint64_t blob_bytes = kWordSize + value.size();
-  FMDS_ASSIGN_OR_RETURN(FarAddr blob, alloc_->Allocate(blob_bytes));
+  const AllocHint hint = map_.num_shards() > 1
+                             ? AllocHint::OnNode(map_.NodeOf(key))
+                             : AllocHint::Any();
+  FMDS_ASSIGN_OR_RETURN(FarAddr blob, alloc_->Allocate(blob_bytes, hint));
   std::vector<std::byte> image(blob_bytes);
   const uint64_t len = value.size();
   std::memcpy(image.data(), &len, kWordSize);

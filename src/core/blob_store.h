@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/core/ht_tree.h"
+#include "src/core/sharded_map.h"
 
 namespace fmds {
 
@@ -25,12 +25,19 @@ class HtBlobStore {
   // prefix plus typical small values in one far access.
   static constexpr uint64_t kInlineFetch = 256;
 
+  // The index is a ShardedMap; the plain Create makes a single unpinned
+  // shard (the pre-scale-out behavior), CreateSharded spreads the index
+  // AND the blobs over the nodes (each blob lands on its key's shard node,
+  // so batched reads fan out across nodes in one doorbell, §7).
   static Result<HtBlobStore> Create(FarClient* client, FarAllocator* alloc,
                                     HtTree::Options options = HtTree::Options());
+  static Result<HtBlobStore> CreateSharded(FarClient* client,
+                                           FarAllocator* alloc,
+                                           ShardedMap::Options options);
   static Result<HtBlobStore> Attach(FarClient* client, FarAllocator* alloc,
                                     FarAddr header);
 
-  FarAddr header() const { return map_.header(); }
+  FarAddr header() const { return map_.directory(); }
 
   // Writes the blob (1 far access) + the map store (2) = 3 far accesses.
   Status Put(uint64_t key, std::span<const std::byte> value);
@@ -47,13 +54,13 @@ class HtBlobStore {
   std::vector<Result<std::vector<std::byte>>> MultiGet(
       std::span<const uint64_t> keys, uint64_t size_hint = 0);
 
-  HtTree& map() { return map_; }
+  ShardedMap& map() { return map_; }
 
  private:
-  HtBlobStore(HtTree map, FarClient* client, FarAllocator* alloc)
+  HtBlobStore(ShardedMap map, FarClient* client, FarAllocator* alloc)
       : map_(std::move(map)), client_(client), alloc_(alloc) {}
 
-  HtTree map_;
+  ShardedMap map_;
   FarClient* client_;
   FarAllocator* alloc_;
 };

@@ -51,12 +51,14 @@ Result<HtTree> HtTree::Create(FarClient* client, FarAllocator* alloc,
   if (options.buckets_per_table == 0 || options.initial_depth > 20) {
     return Status(StatusCode::kInvalidArgument, "bad HtTree options");
   }
-  FMDS_ASSIGN_OR_RETURN(FarAddr header, alloc->Allocate(kHeaderBytes));
+  FMDS_ASSIGN_OR_RETURN(FarAddr header,
+                        alloc->Allocate(kHeaderBytes, options.placement));
   HtTree map(client, alloc, header, options);
   map.buckets_per_table_ = options.buckets_per_table;
 
   // Map-wide retired sentinel: the frozen-bucket marker.
-  FMDS_ASSIGN_OR_RETURN(FarAddr retired, alloc->Allocate(kItemBytes));
+  FMDS_ASSIGN_OR_RETURN(FarAddr retired,
+                        alloc->Allocate(kItemBytes, options.placement));
   Item retired_item{0, 0, kFlagSentinel | kFlagRetired, kNullFarAddr};
   FMDS_RETURN_IF_ERROR(client->Write(retired, AsConstBytes(retired_item)));
   map.retired_sentinel_ = retired;
@@ -82,7 +84,8 @@ Result<HtTree> HtTree::Create(FarClient* client, FarAllocator* alloc,
   for (uint32_t depth = d; depth > 0; --depth) {
     std::vector<FarAddr> next;
     for (size_t i = 0; i < level.size(); i += 2) {
-      FMDS_ASSIGN_OR_RETURN(FarAddr node, alloc->Allocate(kNodeBytes));
+      FMDS_ASSIGN_OR_RETURN(FarAddr node,
+                            alloc->Allocate(kNodeBytes, options.placement));
       NodeRec rec{/*meta=*/static_cast<uint64_t>(depth - 1) << 8, level[i],
                   level[i + 1], 0};
       FMDS_RETURN_IF_ERROR(client->Write(node, AsConstBytes(rec)));
@@ -107,7 +110,12 @@ Result<HtTree> HtTree::Create(FarClient* client, FarAllocator* alloc,
 
 Result<HtTree> HtTree::Attach(FarClient* client, FarAllocator* alloc,
                               FarAddr header) {
-  HtTree map(client, alloc, header, Options{});
+  return Attach(client, alloc, header, Options{});
+}
+
+Result<HtTree> HtTree::Attach(FarClient* client, FarAllocator* alloc,
+                              FarAddr header, Options options) {
+  HtTree map(client, alloc, header, options);
   FMDS_RETURN_IF_ERROR(map.RefreshCache());
   return map;
 }
@@ -116,8 +124,10 @@ Result<FarAddr> HtTree::BuildTable(
     uint64_t version, const std::vector<std::vector<Item>>& chains) {
   const uint64_t nb = chains.size();
   const uint64_t table_bytes = kTableHeaderBytes + nb * kWordSize;
-  FMDS_ASSIGN_OR_RETURN(FarAddr table, alloc_->Allocate(table_bytes));
-  FMDS_ASSIGN_OR_RETURN(FarAddr sentinel, alloc_->Allocate(kItemBytes));
+  FMDS_ASSIGN_OR_RETURN(FarAddr table,
+                        alloc_->Allocate(table_bytes, options_.placement));
+  FMDS_ASSIGN_OR_RETURN(FarAddr sentinel,
+                        alloc_->Allocate(kItemBytes, options_.placement));
   Item sentinel_item{0, 0, kFlagSentinel | VersionOf(version), kNullFarAddr};
   FMDS_RETURN_IF_ERROR(client_->Write(sentinel, AsConstBytes(sentinel_item)));
 
@@ -132,8 +142,9 @@ Result<FarAddr> HtTree::BuildTable(
   std::vector<Item> images;
   std::vector<uint64_t> heads(nb, sentinel);
   if (total_items > 0) {
-    FMDS_ASSIGN_OR_RETURN(items_base,
-                          alloc_->Allocate(total_items * kItemBytes));
+    FMDS_ASSIGN_OR_RETURN(
+        items_base,
+        alloc_->Allocate(total_items * kItemBytes, options_.placement));
     images.reserve(total_items);
     uint64_t slot = 0;
     for (uint64_t b = 0; b < nb; ++b) {
@@ -173,7 +184,8 @@ Result<FarAddr> HtTree::BuildTable(
 
 Result<FarAddr> HtTree::BuildLeafNode(uint32_t depth, FarAddr table,
                                       uint64_t version) {
-  FMDS_ASSIGN_OR_RETURN(FarAddr node, alloc_->Allocate(kNodeBytes));
+  FMDS_ASSIGN_OR_RETURN(FarAddr node,
+                        alloc_->Allocate(kNodeBytes, options_.placement));
   // Leaf nodes carry the table's sentinel so attaching clients learn it
   // without touching the table header.
   FMDS_ASSIGN_OR_RETURN(uint64_t sentinel,
@@ -187,7 +199,8 @@ Result<FarAddr> HtTree::BuildLeafNode(uint32_t depth, FarAddr table,
 Result<FarAddr> HtTree::AllocItemSlot() {
   if (arena_left_ == 0) {
     FMDS_ASSIGN_OR_RETURN(
-        arena_next_, alloc_->Allocate(options_.arena_batch * kItemBytes));
+        arena_next_, alloc_->Allocate(options_.arena_batch * kItemBytes,
+                                      options_.placement));
     arena_left_ = options_.arena_batch;
   }
   const FarAddr slot = arena_next_;
@@ -387,147 +400,153 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
   return Status(StatusCode::kAborted, "get retries exhausted");
 }
 
-std::vector<Result<uint64_t>> HtTree::MultiGet(
-    std::span<const uint64_t> keys) {
-  struct Probe {
-    size_t idx = 0;  // index into keys/results
-    uint64_t key = 0;
-    uint64_t hash = 0;
-    CachedNode leaf;
-    FarAddr bucket = kNullFarAddr;
-    Item item{};  // current chain item image
-  };
-  std::vector<Result<uint64_t>> results(
-      keys.size(), Status(StatusCode::kInternal, "multiget unresolved"));
-  op_stats_.gets += keys.size();
+HtTree::CompletionMap HtTree::ToCompletionMap(
+    std::vector<FarClient::Completion> done) {
+  CompletionMap map;
+  map.reserve(done.size());
+  for (const FarClient::Completion& c : done) {
+    map.emplace(c.id, c);
+  }
+  return map;
+}
 
-  std::vector<Probe> probes;
-  probes.reserve(keys.size());
+// ---------------------------- BatchGet engine ----------------------------
+
+HtTree::BatchGet::BatchGet(HtTree* map, std::span<const uint64_t> keys)
+    : map_(map),
+      results_(keys.size(),
+               Status(StatusCode::kInternal, "multiget unresolved")) {
+  map_->op_stats_.gets += keys.size();
+  probes_.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     Probe probe;
     probe.idx = i;
     probe.key = keys[i];
     probe.hash = Mix64(keys[i]);
-    probe.leaf = nodes_[DescendCached(probe.hash)];
-    probe.bucket = BucketAddr(probe.leaf.table, BucketIndex(probe.hash));
-    probes.push_back(probe);
+    probe.leaf = map_->nodes_[map_->DescendCached(probe.hash)];
+    probe.bucket =
+        map_->BucketAddr(probe.leaf.table, map_->BucketIndex(probe.hash));
+    probes_.push_back(probe);
   }
+}
 
-  std::vector<size_t> stale;    // probes retried via the sync path
-  std::vector<size_t> walking;  // probes holding a valid item image
-  std::vector<FarClient::Completion> done;
-
-  // Wave 1: every bucket probe rides one doorbell. Completions come back in
-  // post order, so done[j] matches the j-th posted probe.
-  if (options_.use_indirect) {
-    for (auto& probe : probes) {
-      client_->PostLoad0(probe.bucket, AsBytes(probe.item));
-    }
-    (void)client_->WaitAll(&done);
-    for (size_t i = 0; i < probes.size(); ++i) {
-      if (!done[i].status.ok()) {
-        results[probes[i].idx] = done[i].status;
-      } else {
-        walking.push_back(i);
-      }
-    }
-  } else {
-    // Today's verbs (ablation): one doorbell of bucket words, then one of
-    // head items — two batched round trips where the sync path pays two
-    // round trips *per key*.
-    for (auto& probe : probes) {
-      client_->PostReadWord(probe.bucket);
-    }
-    (void)client_->WaitAll(&done);
-    std::vector<size_t> live;
-    std::vector<FarAddr> heads;
-    for (size_t i = 0; i < probes.size(); ++i) {
-      if (!done[i].status.ok()) {
-        results[probes[i].idx] = done[i].status;
-      } else {
-        live.push_back(i);
-        heads.push_back(done[i].word);
-      }
-    }
-    done.clear();
-    for (size_t j = 0; j < live.size(); ++j) {
-      client_->PostRead(heads[j], AsBytes(probes[live[j]].item));
-    }
-    (void)client_->WaitAll(&done);
-    for (size_t j = 0; j < live.size(); ++j) {
-      if (!done[j].status.ok()) {
-        results[probes[live[j]].idx] = done[j].status;
-      } else {
-        walking.push_back(live[j]);
-      }
+size_t HtTree::BatchGet::PostWave() {
+  size_t posted = 0;
+  for (Probe& probe : probes_) {
+    switch (probe.stage) {
+      case Stage::kProbe:
+        // use_indirect: ONE access dereferences the bucket and returns the
+        // head item. Ablation: bucket word this wave, head item next wave —
+        // two batched round trips where the sync path pays two *per key*.
+        probe.op = map_->options_.use_indirect
+                       ? map_->client_->PostLoad0(probe.bucket,
+                                                  AsBytes(probe.item))
+                       : map_->client_->PostReadWord(probe.bucket);
+        ++posted;
+        break;
+      case Stage::kHead:
+        probe.op = map_->client_->PostRead(probe.head, AsBytes(probe.item));
+        ++posted;
+        break;
+      case Stage::kWalk:
+        // addr is captured at post time, so reading into `item` is safe
+        // even though it overwrites the `next` field the address came from.
+        probe.op =
+            map_->client_->PostRead(probe.item.next, AsBytes(probe.item));
+        ++map_->op_stats_.chain_hops;
+        ++posted;
+        break;
+      case Stage::kStale:
+      case Stage::kDone:
+        break;
     }
   }
+  return posted;
+}
 
-  // Staleness check on the heads; stale views fall back to the sync path.
-  {
-    std::vector<size_t> fresh;
-    for (size_t i : walking) {
-      const Probe& probe = probes[i];
-      client_->AccountNear(1);
-      if ((probe.item.meta & kFlagRetired) != 0 ||
-          VersionOf(probe.item.meta) != probe.leaf.version) {
-        stale.push_back(i);
-      } else {
-        fresh.push_back(i);
-      }
+void HtTree::BatchGet::AbsorbWave(const CompletionMap& done) {
+  for (Probe& probe : probes_) {
+    if (probe.stage == Stage::kStale || probe.stage == Stage::kDone) {
+      continue;
     }
-    walking = std::move(fresh);
-  }
-
-  // Chain walk: each wave resolves every still-walking key's next item in
-  // one doorbell (no proactive splits on this read-only path).
-  while (!walking.empty()) {
-    std::vector<size_t> continuing;
-    for (size_t i : walking) {
-      const Probe& probe = probes[i];
-      const Item& item = probe.item;
-      if ((item.meta & kFlagSentinel) != 0) {
-        results[probe.idx] = Status(StatusCode::kNotFound, "key absent");
-      } else if (item.key == probe.key) {
-        if ((item.meta & kFlagTombstone) != 0) {
-          results[probe.idx] = Status(StatusCode::kNotFound, "key removed");
-        } else {
-          results[probe.idx] = item.value;
+    const auto it = done.find(probe.op);
+    if (it == done.end()) {
+      continue;  // posted into a wave this map did not flush yet
+    }
+    if (!it->second.status.ok()) {
+      results_[probe.idx] = it->second.status;
+      probe.stage = Stage::kDone;
+      continue;
+    }
+    switch (probe.stage) {
+      case Stage::kProbe:
+        probe.head = it->second.word;
+        if (!map_->options_.use_indirect) {
+          probe.stage = Stage::kHead;  // item read rides the next wave
+          break;
         }
-      } else if (item.next == kNullFarAddr) {
-        results[probe.idx] = Status(StatusCode::kNotFound, "key absent");
-      } else {
-        continuing.push_back(i);
-      }
+        [[fallthrough]];
+      case Stage::kHead:
+        // Staleness check on the head; stale views finish via the sync path.
+        map_->client_->AccountNear(1);
+        if ((probe.item.meta & kFlagRetired) != 0 ||
+            VersionOf(probe.item.meta) != probe.leaf.version) {
+          probe.stage = Stage::kStale;
+          break;
+        }
+        Classify(probe);
+        break;
+      case Stage::kWalk:
+        Classify(probe);
+        break;
+      case Stage::kStale:
+      case Stage::kDone:
+        break;
     }
-    if (continuing.empty()) {
-      break;
-    }
-    done.clear();
-    for (size_t i : continuing) {
-      Probe& probe = probes[i];
-      // addr is captured at post time, so reading into `item` is safe even
-      // though it overwrites the `next` field the address came from.
-      client_->PostRead(probe.item.next, AsBytes(probe.item));
-      ++op_stats_.chain_hops;
-    }
-    (void)client_->WaitAll(&done);
-    std::vector<size_t> still;
-    for (size_t j = 0; j < continuing.size(); ++j) {
-      if (!done[j].status.ok()) {
-        results[probes[continuing[j]].idx] = done[j].status;
-      } else {
-        still.push_back(continuing[j]);
-      }
-    }
-    walking = std::move(still);
   }
+}
 
-  for (size_t i : stale) {
-    --op_stats_.gets;  // Get() bumps it again
-    results[probes[i].idx] = Get(probes[i].key);
+void HtTree::BatchGet::Classify(Probe& probe) {
+  // No proactive splits on this read-only path (unlike Get).
+  const Item& item = probe.item;
+  if ((item.meta & kFlagSentinel) != 0) {
+    results_[probe.idx] = Status(StatusCode::kNotFound, "key absent");
+    probe.stage = Stage::kDone;
+  } else if (item.key == probe.key) {
+    if ((item.meta & kFlagTombstone) != 0) {
+      results_[probe.idx] = Status(StatusCode::kNotFound, "key removed");
+    } else {
+      results_[probe.idx] = item.value;
+    }
+    probe.stage = Stage::kDone;
+  } else if (item.next == kNullFarAddr) {
+    results_[probe.idx] = Status(StatusCode::kNotFound, "key absent");
+    probe.stage = Stage::kDone;
+  } else {
+    probe.stage = Stage::kWalk;
   }
-  return results;
+}
+
+std::vector<Result<uint64_t>> HtTree::BatchGet::Take() {
+  for (Probe& probe : probes_) {
+    if (probe.stage == Stage::kStale) {
+      --map_->op_stats_.gets;  // Get() bumps it again
+      results_[probe.idx] = map_->Get(probe.key);
+      probe.stage = Stage::kDone;
+    }
+  }
+  return std::move(results_);
+}
+
+std::vector<Result<uint64_t>> HtTree::MultiGet(
+    std::span<const uint64_t> keys) {
+  BatchGet engine(this, keys);
+  while (engine.PostWave() > 0) {
+    std::vector<FarClient::Completion> done;
+    (void)client_->WaitAll(&done);
+    engine.AbsorbWave(ToCompletionMap(std::move(done)));
+  }
+  return engine.Take();
 }
 
 Status HtTree::Put(uint64_t key, uint64_t value) {
@@ -597,6 +616,138 @@ Status HtTree::Put(uint64_t key, uint64_t value) {
     full_write_done = false;
   }
   return Aborted("put retries exhausted");
+}
+
+// ---------------------------- BatchPut engine ----------------------------
+
+HtTree::BatchPut::BatchPut(HtTree* map, std::span<const uint64_t> keys,
+                           std::span<const uint64_t> values)
+    : map_(map) {
+  map_->op_stats_.puts += keys.size();
+  ops_.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Op op;
+    op.key = keys[i];
+    op.value = i < values.size() ? values[i] : 0;
+    op.hash = Mix64(keys[i]);
+    ops_.push_back(op);
+  }
+}
+
+size_t HtTree::BatchPut::PostWave() {
+  size_t posted = 0;
+  for (Op& op : ops_) {
+    if (op.state != State::kInit) {
+      continue;
+    }
+    auto slot = map_->AllocItemSlot();
+    if (!slot.ok()) {
+      op.result = slot.status();
+      op.state = State::kDone;
+      continue;
+    }
+    op.slot = *slot;
+    op.leaf_index = map_->DescendCached(op.hash);
+    op.leaf = map_->nodes_[op.leaf_index];
+    op.bucket = map_->BucketAddr(op.leaf.table, map_->BucketIndex(op.hash));
+    map_->client_->AccountNear(1);
+    const auto hint = map_->options_.use_head_hints
+                          ? map_->head_cache_.find(op.bucket)
+                          : map_->head_cache_.end();
+    op.predicted =
+        hint != map_->head_cache_.end() ? hint->second : op.leaf.sentinel;
+    // Both far accesses of the store ride the shared doorbell: publish the
+    // item body, then CAS the bucket head. The doorbell preserves post
+    // order per node, so the item is visible before it becomes reachable.
+    Item item{op.key, op.value, VersionOf(op.leaf.version), op.predicted};
+    op.write_op = map_->client_->PostWrite(op.slot, AsConstBytes(item));
+    op.cas_op =
+        map_->client_->PostCompareSwap(op.bucket, op.predicted, op.slot);
+    op.state = State::kPosted;
+    posted += 2;
+  }
+  return posted;
+}
+
+void HtTree::BatchPut::AbsorbWave(const CompletionMap& done) {
+  for (Op& op : ops_) {
+    if (op.state != State::kPosted) {
+      continue;
+    }
+    const auto wit = done.find(op.write_op);
+    const auto cit = done.find(op.cas_op);
+    if (wit == done.end() || cit == done.end()) {
+      continue;  // posted into a wave this map did not flush yet
+    }
+    if (!wit->second.status.ok() || !cit->second.status.ok()) {
+      op.result = !wit->second.status.ok() ? wit->second.status
+                                           : cit->second.status;
+      op.state = State::kDone;
+      continue;
+    }
+    const uint64_t old = cit->second.word;
+    if (old != op.predicted) {
+      // Mispredicted: stale cache, a same-bucket neighbor earlier in this
+      // batch, or a concurrent writer. Finish through the synchronous Put
+      // in Take(). The observed head must NOT be cached as a hint here:
+      // without reading its item we cannot tell it from the retired
+      // sentinel of a concurrently frozen bucket, and a later CAS
+      // predicting the sentinel would "succeed" into the dead table and
+      // lose the write. (Sync Put validates the head before caching it.)
+      ++map_->op_stats_.cas_retries;
+      op.state = State::kFallback;
+      continue;
+    }
+    if (map_->options_.use_head_hints) {
+      map_->head_cache_[op.bucket] = op.slot;
+      map_->TrimHintCache();
+    }
+    const uint64_t estimate = ++map_->collision_estimate_[op.leaf.table];
+    map_->client_->AccountNear(1);
+    if (estimate > map_->buckets_per_table_ / 2) {
+      map_->collision_estimate_[op.leaf.table] = 0;
+      deferred_splits_.emplace_back(op.leaf_index, op.hash);
+    }
+    op.result = OkStatus();
+    op.state = State::kDone;
+  }
+}
+
+Status HtTree::BatchPut::Take() {
+  Status first = OkStatus();
+  for (Op& op : ops_) {
+    if (op.state == State::kFallback) {
+      --map_->op_stats_.puts;  // Put() bumps it again
+      op.result = map_->Put(op.key, op.value);
+      op.state = State::kDone;
+    }
+    if (first.ok() && !op.result.ok()) {
+      first = op.result;
+    }
+  }
+  // Deferred splits run after the waves so the batched fast path itself
+  // stays split-free. Re-descend by hash: an earlier split in this very
+  // loop may have spliced the cached trie under the recorded index.
+  for (const auto& [leaf_index, hash] : deferred_splits_) {
+    (void)leaf_index;
+    (void)map_->SplitLeaf(map_->DescendCached(hash), hash);
+  }
+  deferred_splits_.clear();
+  return first;
+}
+
+Status HtTree::MultiPut(std::span<const uint64_t> keys,
+                        std::span<const uint64_t> values) {
+  if (keys.size() != values.size()) {
+    return InvalidArgument("MultiPut keys/values length mismatch");
+  }
+  BatchPut engine(this, keys, values);
+  while (engine.PostWave() > 0) {
+    std::vector<FarClient::Completion> done;
+    (void)client_->WaitAll(&done);
+    engine.AbsorbWave(ToCompletionMap(std::move(done)));
+  }
+  return engine.Take();
 }
 
 Status HtTree::Remove(uint64_t key) {
@@ -801,7 +952,8 @@ Status HtTree::SplitLeafLocked(const CachedNode& leaf, uint64_t hash,
                         BuildLeafNode(leaf.depth + 1, t0, new_version));
   FMDS_ASSIGN_OR_RETURN(FarAddr l1,
                         BuildLeafNode(leaf.depth + 1, t1, new_version));
-  FMDS_ASSIGN_OR_RETURN(FarAddr internal, alloc_->Allocate(kNodeBytes));
+  FMDS_ASSIGN_OR_RETURN(FarAddr internal,
+                        alloc_->Allocate(kNodeBytes, options_.placement));
   NodeRec internal_rec{static_cast<uint64_t>(leaf.depth) << 8, l0, l1, 0};
   FMDS_RETURN_IF_ERROR(client_->Write(internal, AsConstBytes(internal_rec)));
 

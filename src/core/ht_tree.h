@@ -59,6 +59,11 @@ class HtTree {
     // client-side bucket-head hint cache, to isolate their contributions.
     bool use_indirect = true;
     bool use_head_hints = true;
+    // Standing placement for every far allocation this map makes (header,
+    // trie nodes, tables, item slabs). ShardedMap pins each shard's
+    // storage to one memory node with this (§7 scale-out), keeping a
+    // shard's indirections local and its doorbell traffic single-node.
+    AllocHint placement = AllocHint::Any();
   };
 
   // Per-handle counters for the experiments.
@@ -77,9 +82,13 @@ class HtTree {
                                Options options);
   static Result<HtTree> Create(FarClient* client, FarAllocator* alloc);
 
-  // Binds to an existing map; performs a full cache refresh.
+  // Binds to an existing map; performs a full cache refresh. The Options
+  // overload carries client-local knobs (placement, arena size, ablations);
+  // the far-resident geometry always comes from the header.
   static Result<HtTree> Attach(FarClient* client, FarAllocator* alloc,
                                FarAddr header);
+  static Result<HtTree> Attach(FarClient* client, FarAllocator* alloc,
+                               FarAddr header, Options options);
 
   FarAddr header() const { return header_; }
 
@@ -96,6 +105,29 @@ class HtTree {
   // triggers proactive splits (it is a read-only fast path). Requires no
   // other async ops pending on the client.
   std::vector<Result<uint64_t>> MultiGet(std::span<const uint64_t> keys);
+
+  // Batched multi-key store: each key's item-body write and bucket CAS ride
+  // one shared doorbell (k stores ≈ 1 waited round trip instead of 2 each).
+  // Keys whose CAS mispredicts (stale cache, same-bucket collisions inside
+  // the batch, concurrent writers) fall back to the synchronous Put, so
+  // per-key semantics match Put; duplicate keys in one batch resolve in
+  // unspecified relative order. The write→CAS ordering a doorbell
+  // guarantees holds per node, so a map whose storage spans nodes relies
+  // on the simulator's in-order execution — pin placement (ShardedMap
+  // does) for hardware-faithful batching. Requires no other async ops
+  // pending on the client. Returns the first per-key error, if any.
+  Status MultiPut(std::span<const uint64_t> keys,
+                  std::span<const uint64_t> values);
+
+  using CompletionMap =
+      std::unordered_map<FarClient::OpId, FarClient::Completion>;
+  static CompletionMap ToCompletionMap(std::vector<FarClient::Completion> done);
+
+  // BatchGet / BatchPut — the resumable wave engines behind MultiGet /
+  // MultiPut — are defined after the private layout types they capture; see
+  // the bottom of the class.
+  class BatchGet;
+  class BatchPut;
 
   // Re-reads the trie from far memory (level-by-level rgather).
   Status RefreshCache();
@@ -243,6 +275,81 @@ class HtTree {
 
   SubId split_sub_ = kInvalidSubId;
   OpStats op_stats_;
+
+ public:
+  // Resumable engine behind MultiGet: PostWave() enqueues the next wave of
+  // far ops without flushing, AbsorbWave() consumes their completions.
+  // Routers (ShardedMap) run one engine per shard and flush ALL engines'
+  // posted waves through a single doorbell, so sub-batches bound for
+  // different memory nodes overlap (§7: simulated time = max over nodes).
+  // Drive until PostWave() returns 0 for every engine, then Take().
+  class BatchGet {
+   public:
+    BatchGet(HtTree* map, std::span<const uint64_t> keys);
+    // Posts this engine's next wave into the client's issue queue (no
+    // fabric traffic yet); returns the number of ops posted.
+    size_t PostWave();
+    // Consumes the flushed wave's completions, keyed by op id.
+    void AbsorbWave(const CompletionMap& done);
+    // Resolves keys that fell back to the sync path (stale caches) and
+    // returns per-key results in input order. Call once, at the end.
+    std::vector<Result<uint64_t>> Take();
+
+   private:
+    enum class Stage : uint8_t { kProbe, kHead, kWalk, kStale, kDone };
+    struct Probe {
+      size_t idx = 0;  // index into keys/results
+      uint64_t key = 0;
+      uint64_t hash = 0;
+      CachedNode leaf;
+      FarAddr bucket = kNullFarAddr;
+      FarAddr head = kNullFarAddr;
+      Item item{};
+      Stage stage = Stage::kProbe;
+      FarClient::OpId op = 0;
+    };
+    // Chain-walk decision on a fresh item image: hit, definitive miss, or
+    // continue walking next wave.
+    void Classify(Probe& probe);
+
+    HtTree* map_;
+    std::vector<Probe> probes_;
+    std::vector<Result<uint64_t>> results_;
+  };
+
+  // Resumable engine behind MultiPut (see BatchGet for the wave protocol
+  // and the ShardedMap fan-out rationale).
+  class BatchPut {
+   public:
+    BatchPut(HtTree* map, std::span<const uint64_t> keys,
+             std::span<const uint64_t> values);
+    size_t PostWave();
+    void AbsorbWave(const CompletionMap& done);
+    // Runs sync-Put fallbacks and deferred splits; first error wins.
+    Status Take();
+
+   private:
+    enum class State : uint8_t { kInit, kPosted, kDone, kFallback };
+    struct Op {
+      uint64_t key = 0;
+      uint64_t value = 0;
+      uint64_t hash = 0;
+      int32_t leaf_index = -1;
+      CachedNode leaf;
+      FarAddr slot = kNullFarAddr;
+      FarAddr bucket = kNullFarAddr;
+      FarAddr predicted = kNullFarAddr;
+      FarClient::OpId write_op = 0;
+      FarClient::OpId cas_op = 0;
+      State state = State::kInit;
+      Status result;
+    };
+    HtTree* map_;
+    std::vector<Op> ops_;
+    // Tables that crossed the split threshold during the batch; split after
+    // the waves so the batched fast path itself stays split-free.
+    std::vector<std::pair<int32_t, uint64_t>> deferred_splits_;
+  };
 };
 
 inline Result<HtTree> HtTree::Create(FarClient* client, FarAllocator* alloc) {

@@ -1,0 +1,220 @@
+#include "src/core/sharded_map.h"
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+
+namespace fmds {
+
+namespace {
+// Routing salt: decorrelates the shard hash from the HT-tree's Mix64(key)
+// (see the file comment in sharded_map.h). Any odd constant works; this is
+// the golden-ratio word also used by Fibonacci hashing.
+constexpr uint64_t kShardSalt = 0x9e3779b97f4a7c15ull;
+
+constexpr uint32_t kMaxShards = 1u << 12;
+}  // namespace
+
+uint32_t ShardedMap::ShardOf(uint64_t key) const {
+  return static_cast<uint32_t>(Mix64(key ^ kShardSalt) % shards_.size());
+}
+
+NodeId ShardedMap::NodeOf(uint64_t key) const {
+  return static_cast<NodeId>(ShardOf(key) %
+                             client_->fabric()->num_nodes());
+}
+
+HtTree::Options ShardedMap::ShardOptions(const Options& options, uint32_t i,
+                                         uint32_t num_nodes) {
+  HtTree::Options shard = options.shard;
+  if (options.pin_shards) {
+    shard.placement = AllocHint::OnNode(i % num_nodes);
+  }
+  return shard;
+}
+
+Result<ShardedMap> ShardedMap::Create(FarClient* client, FarAllocator* alloc,
+                                      Options options) {
+  if (options.num_shards == 0 || options.num_shards > kMaxShards) {
+    return InvalidArgument("bad shard count");
+  }
+  const uint32_t num_nodes = client->fabric()->num_nodes();
+  FMDS_ASSIGN_OR_RETURN(
+      FarAddr directory,
+      alloc->Allocate((1 + options.num_shards) * kWordSize));
+  ShardedMap map(client, directory);
+  std::vector<uint64_t> dir(1 + options.num_shards, 0);
+  dir[0] = options.num_shards;
+  map.shards_.reserve(options.num_shards);
+  for (uint32_t i = 0; i < options.num_shards; ++i) {
+    FMDS_ASSIGN_OR_RETURN(
+        HtTree shard,
+        HtTree::Create(client, alloc, ShardOptions(options, i, num_nodes)));
+    dir[1 + i] = shard.header();
+    map.shards_.push_back(std::move(shard));
+  }
+  FMDS_RETURN_IF_ERROR(client->Write(
+      directory, std::as_bytes(std::span<const uint64_t>(dir))));
+  return map;
+}
+
+Result<ShardedMap> ShardedMap::Attach(FarClient* client, FarAllocator* alloc,
+                                      FarAddr directory) {
+  return Attach(client, alloc, directory, Options());
+}
+
+Result<ShardedMap> ShardedMap::Attach(FarClient* client, FarAllocator* alloc,
+                                      FarAddr directory, Options options) {
+  FMDS_ASSIGN_OR_RETURN(uint64_t num_shards, client->ReadWord(directory));
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return Internal("corrupt shard directory");
+  }
+  const uint32_t num_nodes = client->fabric()->num_nodes();
+  std::vector<uint64_t> headers(num_shards);
+  FMDS_RETURN_IF_ERROR(client->Read(
+      directory + kWordSize,
+      std::as_writable_bytes(std::span<uint64_t>(headers))));
+  ShardedMap map(client, directory);
+  map.shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    FMDS_ASSIGN_OR_RETURN(
+        HtTree shard,
+        HtTree::Attach(client, alloc, headers[i],
+                       ShardOptions(options, i, num_nodes)));
+    map.shards_.push_back(std::move(shard));
+  }
+  return map;
+}
+
+Result<uint64_t> ShardedMap::Get(uint64_t key) {
+  client_->AccountNear(1);  // routing hash
+  return shards_[ShardOf(key)].Get(key);
+}
+
+Status ShardedMap::Put(uint64_t key, uint64_t value) {
+  client_->AccountNear(1);
+  return shards_[ShardOf(key)].Put(key, value);
+}
+
+Status ShardedMap::Remove(uint64_t key) {
+  client_->AccountNear(1);
+  return shards_[ShardOf(key)].Remove(key);
+}
+
+std::vector<Result<uint64_t>> ShardedMap::MultiGet(
+    std::span<const uint64_t> keys) {
+  // Partition keys by shard, remembering each key's input position.
+  const size_t n = shards_.size();
+  std::vector<std::vector<uint64_t>> shard_keys(n);
+  std::vector<std::vector<size_t>> shard_pos(n);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    client_->AccountNear(1);
+    const uint32_t s = ShardOf(keys[i]);
+    shard_keys[s].push_back(keys[i]);
+    shard_pos[s].push_back(i);
+  }
+  // One engine per shard; each wave flushes EVERY shard's posted ops in a
+  // single doorbell, so sub-batches bound for different nodes overlap.
+  std::vector<HtTree::BatchGet> engines;
+  engines.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    engines.emplace_back(&shards_[s], std::span<const uint64_t>(shard_keys[s]));
+  }
+  while (true) {
+    size_t posted = 0;
+    for (HtTree::BatchGet& engine : engines) {
+      posted += engine.PostWave();
+    }
+    if (posted == 0) {
+      break;
+    }
+    std::vector<FarClient::Completion> done;
+    (void)client_->WaitAll(&done);
+    const HtTree::CompletionMap completions =
+        HtTree::ToCompletionMap(std::move(done));
+    for (HtTree::BatchGet& engine : engines) {
+      engine.AbsorbWave(completions);
+    }
+  }
+  // Scatter per-shard results back to input order.
+  std::vector<Result<uint64_t>> results(
+      keys.size(), Status(StatusCode::kInternal, "multiget unresolved"));
+  for (size_t s = 0; s < n; ++s) {
+    std::vector<Result<uint64_t>> shard_results = engines[s].Take();
+    for (size_t j = 0; j < shard_results.size(); ++j) {
+      results[shard_pos[s][j]] = std::move(shard_results[j]);
+    }
+  }
+  return results;
+}
+
+Status ShardedMap::MultiPut(std::span<const uint64_t> keys,
+                            std::span<const uint64_t> values) {
+  if (keys.size() != values.size()) {
+    return InvalidArgument("MultiPut keys/values length mismatch");
+  }
+  const size_t n = shards_.size();
+  std::vector<std::vector<uint64_t>> shard_keys(n);
+  std::vector<std::vector<uint64_t>> shard_values(n);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    client_->AccountNear(1);
+    const uint32_t s = ShardOf(keys[i]);
+    shard_keys[s].push_back(keys[i]);
+    shard_values[s].push_back(values[i]);
+  }
+  std::vector<HtTree::BatchPut> engines;
+  engines.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    engines.emplace_back(&shards_[s],
+                         std::span<const uint64_t>(shard_keys[s]),
+                         std::span<const uint64_t>(shard_values[s]));
+  }
+  while (true) {
+    size_t posted = 0;
+    for (HtTree::BatchPut& engine : engines) {
+      posted += engine.PostWave();
+    }
+    if (posted == 0) {
+      break;
+    }
+    std::vector<FarClient::Completion> done;
+    (void)client_->WaitAll(&done);
+    const HtTree::CompletionMap completions =
+        HtTree::ToCompletionMap(std::move(done));
+    for (HtTree::BatchPut& engine : engines) {
+      engine.AbsorbWave(completions);
+    }
+  }
+  Status first = OkStatus();
+  for (HtTree::BatchPut& engine : engines) {
+    const Status status = engine.Take();
+    if (first.ok() && !status.ok()) {
+      first = status;
+    }
+  }
+  return first;
+}
+
+HtTree::OpStats ShardedMap::op_stats() const {
+  HtTree::OpStats total;
+  for (const HtTree& shard : shards_) {
+    const HtTree::OpStats& s = shard.op_stats();
+    total.gets += s.gets;
+    total.puts += s.puts;
+    total.removes += s.removes;
+    total.chain_hops += s.chain_hops;
+    total.stale_refreshes += s.stale_refreshes;
+    total.cas_retries += s.cas_retries;
+    total.splits += s.splits;
+  }
+  return total;
+}
+
+uint64_t ShardedMap::cache_bytes() const {
+  uint64_t total = 0;
+  for (const HtTree& shard : shards_) {
+    total += shard.cache_bytes();
+  }
+  return total;
+}
+
+}  // namespace fmds

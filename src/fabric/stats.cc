@@ -5,11 +5,11 @@
 namespace fmds {
 
 std::string ClientStats::ToString() const {
-  char buf[448];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "far_ops=%llu msgs=%llu rd=%lluB wr=%lluB near=%llu rpc=%llu "
                 "notif=%llu slow=%llu bg=%llu batches=%llu batched=%llu "
-                "rtts_saved=%llu",
+                "rtts_saved=%llu fanout=%llu xnode_saved=%llu",
                 static_cast<unsigned long long>(far_ops),
                 static_cast<unsigned long long>(messages),
                 static_cast<unsigned long long>(bytes_read),
@@ -21,7 +21,9 @@ std::string ClientStats::ToString() const {
                 static_cast<unsigned long long>(background_ops),
                 static_cast<unsigned long long>(batches),
                 static_cast<unsigned long long>(batched_ops),
-                static_cast<unsigned long long>(overlapped_rtts_saved));
+                static_cast<unsigned long long>(overlapped_rtts_saved),
+                static_cast<unsigned long long>(fanout_batches),
+                static_cast<unsigned long long>(cross_node_rtts_saved));
   return buf;
 }
 

@@ -28,6 +28,12 @@ struct ClientStats {
   uint64_t batches = 0;               // Flush() doorbells issued
   uint64_t batched_ops = 0;           // ops carried inside those batches
   uint64_t overlapped_rtts_saved = 0; // round trips overlapped vs sync path
+  // Cross-node fan-out (§7 scale-out): a flushed batch whose ops span
+  // several memory nodes issues the per-node sub-batches concurrently and
+  // waits for the slowest node, not the sum.
+  uint64_t fanout_batches = 0;        // flushes that spanned > 1 node
+  uint64_t cross_node_rtts_saved = 0; // node doorbells overlapped vs
+                                      // one-node-at-a-time issue (G-1 each)
 
   ClientStats Delta(const ClientStats& earlier) const {
     ClientStats d;
@@ -44,6 +50,9 @@ struct ClientStats {
     d.batched_ops = batched_ops - earlier.batched_ops;
     d.overlapped_rtts_saved =
         overlapped_rtts_saved - earlier.overlapped_rtts_saved;
+    d.fanout_batches = fanout_batches - earlier.fanout_batches;
+    d.cross_node_rtts_saved =
+        cross_node_rtts_saved - earlier.cross_node_rtts_saved;
     return d;
   }
 
@@ -60,6 +69,8 @@ struct ClientStats {
     batches += other.batches;
     batched_ops += other.batched_ops;
     overlapped_rtts_saved += other.overlapped_rtts_saved;
+    fanout_batches += other.fanout_batches;
+    cross_node_rtts_saved += other.cross_node_rtts_saved;
   }
 
   std::string ToString() const;

@@ -76,6 +76,65 @@ TEST(CachedVectorTest, LossTriggersResync) {
   }
 }
 
+TEST(CachedVectorTest, RepeatedLossRoundsReconverge) {
+  // Every overflow round must end in a consistent mirror, and the resync
+  // must restore the zero-far-access read property — loss is a performance
+  // event, never a correctness one.
+  TestEnv env;
+  auto& writer = env.NewClient();
+  ClientOptions tiny;
+  tiny.channel_capacity = 2;
+  FarClient reader(&env.fabric(), 89, tiny);
+  auto vec_w = CachedFarVector::Create(&writer, &env.alloc(), 128);
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = CachedFarVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(vec_r->EnableMirror().ok());
+  uint64_t resyncs_seen = 0;
+  for (uint64_t round = 1; round <= 4; ++round) {
+    for (uint64_t i = 0; i < 128; ++i) {
+      ASSERT_TRUE(vec_w->Set(i, round * 1000 + i).ok());  // overflows
+    }
+    ASSERT_TRUE(vec_r->Sync().ok());
+    EXPECT_GT(vec_r->stats().loss_resyncs, resyncs_seen)
+        << "round " << round << " overflowed the channel";
+    resyncs_seen = vec_r->stats().loss_resyncs;
+    const uint64_t far_before = reader.stats().far_ops;
+    for (uint64_t i = 0; i < 128; ++i) {
+      ASSERT_EQ(*vec_r->Get(i), round * 1000 + i);
+    }
+    EXPECT_EQ(reader.stats().far_ops, far_before)
+        << "post-resync reads must be local again";
+  }
+}
+
+TEST(CachedVectorTest, EventsResumeAfterLossResync) {
+  // A loss resync drains the channel; later in-capacity updates flow as
+  // ordinary events again without re-triggering resyncs.
+  TestEnv env;
+  auto& writer = env.NewClient();
+  ClientOptions tiny;
+  tiny.channel_capacity = 2;
+  FarClient reader(&env.fabric(), 90, tiny);
+  auto vec_w = CachedFarVector::Create(&writer, &env.alloc(), 64);
+  ASSERT_TRUE(vec_w.ok());
+  auto vec_r = CachedFarVector::Attach(&reader, vec_w->header());
+  ASSERT_TRUE(vec_r.ok());
+  ASSERT_TRUE(vec_r->EnableMirror().ok());
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(vec_w->Set(i, i).ok());
+  }
+  ASSERT_TRUE(vec_r->Sync().ok());
+  const uint64_t resyncs = vec_r->stats().loss_resyncs;
+  ASSERT_GT(resyncs, 0u);
+  const uint64_t applied = vec_r->stats().events_applied;
+  ASSERT_TRUE(vec_w->Set(5, 5555).ok());  // fits the channel
+  ASSERT_TRUE(vec_r->Sync().ok());
+  EXPECT_EQ(*vec_r->Get(5), 5555u);
+  EXPECT_EQ(vec_r->stats().loss_resyncs, resyncs);
+  EXPECT_GT(vec_r->stats().events_applied, applied);
+}
+
 TEST(CachedVectorTest, MultipleMirrorsAllFollow) {
   TestEnv env;
   auto& writer = env.NewClient();
