@@ -32,14 +32,19 @@ struct RunResult {
   double msgs_per_get = 0.0;
   uint64_t fanout_batches = 0;
   uint64_t rtts_saved = 0;
+  // Flight-recorder JSON fragments (per-op-kind latency, node heatmap).
+  std::string op_latency;
+  std::string node_heatmap;
 };
 
-RunResult RunConfig(uint32_t nodes, int batch) {
+// `trace_path` non-empty = export this configuration's Chrome trace.
+RunResult RunConfig(uint32_t nodes, int batch, const ObsOptions& obs,
+                    const std::string& trace_path) {
   FabricOptions fabric;
   fabric.num_nodes = nodes;
   fabric.node_capacity = 256ull << 20;
   BenchEnv env(fabric);
-  FarClient& client = env.NewClient();
+  FarClient& client = env.NewClient(obs);
 
   ShardedMap::Options options;
   options.num_shards = nodes;  // one pinned shard per memory node
@@ -64,6 +69,7 @@ RunResult RunConfig(uint32_t nodes, int batch) {
     }
   }
 
+  client.recorder().Reset();  // keep the preload out of the histograms
   RunResult result;
   Rng rng(7);
   std::vector<uint64_t> probe(batch);
@@ -103,6 +109,18 @@ RunResult RunConfig(uint32_t nodes, int batch) {
     const uint64_t elapsed = client.clock().now_ns() - t0;
     result.put_ops_per_sec = kProbes * 1e9 / static_cast<double>(elapsed);
   }
+
+  MetricsRegistry registry = env.CollectMetrics();
+  result.op_latency = registry.OpLatencyJsonObject();
+  result.node_heatmap = registry.NodeHeatmapJsonArray();
+  if (!trace_path.empty()) {
+    registry.PrintOpKindTable(
+        std::cout, "E11 obs: per-op-kind simulated latency (nodes=" +
+                       std::to_string(nodes) +
+                       ", batch=" + std::to_string(batch) + ")");
+    registry.PrintHeatmap(std::cout, "E11 obs: node heatmap");
+    MaybeWriteTrace(registry, trace_path);
+  }
   return result;
 }
 
@@ -111,6 +129,10 @@ RunResult RunConfig(uint32_t nodes, int batch) {
 
 int main(int argc, char** argv) {
   using namespace fmds;
+
+  const std::string trace_path = TraceOutputPath(argc, argv);
+  const ObsOptions obs =
+      trace_path.empty() ? ObsOptions::HistogramsOnly() : ObsOptions::All();
 
   const std::vector<uint32_t> node_counts{1, 2, 4, 8, 16};
   const std::vector<int> batch_sizes{1, 16, 64};
@@ -121,7 +143,10 @@ int main(int argc, char** argv) {
                "msgs/get", "fanout_batches", "xnode_rtts_saved"});
   for (uint32_t nodes : node_counts) {
     for (int batch : batch_sizes) {
-      const RunResult r = RunConfig(nodes, batch);
+      // The headline fan-out configuration carries the trace export.
+      const bool headline = nodes == 8 && batch == 16;
+      const RunResult r =
+          RunConfig(nodes, batch, obs, headline ? trace_path : "");
       results[{nodes, batch}] = r;
       table.AddRow({Table::Cell(static_cast<uint64_t>(nodes)),
                     Table::Cell(static_cast<uint64_t>(batch)),
@@ -142,6 +167,8 @@ int main(int argc, char** argv) {
       json.Num("messages_per_op", r.msgs_per_get);
       json.Int("fanout_batches", r.fanout_batches);
       json.Int("cross_node_rtts_saved", r.rtts_saved);
+      json.Raw("op_latency", r.op_latency);
+      json.Raw("node_heatmap", r.node_heatmap);
     }
   }
   table.Print(std::cout,

@@ -80,24 +80,43 @@ MeasuredCost MeasureBatchedWorkload(
   return cost;
 }
 
+// Flight-recorder output captured per configuration (the BenchEnv and its
+// clients are scoped to each block; JSON fragments outlive them).
+struct ObsJson {
+  std::string op_latency;
+  std::string node_heatmap;
+};
+
+ObsJson SnapshotObs(const BenchEnv& env) {
+  MetricsRegistry registry = env.CollectMetrics();
+  return ObsJson{registry.OpLatencyJsonObject(),
+                 registry.NodeHeatmapJsonArray()};
+}
+
 }  // namespace
 }  // namespace fmds
 
 int main(int argc, char** argv) {
   using namespace fmds;
 
+  const std::string trace_path = TraceOutputPath(argc, argv);
+  const ObsOptions obs =
+      trace_path.empty() ? ObsOptions::HistogramsOnly() : ObsOptions::All();
+
   // ---- (a) RPC KV ----
   MeasuredCost rpc_cost;
+  ObsJson rpc_obs;
   double rpc_service_ns = 0.0;
   {
     BenchEnv env(DefaultFabric());
-    auto& client = env.NewClient();
+    auto& client = env.NewClient(obs);
     RpcServer server;
     KvService service(&server);
     KvStub stub{RpcClient(&client, &server)};
     for (uint64_t k = 1; k <= kKeys; ++k) {
       CheckOk(stub.Put(k, k), "put");
     }
+    client.recorder().Reset();  // histogram the probe phase only
     const uint64_t calls0 = server.calls();
     const uint64_t busy0 = server.busy_ns();
     rpc_cost = MeasureWorkload(client, [&](uint64_t key) {
@@ -105,13 +124,15 @@ int main(int argc, char** argv) {
     });
     rpc_service_ns = static_cast<double>(server.busy_ns() - busy0) /
                      static_cast<double>(server.calls() - calls0);
+    rpc_obs = SnapshotObs(env);
   }
 
   // ---- (b) one-sided traditional chained hash ----
   MeasuredCost chained_cost;
+  ObsJson chained_obs;
   {
     BenchEnv env(DefaultFabric());
-    auto& client = env.NewClient();
+    auto& client = env.NewClient(obs);
     ChainedHash::Options options;
     options.buckets = kKeys / 2;  // realistic load: chains exist
     auto table =
@@ -119,16 +140,19 @@ int main(int argc, char** argv) {
     for (uint64_t k = 1; k <= kKeys; ++k) {
       CheckOk(table.Put(k, k), "put");
     }
+    client.recorder().Reset();
     chained_cost = MeasureWorkload(client, [&](uint64_t key) {
       CheckOk(table.Get(key).status(), "get");
     });
+    chained_obs = SnapshotObs(env);
   }
 
   // ---- (c) HT-tree ----
   MeasuredCost httree_cost;
+  ObsJson httree_obs;
   {
     BenchEnv env(DefaultFabric());
-    auto& client = env.NewClient();
+    auto& client = env.NewClient(obs);
     HtTree::Options options;
     options.buckets_per_table = 8192;
     auto map =
@@ -136,16 +160,19 @@ int main(int argc, char** argv) {
     for (uint64_t k = 1; k <= kKeys; ++k) {
       CheckOk(map.Put(k, k), "put");
     }
+    client.recorder().Reset();
     httree_cost = MeasureWorkload(client, [&](uint64_t key) {
       CheckOk(map.Get(key).status(), "get");
     });
+    httree_obs = SnapshotObs(env);
   }
 
   // ---- (d) HT-tree, batched MultiGet(kBatchSize) ----
   MeasuredCost batched_cost;
+  ObsJson batched_obs;
   {
     BenchEnv env(DefaultFabric());
-    auto& client = env.NewClient();
+    auto& client = env.NewClient(obs);
     HtTree::Options options;
     options.buckets_per_table = 8192;
     auto map =
@@ -153,12 +180,19 @@ int main(int argc, char** argv) {
     for (uint64_t k = 1; k <= kKeys; ++k) {
       CheckOk(map.Put(k, k), "put");
     }
+    client.recorder().Reset();
     batched_cost =
         MeasureBatchedWorkload(client, [&](std::span<const uint64_t> keys) {
           for (auto& r : map.MultiGet(keys)) {
             CheckOk(r.status(), "mget");
           }
         });
+    batched_obs = SnapshotObs(env);
+    MetricsRegistry registry = env.CollectMetrics();
+    registry.PrintOpKindTable(
+        std::cout, "E3 obs: HT-tree batched per-op-kind simulated latency");
+    registry.PrintHeatmap(std::cout, "E3 obs: node heatmap (batched config)");
+    MaybeWriteTrace(registry, trace_path);
   }
 
   Table costs({"design", "far_accesses/op", "messages/op", "1-client ns/op"});
@@ -229,7 +263,7 @@ int main(int argc, char** argv) {
 
   BenchJson json;
   const auto emit = [&](const std::string& name, const MeasuredCost& cost,
-                        const WorkloadCost& model) {
+                        const WorkloadCost& model, const ObsJson& obs_json) {
     json.Begin(name);
     json.Int("keys", kKeys);
     json.Num("far_accesses_per_op", cost.far_accesses);
@@ -238,11 +272,13 @@ int main(int argc, char** argv) {
     json.Num("latency_ns", cost.latency_ns);
     json.Num("ops_per_sec_256_clients",
              SolveClosedSystem(model, 256).ops_per_sec);
+    json.Raw("op_latency", obs_json.op_latency);
+    json.Raw("node_heatmap", obs_json.node_heatmap);
   };
-  emit("rpc_kv", rpc_cost, rpc_model);
-  emit("chained_hash", chained_cost, chained_model);
-  emit("ht_tree", httree_cost, httree_model);
-  emit("ht_tree_batched_x16", batched_cost, batched_model);
+  emit("rpc_kv", rpc_cost, rpc_model, rpc_obs);
+  emit("chained_hash", chained_cost, chained_model, chained_obs);
+  emit("ht_tree", httree_cost, httree_model, httree_obs);
+  emit("ht_tree_batched_x16", batched_cost, batched_model, batched_obs);
   json.Write(JsonOutputPath(argc, argv, "BENCH_e3.json"));
   return 0;
 }

@@ -36,13 +36,18 @@ int main() {
   using namespace fmds;
   Table table({"consumers", "alarm_frac", "naive transfers",
                "smart transfers", "notifications", "reduction"});
+  // Per-structure (op-label) breakdown tables are captured for one
+  // representative configuration.
+  const ObsOptions obs = ObsOptions::HistogramsOnly();
   for (int consumers : {1, 2, 4, 8}) {
     for (double alarm_fraction : {0.0, 0.01, 0.10}) {
+      const bool observe = consumers == 4 && alarm_fraction == 0.10;
       // ---- naive ----
       uint64_t naive = 0;
       {
         BenchEnv env(DefaultFabric());
-        auto& producer_client = env.NewClient();
+        auto& producer_client =
+            observe ? env.NewClient(obs) : env.NewClient();
         auto log = CheckOk(
             NaiveMonitor::Create(&producer_client, &env.alloc(), kSamples),
             "naive");
@@ -54,12 +59,19 @@ int main() {
         }
         naive += producer_client.stats().far_ops;
         for (int c = 0; c < consumers; ++c) {
-          auto& consumer_client = env.NewClient();
+          auto& consumer_client =
+              observe ? env.NewClient(obs) : env.NewClient();
           uint64_t cursor = 0;
           CheckOk(log.PollSamples(&consumer_client, &cursor, nullptr)
                       .status(),
                   "poll");
           naive += consumer_client.stats().far_ops;
+        }
+        if (observe) {
+          env.CollectMetrics().PrintLabelTable(
+              std::cout,
+              "E7 obs: naive per-structure breakdown (consumers=4, "
+              "alarm_frac=0.10)");
         }
       }
       // ---- histogram + notifications ----
@@ -67,7 +79,8 @@ int main() {
       uint64_t notifications = 0;
       {
         BenchEnv env(DefaultFabric());
-        auto& producer_client = env.NewClient();
+        auto& producer_client =
+            observe ? env.NewClient(obs) : env.NewClient();
         auto store = CheckOk(
             MonitorStore::Create(&producer_client, &env.alloc(), Config()),
             "store");
@@ -76,7 +89,7 @@ int main() {
         std::vector<std::unique_ptr<MetricConsumer>> consumer_objs;
         std::vector<uint64_t> setup_ops;
         for (int c = 0; c < consumers; ++c) {
-          clients.push_back(&env.NewClient());
+          clients.push_back(observe ? &env.NewClient(obs) : &env.NewClient());
           consumer_objs.push_back(std::make_unique<MetricConsumer>(
               &store, clients.back(), AlarmSeverity::kWarning));
           CheckOk(consumer_objs.back()->Subscribe(), "subscribe");
@@ -93,6 +106,12 @@ int main() {
           CheckOk(consumer_objs[c]->Poll().status(), "poll");
           smart += clients[c]->stats().far_ops - setup_ops[c];
           notifications += clients[c]->stats().notifications;
+        }
+        if (observe) {
+          env.CollectMetrics().PrintLabelTable(
+              std::cout,
+              "E7 obs: histogram+notify per-structure breakdown "
+              "(consumers=4, alarm_frac=0.10)");
         }
       }
       table.AddRow({Table::Cell(static_cast<int64_t>(consumers)),

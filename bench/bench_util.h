@@ -18,6 +18,8 @@
 #include "src/common/table.h"
 #include "src/fabric/fabric.h"
 #include "src/fabric/far_client.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_export.h"
 
 namespace fmds {
 
@@ -32,6 +34,21 @@ class BenchEnv {
     clients_.push_back(
         std::make_unique<FarClient>(&fabric_, clients_.size() + 1));
     return *clients_.back();
+  }
+  // Client with the flight recorder armed (histograms and/or tracing).
+  FarClient& NewClient(const ObsOptions& obs) {
+    FarClient& client = NewClient();
+    client.EnableObs(obs);
+    return client;
+  }
+  // Absorb every client's recorder into one registry for fleet-wide
+  // tables / JSON / trace export.
+  MetricsRegistry CollectMetrics() const {
+    MetricsRegistry registry;
+    for (const auto& client : clients_) {
+      registry.Absorb(client->recorder());
+    }
+    return registry;
   }
 
  private:
@@ -83,6 +100,11 @@ class BenchJson {
   }
   void Str(const std::string& key, const std::string& value) {
     entries_.back().fields.emplace_back(key, Quote(value));
+  }
+  // Attach a pre-rendered JSON value (object/array) verbatim — used for
+  // the observability sub-documents (op_latency, node_heatmap).
+  void Raw(const std::string& key, const std::string& rendered_json) {
+    entries_.back().fields.emplace_back(key, rendered_json);
   }
 
   // Writes the array; aborts the bench on I/O failure (results files are
@@ -138,6 +160,29 @@ inline std::string JsonOutputPath(int argc, char** argv,
     }
   }
   return default_path;
+}
+
+// The --trace=<path> argument (Chrome trace-event JSON output), or "" when
+// tracing was not requested.
+inline std::string TraceOutputPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      return arg.substr(8);
+    }
+  }
+  return "";
+}
+
+// Writes the Chrome trace if `path` is non-empty; fatal on I/O failure,
+// same policy as BenchJson::Write.
+inline void MaybeWriteTrace(const MetricsRegistry& registry,
+                            const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  CheckOk(WriteChromeTraceFile(path, registry), "trace export");
+  std::fprintf(stderr, "trace written to %s\n", path.c_str());
 }
 
 }  // namespace fmds

@@ -10,14 +10,15 @@
 #   JOBS       parallel build jobs (default: nproc)
 #   SKIP_TSAN  set to 1 to skip the ThreadSanitizer pass
 #   SKIP_ASAN  set to 1 to skip the AddressSanitizer pass
+#   SKIP_UBSAN set to 1 to skip the UndefinedBehaviorSanitizer pass
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 SANITIZER_TARGETS=(fabric_test fabric_edge_test async_client_test
-  notification_test sharded_map_test)
-SANITIZER_FILTER='Fabric|AsyncClient|Notif|ShardedMap'
+  notification_test sharded_map_test obs_test)
+SANITIZER_FILTER='Fabric|AsyncClient|Notif|ShardedMap|Obs|Trace|OpLabel'
 
 echo "==> normal build"
 cmake -B build -S . >/dev/null
@@ -46,6 +47,17 @@ else
 
   echo "==> ASan: fabric + async + notification + sharding tests"
   ctest --test-dir build-asan --output-on-failure -R "${SANITIZER_FILTER}"
+fi
+
+if [[ "${SKIP_UBSAN:-0}" == "1" ]]; then
+  echo "==> UBSan pass skipped (SKIP_UBSAN=1)"
+else
+  echo "==> UBSan build"
+  cmake -B build-ubsan -S . -DFMDS_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "${JOBS}" --target "${SANITIZER_TARGETS[@]}"
+
+  echo "==> UBSan: fabric + async + notification + sharding + obs tests"
+  ctest --test-dir build-ubsan --output-on-failure -R "${SANITIZER_FILTER}"
 fi
 
 echo "==> all checks passed"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/bytes.h"
+#include "src/obs/recorder.h"
 
 namespace fmds {
 
@@ -82,6 +83,7 @@ uint64_t MetricProducer::BinOf(double sample) const {
 }
 
 Status MetricProducer::Record(double sample) {
+  ScopedOpLabel label(&client_->recorder(), "monitor.record");
   // The whole fast path: one indexed indirect atomic add through the
   // current-window base pointer.
   client_->AccountNear(1);  // local binning
@@ -156,6 +158,7 @@ Status MetricConsumer::Subscribe() {
 }
 
 Result<std::vector<Alarm>> MetricConsumer::Poll() {
+  ScopedOpLabel label(&client_->recorder(), "monitor.poll");
   const MonitorConfig& cfg = store_->config();
   std::vector<Alarm> alarms;
   while (auto event = client_->PollNotification()) {
@@ -296,6 +299,7 @@ Result<NaiveMonitor> NaiveMonitor::Attach(FarClient* client, FarAddr header) {
 }
 
 Status NaiveMonitor::Record(FarClient* client, double sample) {
+  ScopedOpLabel label(&client->recorder(), "naive.record");
   const uint64_t index = producer_cursor_;
   if (index >= capacity_) {
     return ResourceExhausted("sample log full");
@@ -315,6 +319,7 @@ Status NaiveMonitor::Record(FarClient* client, double sample) {
 Result<uint64_t> NaiveMonitor::PollSamples(FarClient* client,
                                            uint64_t* consumer_cursor,
                                            std::vector<double>* out) {
+  ScopedOpLabel label(&client->recorder(), "naive.poll");
   FMDS_ASSIGN_OR_RETURN(uint64_t produced, client->ReadWord(header_));
   uint64_t consumed = 0;
   while (*consumer_cursor < produced) {

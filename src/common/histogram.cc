@@ -75,13 +75,24 @@ uint64_t LogHistogram::Percentile(double q) const {
     return 0;
   }
   q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) {
+    // ceil(0 * count) = 0 would match the first non-empty bucket whose
+    // lower bound can sit below the smallest recorded value; the q=0
+    // quantile is the minimum by definition.
+    return min_;
+  }
+  if (q == 1.0) {
+    // The scan would land on the last non-empty bucket's *lower* bound,
+    // which undershoots; the q=1 quantile is the maximum by definition.
+    return max_;
+  }
   const uint64_t target = static_cast<uint64_t>(
       std::ceil(q * static_cast<double>(count_)));
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= target && buckets_[i] > 0) {
-      return std::min(BucketLowerBound(i), max_);
+      return std::clamp(BucketLowerBound(i), min_, max_);
     }
   }
   return max_;

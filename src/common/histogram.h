@@ -11,9 +11,11 @@
 
 namespace fmds {
 
-// Log2-bucketed histogram with linear sub-buckets, covering [1, 2^62).
+// Log2-bucketed histogram with linear sub-buckets, covering [0, 2^62).
 // Records integer values (typically nanoseconds or access counts) with
-// bounded relative error set by sub_bucket_bits.
+// bounded relative error set by sub_bucket_bits. Zero is a first-class
+// value (bucket 0): background far ops cost the client clock nothing and
+// the recorder still histograms them.
 class LogHistogram {
  public:
   explicit LogHistogram(int sub_bucket_bits = 5);
@@ -23,6 +25,7 @@ class LogHistogram {
   void Reset();
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double mean() const {
@@ -30,7 +33,10 @@ class LogHistogram {
                                    static_cast<double>(count_);
   }
 
-  // Value at quantile q in [0, 1], e.g. 0.5 / 0.99 / 0.999.
+  // Value at quantile q in [0, 1], e.g. 0.5 / 0.99 / 0.999. Results are
+  // clamped into [min(), max()]: q=0 returns the exact minimum, q=1 the
+  // exact maximum, and interior quantiles never report a bucket lower
+  // bound below the smallest recorded value.
   uint64_t Percentile(double q) const;
 
   // "count=... mean=... p50=... p99=... max=..." one-liner.

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/bytes.h"
+#include "src/obs/recorder.h"
 
 namespace fmds {
 
@@ -33,6 +34,7 @@ Result<HtBlobStore> HtBlobStore::Attach(FarClient* client,
 }
 
 Status HtBlobStore::Put(uint64_t key, std::span<const std::byte> value) {
+  ScopedOpLabel label(&client_->recorder(), "blob.put");
   // Blob layout: [0] length word, then the bytes. The blob lives on the
   // same node as the key's shard so batched reads of many keys split
   // cleanly into per-node sub-batches (§7 fan-out).
@@ -54,6 +56,7 @@ Status HtBlobStore::Put(uint64_t key, std::span<const std::byte> value) {
 
 Result<std::vector<std::byte>> HtBlobStore::Get(uint64_t key,
                                                 uint64_t size_hint) {
+  ScopedOpLabel label(&client_->recorder(), "blob.get");
   FMDS_ASSIGN_OR_RETURN(uint64_t blob, map_.Get(key));  // 1 far access
   const uint64_t first_fetch =
       kWordSize + (size_hint > 0 ? size_hint : kInlineFetch - kWordSize);
@@ -74,6 +77,7 @@ Result<std::vector<std::byte>> HtBlobStore::Get(uint64_t key,
 
 std::vector<Result<std::vector<std::byte>>> HtBlobStore::MultiGet(
     std::span<const uint64_t> keys, uint64_t size_hint) {
+  ScopedOpLabel label(&client_->recorder(), "blob.multiget");
   std::vector<Result<std::vector<std::byte>>> results(
       keys.size(),
       Result<std::vector<std::byte>>(
@@ -142,6 +146,9 @@ std::vector<Result<std::vector<std::byte>>> HtBlobStore::MultiGet(
   return results;
 }
 
-Status HtBlobStore::Remove(uint64_t key) { return map_.Remove(key); }
+Status HtBlobStore::Remove(uint64_t key) {
+  ScopedOpLabel label(&client_->recorder(), "blob.remove");
+  return map_.Remove(key);
+}
 
 }  // namespace fmds

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "src/common/bytes.h"
+#include "src/obs/recorder.h"
 
 namespace fmds {
 
@@ -86,6 +87,7 @@ Status FarQueue::Enqueue(uint64_t value) {
   if (value == 0) {
     return InvalidArgument("queue values must be non-zero");
   }
+  ScopedOpLabel label(&client_->recorder(), "queue.enqueue");
   FMDS_RETURN_IF_ERROR(MaybeRefreshEstimates());
   // Second logical slack (§5.3): when the *estimated* free space dips below
   // 2n, leave the fast path and read the true head.
@@ -160,6 +162,7 @@ Status FarQueue::FixupTailLanding(FarAddr landed, uint64_t value) {
 }
 
 Result<uint64_t> FarQueue::Dequeue() {
+  ScopedOpLabel label(&client_->recorder(), "queue.dequeue");
   FMDS_RETURN_IF_ERROR(MaybeRefreshEstimates());
   uint64_t occ =
       LogicalOccSlots(est_head_, est_tail_, capacity_ * kWordSize);

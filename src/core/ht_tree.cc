@@ -9,6 +9,7 @@
 
 #include "src/common/bytes.h"
 #include "src/core/far_mutex.h"
+#include "src/obs/recorder.h"
 
 namespace fmds {
 
@@ -330,6 +331,7 @@ Status HtTree::RefreshPath(uint64_t hash) {
 }
 
 Result<uint64_t> HtTree::Get(uint64_t key) {
+  ScopedOpLabel label(&client_->recorder(), "httree.get");
   const uint64_t hash = Mix64(key);
   ++op_stats_.gets;
   for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
@@ -540,6 +542,7 @@ std::vector<Result<uint64_t>> HtTree::BatchGet::Take() {
 
 std::vector<Result<uint64_t>> HtTree::MultiGet(
     std::span<const uint64_t> keys) {
+  ScopedOpLabel label(&client_->recorder(), "httree.multiget");
   BatchGet engine(this, keys);
   while (engine.PostWave() > 0) {
     std::vector<FarClient::Completion> done;
@@ -550,6 +553,7 @@ std::vector<Result<uint64_t>> HtTree::MultiGet(
 }
 
 Status HtTree::Put(uint64_t key, uint64_t value) {
+  ScopedOpLabel label(&client_->recorder(), "httree.put");
   const uint64_t hash = Mix64(key);
   ++op_stats_.puts;
   FMDS_ASSIGN_OR_RETURN(FarAddr slot, AllocItemSlot());
@@ -741,6 +745,7 @@ Status HtTree::MultiPut(std::span<const uint64_t> keys,
   if (keys.size() != values.size()) {
     return InvalidArgument("MultiPut keys/values length mismatch");
   }
+  ScopedOpLabel label(&client_->recorder(), "httree.multiput");
   BatchPut engine(this, keys, values);
   while (engine.PostWave() > 0) {
     std::vector<FarClient::Completion> done;
@@ -754,6 +759,7 @@ Status HtTree::Remove(uint64_t key) {
   // A removal is an insert-at-head of a tombstone: same cost, same
   // concurrency story as Put. Splits drop tombstones and everything they
   // shadow.
+  ScopedOpLabel label(&client_->recorder(), "httree.remove");
   const uint64_t hash = Mix64(key);
   ++op_stats_.removes;
   FMDS_ASSIGN_OR_RETURN(FarAddr slot, AllocItemSlot());
@@ -820,6 +826,7 @@ Status HtTree::SplitTableOf(uint64_t key) {
 }
 
 Status HtTree::SplitLeaf(int32_t leaf_index, uint64_t hash) {
+  ScopedOpLabel label(&client_->recorder(), "httree.split");
   ++client_->mutable_stats().slow_path_ops;
   CachedNode leaf = nodes_[leaf_index];
   if (!leaf.leaf) {

@@ -2,6 +2,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/hash.h"
+#include "src/obs/recorder.h"
 
 namespace fmds {
 
@@ -86,22 +87,28 @@ Result<ShardedMap> ShardedMap::Attach(FarClient* client, FarAllocator* alloc,
 }
 
 Result<uint64_t> ShardedMap::Get(uint64_t key) {
+  // Outer label for nesting; the shard's own "httree.get" (innermost) wins
+  // latency attribution.
+  ScopedOpLabel label(&client_->recorder(), "sharded.get");
   client_->AccountNear(1);  // routing hash
   return shards_[ShardOf(key)].Get(key);
 }
 
 Status ShardedMap::Put(uint64_t key, uint64_t value) {
+  ScopedOpLabel label(&client_->recorder(), "sharded.put");
   client_->AccountNear(1);
   return shards_[ShardOf(key)].Put(key, value);
 }
 
 Status ShardedMap::Remove(uint64_t key) {
+  ScopedOpLabel label(&client_->recorder(), "sharded.remove");
   client_->AccountNear(1);
   return shards_[ShardOf(key)].Remove(key);
 }
 
 std::vector<Result<uint64_t>> ShardedMap::MultiGet(
     std::span<const uint64_t> keys) {
+  ScopedOpLabel label(&client_->recorder(), "sharded.multiget");
   // Partition keys by shard, remembering each key's input position.
   const size_t n = shards_.size();
   std::vector<std::vector<uint64_t>> shard_keys(n);
@@ -152,6 +159,7 @@ Status ShardedMap::MultiPut(std::span<const uint64_t> keys,
   if (keys.size() != values.size()) {
     return InvalidArgument("MultiPut keys/values length mismatch");
   }
+  ScopedOpLabel label(&client_->recorder(), "sharded.multiput");
   const size_t n = shards_.size();
   std::vector<std::vector<uint64_t>> shard_keys(n);
   std::vector<std::vector<uint64_t>> shard_values(n);

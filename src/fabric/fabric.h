@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -73,6 +74,10 @@ class Fabric {
   bool SameNodeWord(FarAddr addr, NodeId node) const;
 
   SubId NextSubId() { return next_sub_id_.fetch_add(1) + 1; }
+
+  // Fleet-wide per-node service counters as one table (plus a totals row):
+  // the memory-side companion to the client-side flight recorder.
+  void DumpStats(std::ostream& os) const;
 
  private:
   FabricOptions options_;

@@ -28,14 +28,23 @@ FarClient::FarClient(Fabric* fabric, uint64_t client_id, ClientOptions options)
     : fabric_(fabric),
       client_id_(client_id),
       latency_(fabric->options().latency),
-      channel_(options.channel_capacity) {}
+      obs_(client_id),
+      channel_(options.channel_capacity) {
+  obs_.set_options(options.obs);
+}
 
-void FarClient::AccountRoundTrip(uint64_t payload_bytes, uint64_t messages,
-                                 uint64_t extra_hops) {
+void FarClient::AccountRoundTrip(FarOpKind kind, NodeId node, FarAddr addr,
+                                 uint64_t payload_bytes, uint64_t messages,
+                                 uint64_t extra_hops, bool ok) {
   ++stats_.far_ops;
   stats_.messages += messages;
-  clock_.Advance(latency_.FarRoundTripNs(payload_bytes) +
-                 extra_hops * latency_.node_hop_ns);
+  const uint64_t latency_ns = latency_.FarRoundTripNs(payload_bytes) +
+                              extra_hops * latency_.node_hop_ns;
+  const uint64_t start_ns = clock_.now_ns();
+  clock_.Advance(latency_ns);
+  if (obs_.enabled()) {
+    obs_.RecordOp(kind, node, addr, payload_bytes, start_ns, latency_ns, ok);
+  }
 }
 
 // ------------------------------ Base verbs ------------------------------
@@ -50,7 +59,9 @@ Status FarClient::Read(FarAddr addr, std::span<std::byte> out) {
     produced += static_cast<size_t>(seg.len);
   }
   stats_.bytes_read += out.size();
-  AccountRoundTrip(out.size(), std::max<size_t>(segs.size(), 1), 0);
+  AccountRoundTrip(FarOpKind::kRead,
+                   segs.empty() ? kObsNoNode : segs.front().node, addr,
+                   out.size(), std::max<size_t>(segs.size(), 1), 0);
   return OkStatus();
 }
 
@@ -65,7 +76,9 @@ Status FarClient::Write(FarAddr addr, std::span<const std::byte> data) {
     consumed += static_cast<size_t>(seg.len);
   }
   stats_.bytes_written += data.size();
-  AccountRoundTrip(data.size(), std::max<size_t>(segs.size(), 1), 0);
+  AccountRoundTrip(FarOpKind::kWrite,
+                   segs.empty() ? kObsNoNode : segs.front().node, addr,
+                   data.size(), std::max<size_t>(segs.size(), 1), 0);
   return OkStatus();
 }
 
@@ -76,7 +89,7 @@ Result<uint64_t> FarClient::ReadWord(FarAddr addr) {
   FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
   const uint64_t value = fabric_->node(loc.node).LoadWord(loc.offset);
   stats_.bytes_read += kWordSize;
-  AccountRoundTrip(kWordSize, 1, 0);
+  AccountRoundTrip(FarOpKind::kReadWord, loc.node, addr, kWordSize, 1, 0);
   return value;
 }
 
@@ -87,7 +100,7 @@ Status FarClient::WriteWord(FarAddr addr, uint64_t value) {
   FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
   fabric_->node(loc.node).StoreWord(loc.offset, value, clock_.now_ns());
   stats_.bytes_written += kWordSize;
-  AccountRoundTrip(kWordSize, 1, 0);
+  AccountRoundTrip(FarOpKind::kWriteWord, loc.node, addr, kWordSize, 1, 0);
   return OkStatus();
 }
 
@@ -101,7 +114,7 @@ Result<uint64_t> FarClient::CompareSwap(FarAddr addr, uint64_t expected,
       loc.offset, expected, desired, clock_.now_ns());
   stats_.bytes_written += kWordSize;
   stats_.bytes_read += kWordSize;
-  AccountRoundTrip(kWordSize, 1, 0);
+  AccountRoundTrip(FarOpKind::kCas, loc.node, addr, kWordSize, 1, 0);
   return old;
 }
 
@@ -114,7 +127,7 @@ Result<uint64_t> FarClient::FetchAdd(FarAddr addr, uint64_t delta) {
       fabric_->node(loc.node).FetchAddWord(loc.offset, delta, clock_.now_ns());
   stats_.bytes_written += kWordSize;
   stats_.bytes_read += kWordSize;
-  AccountRoundTrip(kWordSize, 1, 0);
+  AccountRoundTrip(FarOpKind::kFetchAdd, loc.node, addr, kWordSize, 1, 0);
   return old;
 }
 
@@ -164,7 +177,8 @@ Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
   if (pointer == kNullFarAddr) {
     // Completed round trip that found a null pointer; still one far access.
     stats_.bytes_read += kWordSize;
-    AccountRoundTrip(kWordSize, 1, 0);
+    AccountRoundTrip(FarOpKind::kIndirect, home.node, ptr_addr, kWordSize, 1,
+                     0, /*ok=*/false);
     return Status(StatusCode::kFailedPrecondition, "null indirect pointer");
   }
 
@@ -183,7 +197,8 @@ Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
   Status seg_status = fabric_->Segments(target, len, segs);
   if (!seg_status.ok()) {
     stats_.bytes_read += kWordSize;
-    AccountRoundTrip(kWordSize, 1, 0);
+    AccountRoundTrip(FarOpKind::kIndirect, home.node, ptr_addr, kWordSize, 1,
+                     0, /*ok=*/false);
     return seg_status;
   }
 
@@ -197,9 +212,11 @@ Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
   if (remote_hops > 0 &&
       fabric_->options().indirection == IndirectionPolicy::kError) {
     // §7.1 alternative: the memory node returns the pointer and an error;
-    // the client completes the indirection itself with a second round trip.
+    // the client completes the indirection itself with a second round trip
+    // (which accounts under its own direct op kind).
     stats_.bytes_read += kWordSize;
-    AccountRoundTrip(kWordSize, 1, 0);
+    AccountRoundTrip(FarOpKind::kIndirect, home.node, ptr_addr, kWordSize, 1,
+                     0);
     FMDS_RETURN_IF_ERROR(
         DirectAccess(kind, target, read_out, write_value, add_value));
     return pointer;
@@ -239,7 +256,8 @@ Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
   } else {
     stats_.bytes_written += len;
   }
-  AccountRoundTrip(payload, 1 + remote_hops, remote_hops);
+  AccountRoundTrip(FarOpKind::kIndirect, home.node, ptr_addr, payload,
+                   1 + remote_hops, remote_hops);
   return pointer;
 }
 
@@ -329,7 +347,9 @@ Status FarClient::RScatter(FarAddr ad, std::span<const LocalBuf> iov) {
     cursor += buf.len;
   }
   stats_.bytes_read += total;
-  AccountRoundTrip(total, std::max<size_t>(segs.size(), 1), 0);
+  AccountRoundTrip(FarOpKind::kScatterGather,
+                   segs.empty() ? kObsNoNode : segs.front().node, ad, total,
+                   std::max<size_t>(segs.size(), 1), 0);
   return OkStatus();
 }
 
@@ -344,11 +364,15 @@ Status FarClient::RGather(std::span<const FarSeg> iov,
   }
   size_t produced = 0;
   uint64_t messages = 0;
+  NodeId first_node = kObsNoNode;
   for (const auto& far : iov) {
     std::vector<Fabric::Segment> segs;
     FMDS_RETURN_IF_ERROR(fabric_->Segments(far.addr, far.len, segs));
     size_t inner = 0;
     for (const auto& seg : segs) {
+      if (first_node == kObsNoNode) {
+        first_node = seg.node;
+      }
       fabric_->node(seg.node).ReadRange(
           seg.offset,
           out.subspan(produced + inner, static_cast<size_t>(seg.len)));
@@ -359,7 +383,9 @@ Status FarClient::RGather(std::span<const FarSeg> iov,
   }
   stats_.bytes_read += total;
   // One client round trip: the adapter issues the segment reads concurrently.
-  AccountRoundTrip(total, std::max<uint64_t>(messages, 1), 0);
+  AccountRoundTrip(FarOpKind::kScatterGather, first_node,
+                   iov.empty() ? kNullFarAddr : iov.front().addr, total,
+                   std::max<uint64_t>(messages, 1), 0);
   return OkStatus();
 }
 
@@ -374,11 +400,15 @@ Status FarClient::WScatter(std::span<const FarSeg> iov,
   }
   size_t consumed = 0;
   uint64_t messages = 0;
+  NodeId first_node = kObsNoNode;
   for (const auto& far : iov) {
     std::vector<Fabric::Segment> segs;
     FMDS_RETURN_IF_ERROR(fabric_->Segments(far.addr, far.len, segs));
     size_t inner = 0;
     for (const auto& seg : segs) {
+      if (first_node == kObsNoNode) {
+        first_node = seg.node;
+      }
       fabric_->node(seg.node).WriteRange(
           seg.offset,
           src.subspan(consumed + inner, static_cast<size_t>(seg.len)),
@@ -389,7 +419,9 @@ Status FarClient::WScatter(std::span<const FarSeg> iov,
     messages += segs.size();
   }
   stats_.bytes_written += total;
-  AccountRoundTrip(total, std::max<uint64_t>(messages, 1), 0);
+  AccountRoundTrip(FarOpKind::kScatterGather, first_node,
+                   iov.empty() ? kNullFarAddr : iov.front().addr, total,
+                   std::max<uint64_t>(messages, 1), 0);
   return OkStatus();
 }
 
@@ -413,7 +445,9 @@ Status FarClient::WGather(FarAddr ad, std::span<const ConstLocalBuf> iov) {
     consumed += static_cast<size_t>(seg.len);
   }
   stats_.bytes_written += total;
-  AccountRoundTrip(total, std::max<size_t>(segs.size(), 1), 0);
+  AccountRoundTrip(FarOpKind::kScatterGather,
+                   segs.empty() ? kObsNoNode : segs.front().node, ad, total,
+                   std::max<size_t>(segs.size(), 1), 0);
   return OkStatus();
 }
 
@@ -422,18 +456,24 @@ Status FarClient::CasBatch(std::span<const CasTarget> targets,
   if (observed.size() < targets.size()) {
     return InvalidArgument("cas batch result buffer too small");
   }
+  NodeId first_node = kObsNoNode;
   for (size_t i = 0; i < targets.size(); ++i) {
     const CasTarget& target = targets[i];
     if (!IsWordAligned(target.addr)) {
       return InvalidArgument("unaligned CAS in batch");
     }
     FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(target.addr));
+    if (first_node == kObsNoNode) {
+      first_node = loc.node;
+    }
     observed[i] = fabric_->node(loc.node).CompareSwapWord(
         loc.offset, target.expected, target.desired, clock_.now_ns());
   }
   stats_.bytes_written += targets.size() * kWordSize;
   stats_.bytes_read += targets.size() * kWordSize;
-  AccountRoundTrip(targets.size() * 2 * kWordSize,
+  AccountRoundTrip(FarOpKind::kCasBatch, first_node,
+                   targets.empty() ? kNullFarAddr : targets.front().addr,
+                   targets.size() * 2 * kWordSize,
                    std::max<size_t>(targets.size(), 1), 0);
   return OkStatus();
 }
@@ -517,7 +557,8 @@ FarClient::OpId FarClient::PostRGather(std::vector<FarSeg> iov,
 Status FarClient::ExecuteBatchedOp(
     PendingOp& op, uint64_t* word,
     std::unordered_map<NodeId, BatchGroup>& groups, uint64_t* messages,
-    uint64_t* fabric_ops, uint64_t* serial_ns, uint64_t* serial_rtts) {
+    uint64_t* fabric_ops, uint64_t* serial_ns, uint64_t* serial_rtts,
+    BatchOpObs* obs) {
   // One node-group contribution: `msgs` fabric messages carrying
   // `payload_bytes` whose occupancy lands on `node`, plus forward hops.
   auto charge = [&](NodeId node, uint64_t payload_bytes, uint64_t msgs,
@@ -528,7 +569,26 @@ Status FarClient::ExecuteBatchedOp(
         latency_.per_byte_ns * static_cast<double>(payload_bytes);
     group.hops += hops;
     *messages += msgs;
+    if (obs != nullptr && obs->node == kObsNoNode) {
+      obs->node = node;  // primary node serviced (first charge)
+    }
+    if (obs != nullptr) {
+      obs->bytes += payload_bytes;
+    }
   };
+  if (obs != nullptr) {
+    obs->addr = op.addr;
+    switch (op.kind) {
+      case OpKind::kRead: obs->kind = FarOpKind::kRead; break;
+      case OpKind::kWrite: obs->kind = FarOpKind::kWrite; break;
+      case OpKind::kReadWord: obs->kind = FarOpKind::kReadWord; break;
+      case OpKind::kWriteWord: obs->kind = FarOpKind::kWriteWord; break;
+      case OpKind::kCas: obs->kind = FarOpKind::kCas; break;
+      case OpKind::kFetchAdd: obs->kind = FarOpKind::kFetchAdd; break;
+      case OpKind::kLoad0: obs->kind = FarOpKind::kIndirect; break;
+      case OpKind::kRGather: obs->kind = FarOpKind::kScatterGather; break;
+    }
+  }
 
   switch (op.kind) {
     case OpKind::kRead: {
@@ -711,14 +771,24 @@ Status FarClient::Flush() {
   uint64_t fabric_ops = 0;   // logical round trips the sync path would pay
   uint64_t serial_ns = 0;    // dependent second accesses (kError policy)
   uint64_t serial_rtts = 0;
-  for (auto& op : batch) {
+  const bool observing = obs_.enabled();
+  std::vector<BatchOpObs> op_obs;
+  if (observing) {
+    op_obs.resize(batch.size());
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingOp& op = batch[i];
     Completion completion;
     completion.id = op.id;
     uint64_t word = 0;
     completion.status = ExecuteBatchedOp(op, &word, groups, &messages,
                                          &fabric_ops, &serial_ns,
-                                         &serial_rtts);
+                                         &serial_rtts,
+                                         observing ? &op_obs[i] : nullptr);
     completion.word = word;
+    if (observing) {
+      op_obs[i].ok = completion.status.ok();
+    }
     completion_queue_.push_back(std::move(completion));
   }
   // One doorbell: per-node groups proceed in parallel; the client waits for
@@ -745,7 +815,36 @@ Status FarClient::Flush() {
     ++stats_.fanout_batches;
     stats_.cross_node_rtts_saved += groups.size() - 1;
   }
-  clock_.Advance(batch_ns + serial_ns);
+  const uint64_t start_ns = clock_.now_ns();
+  const uint64_t total_ns = batch_ns + serial_ns;
+  clock_.Advance(total_ns);
+  if (observing && !op_obs.empty()) {
+    // Flight recorder: the doorbell is one span [start, start+total]; each
+    // op inside gets an equal latency share, remainder on the first op, so
+    // the shares tile the span exactly and sum to the clock delta (the
+    // batched counterpart of "per-lookup share of the batch's simulated
+    // time" the benches report).
+    const uint64_t batch_id = obs_.NextBatchId();
+    const uint64_t k = op_obs.size();
+    const uint64_t share = total_ns / k;
+    uint64_t total_bytes = 0;
+    bool all_ok = true;
+    for (const BatchOpObs& o : op_obs) {
+      total_bytes += o.bytes;
+      all_ok = all_ok && o.ok;
+    }
+    obs_.RecordOp(FarOpKind::kBatch, kObsNoNode, kNullFarAddr, total_bytes,
+                  start_ns, total_ns, all_ok, batch_id);
+    uint64_t cursor = start_ns;
+    for (size_t i = 0; i < op_obs.size(); ++i) {
+      const BatchOpObs& o = op_obs[i];
+      const uint64_t op_ns =
+          (i == 0) ? total_ns - share * (k - 1) : share;
+      obs_.RecordOp(o.kind, o.node, o.addr, o.bytes, cursor, op_ns, o.ok,
+                    batch_id);
+      cursor += op_ns;
+    }
+  }
   return OkStatus();
 }
 
@@ -791,7 +890,9 @@ Result<SubId> FarClient::Subscribe(const NotifySpec& spec) {
     return st;
   }
   sub_homes_[id] = loc.node;
-  AccountRoundTrip(kWordSize, 1, 0);  // subscription setup message
+  // Subscription setup message.
+  AccountRoundTrip(FarOpKind::kNotification, loc.node, spec.addr, kWordSize, 1,
+                   0);
   return id;
 }
 
@@ -800,9 +901,11 @@ Status FarClient::Unsubscribe(SubId id) {
   if (it == sub_homes_.end()) {
     return NotFound("unknown subscription");
   }
-  fabric_->node(it->second).Unsubscribe(id);
+  const NodeId node = it->second;  // captured before erase invalidates it
+  fabric_->node(node).Unsubscribe(id);
   sub_homes_.erase(it);
-  AccountRoundTrip(kWordSize, 1, 0);
+  AccountRoundTrip(FarOpKind::kNotification, node, kNullFarAddr, kWordSize, 1,
+                   0);
   return OkStatus();
 }
 
@@ -811,6 +914,12 @@ std::optional<NotifyEvent> FarClient::PollNotification() {
   auto ev = channel_.Poll();
   if (ev.has_value()) {
     ++stats_.notifications;
+    if (obs_.enabled()) {
+      // Delivery already happened on the node side; a poll that drains the
+      // channel costs the client only the near access charged above.
+      obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev->addr, ev->len,
+                    clock_.now_ns(), 0, true);
+    }
   }
   return ev;
 }
@@ -827,7 +936,12 @@ Result<NotifyEvent> FarClient::WaitNotification(uint64_t timeout_ms) {
     if (ev.has_value()) {
       ++stats_.notifications;
       AccountNear(1);
+      const uint64_t start_ns = clock_.now_ns();
       clock_.Advance(latency_.notify_delay_ns);
+      if (obs_.enabled()) {
+        obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev->addr, ev->len,
+                      start_ns, latency_.notify_delay_ns, true);
+      }
       return *std::move(ev);
     }
     std::this_thread::yield();
@@ -864,6 +978,12 @@ Status FarClient::PostWriteBackground(FarAddr addr,
   ++stats_.background_ops;
   stats_.messages += std::max<size_t>(segs.size(), 1);
   stats_.bytes_written += data.size();
+  if (obs_.enabled()) {
+    // Fire-and-forget: the client clock does not wait, so latency is 0.
+    obs_.RecordOp(FarOpKind::kBackground,
+                  segs.empty() ? kObsNoNode : segs.front().node, addr,
+                  data.size(), clock_.now_ns(), 0, true);
+  }
   return OkStatus();
 }
 
@@ -881,6 +1001,10 @@ Result<uint64_t> FarClient::ReadWordBackground(FarAddr addr) {
   ++stats_.background_ops;
   ++stats_.messages;
   stats_.bytes_read += kWordSize;
+  if (obs_.enabled()) {
+    obs_.RecordOp(FarOpKind::kBackground, loc.node, addr, kWordSize,
+                  clock_.now_ns(), 0, true);
+  }
   return value;
 }
 

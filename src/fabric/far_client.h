@@ -30,6 +30,7 @@
 #include "src/fabric/fabric.h"
 #include "src/fabric/notification.h"
 #include "src/fabric/stats.h"
+#include "src/obs/recorder.h"
 #include "src/sim/sim_clock.h"
 
 namespace fmds {
@@ -42,6 +43,9 @@ struct FarSeg {
 
 struct ClientOptions {
   size_t channel_capacity = 4096;
+  // Flight-recorder gate (histograms / trace ring); defaults fully off so
+  // the accounting hot path stays a branch + counter increments.
+  ObsOptions obs;
 };
 
 class FarClient {
@@ -197,6 +201,14 @@ class FarClient {
   ClientStats& mutable_stats() { return stats_; }
   void ResetStats() { stats_ = ClientStats(); }
 
+  // ------------------------- Flight recorder -------------------------
+  // Per-client observability: op-kind/label latency histograms, node
+  // traffic row, bounded trace ring (see src/obs/). ScopedOpLabel and the
+  // benches go through these; recording is a no-op until enabled.
+  OpRecorder& recorder() { return obs_; }
+  const OpRecorder& recorder() const { return obs_; }
+  void EnableObs(const ObsOptions& options) { obs_.set_options(options); }
+
  private:
   enum class IndirectKind : uint8_t { kRead, kWrite, kAtomicAdd };
   // Pointer-selection variants of Fig. 1:
@@ -220,8 +232,13 @@ class FarClient {
                       std::span<const std::byte> write_value,
                       uint64_t add_value);
 
-  void AccountRoundTrip(uint64_t payload_bytes, uint64_t messages,
-                        uint64_t extra_hops);
+  // Charges one client round trip: bumps ClientStats, advances the clock
+  // by the modelled latency, and (when enabled) feeds the flight recorder
+  // with the op kind, the primary memory node serviced (kObsNoNode when
+  // none applies), and the far address touched.
+  void AccountRoundTrip(FarOpKind kind, NodeId node, FarAddr addr,
+                        uint64_t payload_bytes, uint64_t messages,
+                        uint64_t extra_hops, bool ok = true);
 
   // ---- Async pipeline internals ----
   enum class OpKind : uint8_t {
@@ -255,20 +272,33 @@ class FarClient {
     uint64_t hops = 0;
   };
 
+  // Recorder-facing view of one batched op, collected during Flush; the
+  // latency share is assigned once the whole batch's cost is known.
+  struct BatchOpObs {
+    FarOpKind kind = FarOpKind::kRead;
+    NodeId node = kObsNoNode;
+    FarAddr addr = kNullFarAddr;
+    uint64_t bytes = 0;
+    bool ok = true;
+  };
+
   OpId Enqueue(PendingOp op);
   // Executes one posted op against the memory nodes, accumulating node-group
   // charges into `groups` and message/serial-RTT totals; returns the
-  // per-op status and fills `word`.
+  // per-op status and fills `word`. When `obs` is non-null it receives the
+  // op's kind/node/bytes for the flight recorder.
   Status ExecuteBatchedOp(PendingOp& op, uint64_t* word,
                           std::unordered_map<NodeId, BatchGroup>& groups,
                           uint64_t* messages, uint64_t* fabric_ops,
-                          uint64_t* serial_ns, uint64_t* serial_rtts);
+                          uint64_t* serial_ns, uint64_t* serial_rtts,
+                          BatchOpObs* obs);
 
   Fabric* fabric_;
   uint64_t client_id_;
   LatencyModel latency_;
   SimClock clock_;
   ClientStats stats_;
+  OpRecorder obs_;
   NotificationChannel channel_;
   std::unordered_map<SubId, NodeId> sub_homes_;
 

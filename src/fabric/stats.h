@@ -86,6 +86,8 @@ struct NodeStats {
   std::atomic<uint64_t> notifications_fired{0};
   std::atomic<uint64_t> notifications_dropped{0};
   std::atomic<uint64_t> notifications_coalesced{0};
+
+  std::string ToString() const;
 };
 
 }  // namespace fmds

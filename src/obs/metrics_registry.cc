@@ -1,0 +1,180 @@
+#include "src/obs/metrics_registry.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "src/common/table.h"
+
+namespace fmds {
+
+MetricsRegistry::MetricsRegistry() {
+  kind_hists_.reserve(kFarOpKindCount);
+  for (size_t i = 0; i < kFarOpKindCount; ++i) {
+    kind_hists_.emplace_back();
+  }
+}
+
+void MetricsRegistry::Absorb(const OpRecorder& recorder) {
+  for (size_t i = 0; i < kFarOpKindCount; ++i) {
+    kind_hists_[i].Merge(recorder.kind_histogram(static_cast<FarOpKind>(i)));
+  }
+  for (size_t id = 0; id < recorder.label_count(); ++id) {
+    const OpRecorder::Traffic& traffic = recorder.label_traffic()[id];
+    const LogHistogram& hist = recorder.label_histograms()[id];
+    if (traffic.ops == 0 && hist.count() == 0) {
+      continue;
+    }
+    LabelRow& row = labels_[recorder.label_name(id)];
+    row.hist.Merge(hist);
+    row.ops += traffic.ops;
+    row.bytes += traffic.bytes;
+  }
+  for (NodeId node = 0; node < recorder.node_traffic().size(); ++node) {
+    const OpRecorder::Traffic& cell = recorder.node_traffic()[node];
+    if (cell.ops == 0 && cell.bytes == 0) {
+      continue;
+    }
+    Traffic& merged = traffic_[{recorder.client_id(), node}];
+    merged.ops += cell.ops;
+    merged.bytes += cell.bytes;
+  }
+  sources_.push_back(TraceSource{recorder.client_id(), &recorder});
+}
+
+std::vector<MetricsRegistry::Traffic> MetricsRegistry::NodeTotals() const {
+  std::vector<Traffic> totals;
+  for (const auto& [key, cell] : traffic_) {
+    const NodeId node = key.second;
+    if (totals.size() <= node) {
+      totals.resize(node + 1);
+    }
+    totals[node].ops += cell.ops;
+    totals[node].bytes += cell.bytes;
+  }
+  return totals;
+}
+
+void MetricsRegistry::PrintOpKindTable(std::ostream& os,
+                                       const std::string& title) const {
+  Table table({"op kind", "count", "mean_ns", "p50_ns", "p99_ns", "max_ns"});
+  for (size_t i = 0; i < kFarOpKindCount; ++i) {
+    const LogHistogram& hist = kind_hists_[i];
+    if (hist.count() == 0) {
+      continue;
+    }
+    table.AddRow({FarOpKindName(static_cast<FarOpKind>(i)),
+                  Table::Cell(hist.count()), Table::Cell(hist.mean(), 1),
+                  Table::Cell(hist.Percentile(0.50)),
+                  Table::Cell(hist.Percentile(0.99)),
+                  Table::Cell(hist.max())});
+  }
+  table.Print(os, title);
+}
+
+void MetricsRegistry::PrintLabelTable(std::ostream& os,
+                                      const std::string& title) const {
+  Table table({"op label", "far_ops", "bytes", "mean_ns", "p50_ns", "p99_ns"});
+  for (const auto& [name, row] : labels_) {
+    table.AddRow({name.empty() ? "(unlabeled)" : name, Table::Cell(row.ops),
+                  Table::Cell(row.bytes), Table::Cell(row.hist.mean(), 1),
+                  Table::Cell(row.hist.Percentile(0.50)),
+                  Table::Cell(row.hist.Percentile(0.99))});
+  }
+  table.Print(os, title);
+}
+
+void MetricsRegistry::PrintHeatmap(std::ostream& os,
+                                   const std::string& title) const {
+  const std::vector<Traffic> totals = NodeTotals();
+  Table table({"client", "node", "ops", "bytes"});
+  for (const auto& [key, cell] : traffic_) {
+    table.AddRow({Table::Cell(key.first),
+                  Table::Cell(static_cast<uint64_t>(key.second)),
+                  Table::Cell(cell.ops), Table::Cell(cell.bytes)});
+  }
+  for (NodeId node = 0; node < totals.size(); ++node) {
+    table.AddRow({"(all)", Table::Cell(static_cast<uint64_t>(node)),
+                  Table::Cell(totals[node].ops),
+                  Table::Cell(totals[node].bytes)});
+  }
+  table.Print(os, title);
+}
+
+namespace {
+
+std::string HistStatsJson(const LogHistogram& hist) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"count\": %llu, \"mean_ns\": %.1f, \"p50_ns\": %llu, "
+                "\"p99_ns\": %llu, \"max_ns\": %llu",
+                static_cast<unsigned long long>(hist.count()), hist.mean(),
+                static_cast<unsigned long long>(hist.Percentile(0.50)),
+                static_cast<unsigned long long>(hist.Percentile(0.99)),
+                static_cast<unsigned long long>(hist.max()));
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::OpLatencyJsonObject() const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < kFarOpKindCount; ++i) {
+    const LogHistogram& hist = kind_hists_[i];
+    if (hist.count() == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "\"";
+    out += FarOpKindName(static_cast<FarOpKind>(i));
+    out += "\": {";
+    out += HistStatsJson(hist);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::NodeHeatmapJsonArray() const {
+  const std::vector<Traffic> totals = NodeTotals();
+  std::string out = "[";
+  for (NodeId node = 0; node < totals.size(); ++node) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"node\": %u, \"ops\": %llu, \"bytes\": %llu}",
+                  node == 0 ? "" : ", ", node,
+                  static_cast<unsigned long long>(totals[node].ops),
+                  static_cast<unsigned long long>(totals[node].bytes));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+std::string MetricsRegistry::LabelJsonObject() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, row] : labels_) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "\"";
+    out += name.empty() ? "(unlabeled)" : name;
+    out += "\": {";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"ops\": %llu, \"bytes\": %llu, ",
+                  static_cast<unsigned long long>(row.ops),
+                  static_cast<unsigned long long>(row.bytes));
+    out += buf;
+    out += HistStatsJson(row.hist);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fmds

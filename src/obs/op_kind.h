@@ -1,0 +1,55 @@
+// Far-operation taxonomy for the flight recorder. §3.1 makes far accesses
+// THE metric; the recorder breaks them down by *what kind of verb* consumed
+// them, so per-op-kind latency distributions (bench JSON p50/p99) and the
+// paper-style access tables can say where round trips go.
+#ifndef FMDS_SRC_OBS_OP_KIND_H_
+#define FMDS_SRC_OBS_OP_KIND_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fmds {
+
+enum class FarOpKind : uint8_t {
+  kRead = 0,        // byte-range read
+  kWrite,           // byte-range write
+  kReadWord,        // 8-byte load
+  kWriteWord,       // 8-byte store
+  kCas,             // compare-and-swap
+  kFetchAdd,        // fetch-and-add
+  kIndirect,        // load*/store*/faai/saai/add* (Fig. 1 extensions)
+  kScatterGather,   // rscatter/rgather/wscatter/wgather
+  kCasBatch,        // CasBatch doorbell
+  kBatch,           // a flushed async doorbell batch (span over its ops)
+  kBackground,      // off-critical-path far ops (zero client latency)
+  kNotification,    // subscriptions + delivered events (§4.3)
+  kRpc,             // two-sided baseline calls
+  kKindCount,
+};
+
+inline constexpr size_t kFarOpKindCount =
+    static_cast<size_t>(FarOpKind::kKindCount);
+
+inline const char* FarOpKindName(FarOpKind kind) {
+  switch (kind) {
+    case FarOpKind::kRead: return "read";
+    case FarOpKind::kWrite: return "write";
+    case FarOpKind::kReadWord: return "read_word";
+    case FarOpKind::kWriteWord: return "write_word";
+    case FarOpKind::kCas: return "cas";
+    case FarOpKind::kFetchAdd: return "fetch_add";
+    case FarOpKind::kIndirect: return "indirect";
+    case FarOpKind::kScatterGather: return "scatter_gather";
+    case FarOpKind::kCasBatch: return "cas_batch";
+    case FarOpKind::kBatch: return "batch";
+    case FarOpKind::kBackground: return "background";
+    case FarOpKind::kNotification: return "notification";
+    case FarOpKind::kRpc: return "rpc";
+    case FarOpKind::kKindCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_OBS_OP_KIND_H_

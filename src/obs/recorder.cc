@@ -1,0 +1,124 @@
+#include "src/obs/recorder.h"
+
+namespace fmds {
+
+OpRecorder::OpRecorder(uint64_t client_id) : client_id_(client_id) {
+  // Label id 0 is the unlabeled bucket, always present so attribution never
+  // needs a lookup miss path.
+  label_names_.push_back("");
+  label_ids_.emplace("", 0);
+  label_hists_.emplace_back(options_.histogram_sub_bits);
+  label_traffic_.emplace_back();
+  kind_hists_.reserve(kFarOpKindCount);
+  for (size_t i = 0; i < kFarOpKindCount; ++i) {
+    kind_hists_.emplace_back(options_.histogram_sub_bits);
+  }
+}
+
+void OpRecorder::set_options(const ObsOptions& options) {
+  const bool resolution_changed =
+      options.histogram_sub_bits != options_.histogram_sub_bits;
+  options_ = options;
+  enabled_ = options_.latency_histograms || options_.trace;
+  if (resolution_changed) {
+    kind_hists_.clear();
+    for (size_t i = 0; i < kFarOpKindCount; ++i) {
+      kind_hists_.emplace_back(options_.histogram_sub_bits);
+    }
+    label_hists_.clear();
+    for (size_t i = 0; i < label_names_.size(); ++i) {
+      label_hists_.emplace_back(options_.histogram_sub_bits);
+    }
+  }
+  if (trace_.capacity() != options_.trace_capacity) {
+    trace_.set_capacity(options_.trace ? options_.trace_capacity : 0);
+  } else if (!options_.trace) {
+    trace_.set_capacity(0);
+  }
+}
+
+uint32_t OpRecorder::InternLabel(std::string_view label) {
+  auto it = label_ids_.find(std::string(label));
+  if (it != label_ids_.end()) {
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(label_names_.size());
+  label_names_.emplace_back(label);
+  label_ids_.emplace(label_names_.back(), id);
+  label_hists_.emplace_back(options_.histogram_sub_bits);
+  label_traffic_.emplace_back();
+  return id;
+}
+
+void OpRecorder::PushLabel(std::string_view label) {
+  label_stack_.push_back(InternLabel(label));
+}
+
+void OpRecorder::PopLabel() {
+  if (!label_stack_.empty()) {
+    label_stack_.pop_back();
+  }
+}
+
+std::string_view OpRecorder::current_label() const {
+  return label_stack_.empty() ? std::string_view()
+                              : label_names_[label_stack_.back()];
+}
+
+void OpRecorder::RecordOp(FarOpKind kind, NodeId node, FarAddr addr,
+                          uint64_t bytes, uint64_t start_ns,
+                          uint64_t latency_ns, bool ok, uint64_t batch_id) {
+  if (!enabled_) {
+    return;
+  }
+  const uint32_t label =
+      label_stack_.empty() ? 0 : label_stack_.back();
+  // The batch span is a roll-up over ops attributed individually; keep it
+  // out of the label/node tables so breakdowns don't double count.
+  if (kind != FarOpKind::kBatch) {
+    label_traffic_[label].ops += 1;
+    label_traffic_[label].bytes += bytes;
+    if (node != kObsNoNode) {
+      if (node_traffic_.size() <= node) {
+        node_traffic_.resize(node + 1);
+      }
+      node_traffic_[node].ops += 1;
+      node_traffic_[node].bytes += bytes;
+    }
+  }
+  if (options_.latency_histograms) {
+    kind_hists_[static_cast<size_t>(kind)].Record(latency_ns);
+    if (kind != FarOpKind::kBatch) {
+      label_hists_[label].Record(latency_ns);
+    }
+  }
+  if (options_.trace) {
+    TraceEvent event;
+    event.start_ns = start_ns;
+    event.latency_ns = latency_ns;
+    event.addr = addr;
+    event.bytes = bytes;
+    event.batch_id = batch_id;
+    event.node = node;
+    event.label_id = label;
+    event.kind = kind;
+    event.ok = ok;
+    trace_.Push(event);
+  }
+}
+
+void OpRecorder::Reset() {
+  for (auto& hist : kind_hists_) {
+    hist.Reset();
+  }
+  for (auto& hist : label_hists_) {
+    hist.Reset();
+  }
+  for (auto& traffic : label_traffic_) {
+    traffic = Traffic();
+  }
+  node_traffic_.clear();
+  trace_.Clear();
+}
+
+}  // namespace fmds

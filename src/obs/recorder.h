@@ -1,0 +1,149 @@
+// Per-client flight recorder: latency histograms per op kind and per
+// scoped op-label, a per-node traffic row (the client's slice of the
+// fleet heatmap), and a bounded TraceRing of executed ops.
+//
+// Threading: one OpRecorder per FarClient, owned by the client's thread —
+// no synchronization, same model as ClientStats. Aggregation across
+// clients happens at report time through MetricsRegistry.
+//
+// Overhead: compiled in always. With ObsOptions disabled (the default),
+// every hook is one `enabled()` branch; histograms, label interning and
+// the ring are only touched when enabled.
+#ifndef FMDS_SRC_OBS_RECORDER_H_
+#define FMDS_SRC_OBS_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/obs/op_kind.h"
+#include "src/obs/trace_ring.h"
+
+namespace fmds {
+
+// Runtime gate for the observability layer. Everything defaults OFF so the
+// fabric hot path stays a branch + the existing counter increments.
+struct ObsOptions {
+  bool latency_histograms = false;  // per-kind + per-label LogHistograms
+  bool trace = false;               // record ops into the TraceRing
+  size_t trace_capacity = 65536;    // ring slots (flight-recorder window)
+  int histogram_sub_bits = 3;       // LogHistogram resolution
+
+  static ObsOptions All(size_t trace_capacity = 65536) {
+    ObsOptions o;
+    o.latency_histograms = true;
+    o.trace = true;
+    o.trace_capacity = trace_capacity;
+    return o;
+  }
+  static ObsOptions HistogramsOnly() {
+    ObsOptions o;
+    o.latency_histograms = true;
+    return o;
+  }
+};
+
+class OpRecorder {
+ public:
+  struct Traffic {
+    uint64_t ops = 0;
+    uint64_t bytes = 0;
+  };
+
+  explicit OpRecorder(uint64_t client_id);
+
+  void set_options(const ObsOptions& options);
+  const ObsOptions& options() const { return options_; }
+  bool histograms_enabled() const { return options_.latency_histograms; }
+  bool trace_enabled() const { return options_.trace; }
+  bool enabled() const { return enabled_; }
+  uint64_t client_id() const { return client_id_; }
+
+  // ---- Scoped op-label stack (see ScopedOpLabel) ----
+  // Labels tag fabric traffic with the data-structure code path that issued
+  // it ("httree.get", "sharded.multiget", ...). The innermost label wins
+  // attribution; nesting is preserved for tests and future path joins.
+  void PushLabel(std::string_view label);
+  void PopLabel();
+  size_t label_depth() const { return label_stack_.size(); }
+  std::string_view current_label() const;
+  const std::string& label_name(uint32_t id) const { return label_names_[id]; }
+
+  // ---- Recording hooks (called by FarClient / RpcClient) ----
+  // One executed far operation: attributed to `kind`, the current label,
+  // and `node`'s traffic row; appended to the trace ring. `latency_ns` is
+  // the modelled duration charged to the client clock (0 for background
+  // ops), `start_ns` the simulated issue time. `batch_id` groups ops
+  // flushed in one doorbell (0 = synchronous).
+  void RecordOp(FarOpKind kind, NodeId node, FarAddr addr, uint64_t bytes,
+                uint64_t start_ns, uint64_t latency_ns, bool ok,
+                uint64_t batch_id = 0);
+
+  // Monotonic id for one Flush() doorbell (its span + its ops).
+  uint64_t NextBatchId() { return ++batch_seq_; }
+
+  // ---- Read side ----
+  const LogHistogram& kind_histogram(FarOpKind kind) const {
+    return kind_hists_[static_cast<size_t>(kind)];
+  }
+  // Label id -> histogram of that label's far-op latencies. Index 0 is the
+  // unlabeled bucket. Parallel to label_name(id).
+  const std::vector<LogHistogram>& label_histograms() const {
+    return label_hists_;
+  }
+  const std::vector<Traffic>& label_traffic() const { return label_traffic_; }
+  size_t label_count() const { return label_names_.size(); }
+  // Per-node traffic row; index = NodeId (grown on demand).
+  const std::vector<Traffic>& node_traffic() const { return node_traffic_; }
+  const TraceRing& trace() const { return trace_; }
+
+  void Reset();
+
+ private:
+  uint32_t InternLabel(std::string_view label);
+
+  uint64_t client_id_;
+  ObsOptions options_;
+  bool enabled_ = false;
+
+  std::vector<LogHistogram> kind_hists_;   // size kFarOpKindCount
+  std::vector<uint32_t> label_stack_;      // interned ids, innermost last
+  std::vector<std::string> label_names_;   // id -> name; [0] = ""
+  std::unordered_map<std::string, uint32_t> label_ids_;
+  std::vector<LogHistogram> label_hists_;  // id -> latency histogram
+  std::vector<Traffic> label_traffic_;     // id -> ops/bytes
+  std::vector<Traffic> node_traffic_;      // NodeId -> ops/bytes
+  TraceRing trace_;
+  uint64_t batch_seq_ = 0;
+};
+
+// RAII op label. Construct on entry to a data-structure operation; every
+// far op the client executes in the scope is attributed to the label.
+// Captures the recorder's enabled state at construction, so toggling
+// ObsOptions mid-scope affects only later scopes (keeps push/pop paired).
+class ScopedOpLabel {
+ public:
+  ScopedOpLabel(OpRecorder* recorder, std::string_view label)
+      : recorder_(recorder->enabled() ? recorder : nullptr) {
+    if (recorder_ != nullptr) {
+      recorder_->PushLabel(label);
+    }
+  }
+  ScopedOpLabel(const ScopedOpLabel&) = delete;
+  ScopedOpLabel& operator=(const ScopedOpLabel&) = delete;
+  ~ScopedOpLabel() {
+    if (recorder_ != nullptr) {
+      recorder_->PopLabel();
+    }
+  }
+
+ private:
+  OpRecorder* recorder_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_OBS_RECORDER_H_

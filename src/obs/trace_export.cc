@@ -1,0 +1,118 @@
+#include "src/obs/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace fmds {
+
+namespace {
+
+// Simulated ns -> trace-format microseconds (Perfetto's JSON ts unit).
+void AppendTs(std::string& out, const char* key, uint64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.3f", key,
+                static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+
+void AppendEvent(std::ostream& os, const TraceEvent& event,
+                 const OpRecorder& recorder, bool* first) {
+  std::string line = *first ? "  {" : ",\n  {";
+  *first = false;
+
+  std::string name;
+  if (event.kind == FarOpKind::kBatch) {
+    name = "batch#" + std::to_string(event.batch_id);
+  } else {
+    const std::string& label = recorder.label_name(event.label_id);
+    name = label.empty() ? FarOpKindName(event.kind) : label;
+  }
+  line += "\"name\": \"" + name + "\", ";
+  line += "\"cat\": \"fabric\", \"ph\": \"X\", ";
+  AppendTs(line, "ts", event.start_ns);
+  line += ", ";
+  AppendTs(line, "dur", event.latency_ns);
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ", \"pid\": %" PRIu64 ", \"tid\": %" PRIu64
+                ", \"args\": {\"kind\": \"%s\", \"label\": \"%s\", "
+                "\"node\": %lld, \"addr\": %" PRIu64 ", \"bytes\": %" PRIu64
+                ", \"batch\": %" PRIu64 ", \"ok\": %s}}",
+                recorder.client_id(), recorder.client_id(),
+                FarOpKindName(event.kind),
+                recorder.label_name(event.label_id).c_str(),
+                event.node == kObsNoNode
+                    ? -1ll
+                    : static_cast<long long>(event.node),
+                event.addr, event.bytes, event.batch_id,
+                event.ok ? "true" : "false");
+  line += buf;
+  os << line;
+}
+
+void AppendMetadata(std::ostream& os, uint64_t client_id, bool* first) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s  {\"name\": \"process_name\", \"ph\": \"M\", \"ts\": 0, "
+                "\"pid\": %" PRIu64 ", \"tid\": %" PRIu64
+                ", \"args\": {\"name\": \"client %" PRIu64 "\"}}",
+                *first ? "" : ",\n", client_id, client_id, client_id);
+  *first = false;
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"ts\": 0, "
+                "\"pid\": %" PRIu64 ", \"tid\": %" PRIu64
+                ", \"args\": {\"name\": \"fabric ops\"}}",
+                client_id, client_id);
+  os << buf;
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& os, const MetricsRegistry& registry) {
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& source : registry.trace_sources()) {
+    if (source.recorder == nullptr) {
+      continue;
+    }
+    std::vector<TraceEvent> events = source.recorder->trace().Snapshot();
+    if (events.empty()) {
+      continue;
+    }
+    AppendMetadata(os, source.client_id, &first);
+    // Stable order for the importer: by start time, longest span first on
+    // ties so batch parents precede the ops they enclose.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.start_ns != b.start_ns) {
+                         return a.start_ns < b.start_ns;
+                       }
+                       return a.latency_ns > b.latency_ns;
+                     });
+    for (const TraceEvent& event : events) {
+      AppendEvent(os, event, *source.recorder, &first);
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+}
+
+Status WriteChromeTraceFile(const std::string& path,
+                            const MetricsRegistry& registry) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Unavailable("cannot open trace output file");
+  }
+  WriteChromeTrace(out, registry);
+  out.flush();
+  if (!out) {
+    return Unavailable("trace output write failed");
+  }
+  return OkStatus();
+}
+
+}  // namespace fmds

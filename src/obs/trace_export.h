@@ -1,0 +1,28 @@
+// Chrome trace-event JSON export of the flight recorder's TraceRings.
+// The output loads in Perfetto / chrome://tracing: one process+track per
+// client, simulated nanoseconds mapped to trace microseconds, and flushed
+// doorbell batches rendered as spans enclosing their ops (each op's span is
+// its latency share of the batch, tiled so children exactly fill the
+// parent). Every event carries the required ph/ts/pid/tid/name keys.
+#ifndef FMDS_SRC_OBS_TRACE_EXPORT_H_
+#define FMDS_SRC_OBS_TRACE_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/metrics_registry.h"
+
+namespace fmds {
+
+// Writes {"traceEvents": [...], "displayTimeUnit": "ns"} for every client
+// recorder absorbed into `registry`.
+void WriteChromeTrace(std::ostream& os, const MetricsRegistry& registry);
+
+// Convenience: export to a file path. kUnavailable on I/O failure.
+Status WriteChromeTraceFile(const std::string& path,
+                            const MetricsRegistry& registry);
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_OBS_TRACE_EXPORT_H_

@@ -1,0 +1,94 @@
+// Bounded per-client ring of executed far operations, on the simulated
+// clock. The flight-recorder idea: always compiled in, capacity-bounded so
+// long runs keep the most recent window, exported to Chrome trace-event
+// JSON (Perfetto) with one track per client and doorbell batches as spans
+// enclosing their ops.
+#ifndef FMDS_SRC_OBS_TRACE_RING_H_
+#define FMDS_SRC_OBS_TRACE_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fabric/far_addr.h"
+#include "src/obs/op_kind.h"
+
+namespace fmds {
+
+// Node id carried by events that do not touch a memory node (RPC calls,
+// notification waits, batch spans).
+inline constexpr NodeId kObsNoNode = ~NodeId{0};
+
+struct TraceEvent {
+  uint64_t start_ns = 0;    // simulated clock at issue
+  uint64_t latency_ns = 0;  // modelled duration (0 for background ops)
+  FarAddr addr = kNullFarAddr;
+  uint64_t bytes = 0;       // payload bytes moved
+  uint64_t batch_id = 0;    // 0 = synchronous; else groups ops under a span
+  NodeId node = kObsNoNode; // primary memory node serviced
+  uint32_t label_id = 0;    // interned op-label (0 = unlabeled)
+  FarOpKind kind = FarOpKind::kRead;
+  bool ok = true;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 0) { set_capacity(capacity); }
+
+  // Resizing clears recorded events (capacity changes re-arm the recorder).
+  void set_capacity(size_t capacity) {
+    events_.clear();
+    events_.reserve(capacity);
+    capacity_ = capacity;
+    next_ = 0;
+    recorded_ = 0;
+  }
+
+  void Push(const TraceEvent& event) {
+    if (capacity_ == 0) {
+      return;
+    }
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      events_[next_] = event;  // overwrite the oldest
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++recorded_;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return events_.size(); }
+  uint64_t recorded() const { return recorded_; }
+  // Events lost to wraparound (flight recorder keeps the newest window).
+  uint64_t dropped() const { return recorded_ - events_.size(); }
+
+  // Events in chronological (record) order, oldest surviving first.
+  std::vector<TraceEvent> Snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    if (events_.size() < capacity_ || capacity_ == 0) {
+      out = events_;
+      return out;
+    }
+    for (size_t i = 0; i < events_.size(); ++i) {
+      out.push_back(events_[(next_ + i) % capacity_]);
+    }
+    return out;
+  }
+
+  void Clear() {
+    events_.clear();
+    next_ = 0;
+    recorded_ = 0;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  size_t capacity_ = 0;
+  size_t next_ = 0;       // slot the next push overwrites once full
+  uint64_t recorded_ = 0; // total pushes ever
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_OBS_TRACE_RING_H_

@@ -41,8 +41,16 @@ Status RpcClient::Call(uint32_t method, std::span<const std::byte> request,
   stats.bytes_written += request.size();
   stats.bytes_read += response.size();
   const auto& latency = client_->fabric()->options().latency;
-  client_->clock().Advance(
-      latency.FarRoundTripNs(request.size() + response.size()) + service_ns);
+  const uint64_t rpc_ns =
+      latency.FarRoundTripNs(request.size() + response.size()) + service_ns;
+  const uint64_t start_ns = client_->clock().now_ns();
+  client_->clock().Advance(rpc_ns);
+  auto& recorder = client_->recorder();
+  if (recorder.enabled()) {
+    recorder.RecordOp(FarOpKind::kRpc, kObsNoNode, kNullFarAddr,
+                      request.size() + response.size(), start_ns, rpc_ns,
+                      status.ok());
+  }
   return status;
 }
 

@@ -191,6 +191,82 @@ TEST(LogHistogramTest, ResetClears) {
   EXPECT_EQ(hist.max(), 0u);
 }
 
+TEST(LogHistogramTest, ZeroIsFirstClass) {
+  // Background far ops cost the client clock nothing; the recorder still
+  // histograms them, so zero must record and report exactly.
+  LogHistogram hist;
+  hist.Record(0);
+  hist.Record(0);
+  hist.Record(8);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 8u);
+  EXPECT_EQ(hist.sum(), 8u);
+  EXPECT_EQ(hist.Percentile(0.0), 0u);
+  EXPECT_EQ(hist.Percentile(0.5), 0u);
+  EXPECT_EQ(hist.Percentile(1.0), 8u);
+}
+
+TEST(LogHistogramTest, SingleValueAllQuantiles) {
+  LogHistogram hist;
+  hist.Record(777);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(hist.Percentile(q), 777u) << "q=" << q;
+  }
+  EXPECT_EQ(hist.min(), 777u);
+  EXPECT_EQ(hist.max(), 777u);
+}
+
+TEST(LogHistogramTest, QuantileBoundsAreMinAndMax) {
+  LogHistogram hist;
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    hist.Record(rng.NextBelow(1 << 16) + 3);
+  }
+  // q=0 / q=1 are exact even though interior quantiles are bucketed, and
+  // out-of-range q clamps rather than misbehaving.
+  EXPECT_EQ(hist.Percentile(0.0), hist.min());
+  EXPECT_EQ(hist.Percentile(1.0), hist.max());
+  EXPECT_EQ(hist.Percentile(-0.5), hist.min());
+  EXPECT_EQ(hist.Percentile(1.5), hist.max());
+  // Interior quantiles stay within the recorded range and are monotone.
+  uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const uint64_t v = hist.Percentile(q);
+    EXPECT_GE(v, hist.min());
+    EXPECT_LE(v, hist.max());
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LogHistogramTest, MergeEmptyAndCrossBucket) {
+  LogHistogram a, b;
+  // Merging an empty histogram is a no-op (and min does not get polluted
+  // by the empty side's sentinel).
+  a.Record(100);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 100u);
+  // Merging into an empty histogram adopts the other side exactly.
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min(), 100u);
+  // Cross-bucket merge: values in far-apart log buckets keep exact
+  // count/min/max/sum and a sane median.
+  LogHistogram lo, hi;
+  lo.Record(1);
+  lo.Record(2);
+  hi.Record(1 << 20);
+  lo.Merge(hi);
+  EXPECT_EQ(lo.count(), 3u);
+  EXPECT_EQ(lo.min(), 1u);
+  EXPECT_EQ(lo.max(), 1u << 20);
+  EXPECT_EQ(lo.sum(), 3u + (1u << 20));
+  EXPECT_EQ(lo.Percentile(0.5), 2u);
+}
+
 TEST(RunningStatTest, MeanAndStddev) {
   RunningStat stat;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
