@@ -1,0 +1,210 @@
+// E12 — near-memory hot-data cache (§4 notifications as a coherence
+// primitive): a byte-budgeted client-side NearCache holds hot bucket heads
+// so repeat Gets cost ZERO far accesses; writers' bucket CASes publish
+// notifications that invalidate exactly the cached lines they touch.
+//
+// The sweep varies cache budget x Zipf skew on a 95/5 read/write mix and
+// reports simulated throughput, far accesses per op, hit ratio, and
+// coherence traffic (invalidations). The paper's economics: a hit costs
+// one near access (~100 ns) instead of a ~1 us round trip, so throughput
+// scales with the hit ratio — which scales with skew, not budget, once
+// the hot set fits.
+//
+// Headline claim checked by the exit code: at Zipf(0.99) with a 1 MiB
+// budget, the cached map beats cache-off by >= 2x simulated throughput.
+//
+// Flags: --smoke (tiny config for CI), --repeat=N (median-of-N, distinct
+// workload seeds), --json=<path>.
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/ht_tree.h"
+
+namespace fmds {
+namespace {
+
+// Geometry note: overwrites accumulate old item versions in the bucket
+// chains until a compaction split rewrites the table, and a split retires
+// every bucket in it — invalidating every cached line from that table.
+// Many small tables (pre-split via initial_depth) keep that blast radius
+// to 1/2^depth of the cache instead of all of it, and keep each split's
+// bulk rewrite cheap; this is the right deployment shape for caching
+// regardless of the bench.
+struct Config {
+  uint64_t keys = 20000;
+  uint64_t buckets = 4096;
+  uint32_t depth = 4;      // pre-split into 16 tables
+  int warmup_ops = 80000;  // fills the cache before the measured window
+  int measured_ops = 20000;
+  double read_fraction = 0.95;
+};
+
+struct RunResult {
+  double ops_per_sec = 0.0;
+  double far_per_op = 0.0;
+  double hit_ratio = 0.0;
+  uint64_t invalidations = 0;
+  uint64_t evictions = 0;
+  uint64_t admissions = 0;
+  uint64_t cache_bytes = 0;
+  std::string cache_json = "{}";
+};
+
+RunResult RunConfig(uint64_t budget, double theta, const Config& cfg,
+                    uint64_t seed, bool print_labels) {
+  BenchEnv env(DefaultFabric());
+  FarClient& client = env.NewClient(ObsOptions::HistogramsOnly());
+
+  HtTree::Options options;
+  options.buckets_per_table = cfg.buckets;
+  options.initial_depth = cfg.depth;
+  // Cache policy knobs stay at their defaults (admit_after=2 k-hit filter):
+  // the filter costs a few hit-ratio points on the once-seen Zipf tail but
+  // keeps the small-budget rows honest — without it every cold miss would
+  // admit, evict, and burn a subscribe+unsubscribe round trip pair.
+  options.cache.budget_bytes = budget;
+  HtTree map =
+      CheckOk(HtTree::Create(&client, &env.alloc(), options), "create");
+  for (uint64_t k = 1; k <= cfg.keys; ++k) {
+    CheckOk(map.Put(k, k * 3), "preload");
+  }
+
+  ZipfGenerator zipf(cfg.keys, theta, seed);
+  DiscreteChoice mix({cfg.read_fraction, 1.0 - cfg.read_fraction}, seed + 1);
+  uint64_t write_val = 0;
+  const auto step = [&] {
+    const uint64_t key = zipf.Next() + 1;
+    if (mix.Next() == 0) {
+      CheckOk(map.Get(key).status(), "get");
+    } else {
+      CheckOk(map.Put(key, ++write_val), "put");
+    }
+  };
+
+  for (int i = 0; i < cfg.warmup_ops; ++i) {
+    step();
+  }
+  client.recorder().Reset();  // measured window only in the label table
+  const ClientStats before = client.stats();
+  const uint64_t t0 = client.clock().now_ns();
+  for (int i = 0; i < cfg.measured_ops; ++i) {
+    step();
+  }
+  const ClientStats delta = client.stats().Delta(before);
+  const uint64_t elapsed = client.clock().now_ns() - t0;
+
+  RunResult r;
+  r.ops_per_sec = cfg.measured_ops * 1e9 / static_cast<double>(elapsed);
+  r.far_per_op = static_cast<double>(delta.far_ops) / cfg.measured_ops;
+  const uint64_t lookups = delta.cache_hits + delta.cache_misses;
+  r.hit_ratio = lookups > 0
+                    ? static_cast<double>(delta.cache_hits) / lookups
+                    : 0.0;
+  r.invalidations = delta.cache_invalidations;
+  if (const NearCache* cache = map.near_cache()) {
+    r.evictions = cache->stats().evictions;
+    r.admissions = cache->stats().admissions;
+    r.cache_bytes = cache->bytes_used();
+  }
+  MetricsRegistry registry = env.CollectMetrics();
+  r.cache_json = registry.CacheJsonObject();
+  if (print_labels) {
+    registry.PrintLabelTable(
+        std::cout,
+        "E12 obs: per-label latency + cache hit ratio (budget=" +
+            std::to_string(budget >> 10) + "KiB, theta=" +
+            std::to_string(theta) + ")");
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace fmds
+
+int main(int argc, char** argv) {
+  using namespace fmds;
+
+  const bool smoke = FlagPresent(argc, argv, "--smoke");
+  const int repeat = RepeatArg(argc, argv);
+
+  Config cfg;
+  std::vector<uint64_t> budgets{0, 64 << 10, 256 << 10, 1 << 20, 4 << 20};
+  std::vector<double> thetas{0.0, 0.8, 0.99};
+  if (smoke) {
+    cfg.keys = 2000;
+    cfg.buckets = 1024;
+    cfg.depth = 2;
+    cfg.warmup_ops = 10000;
+    cfg.measured_ops = 4000;
+    budgets = {0, 1 << 20};
+    thetas = {0.99};
+  }
+  const uint64_t headline_budget = budgets.back() < (1u << 20)
+                                       ? budgets.back()
+                                       : (1u << 20);
+
+  BenchJson json;
+  Table table({"budget_KiB", "theta", "Mops", "far/op", "hit%", "inval",
+               "evict", "cache_KiB"});
+  double base_ops = 0.0;    // theta=0.99, cache off
+  double cached_ops = 0.0;  // theta=0.99, headline budget
+  for (uint64_t budget : budgets) {
+    for (double theta : thetas) {
+      // Median-of-N over distinct workload seeds; counters come from the
+      // median run's RunResult (re-run rather than interpolated).
+      std::vector<double> samples;
+      RunResult r;
+      for (int rep = 0; rep < repeat; ++rep) {
+        const bool headline = budget == headline_budget && theta == 0.99;
+        r = RunConfig(budget, theta, cfg, 11 + 97 * rep,
+                      headline && rep == repeat - 1);
+        samples.push_back(r.ops_per_sec);
+      }
+      r.ops_per_sec = Median(samples);
+      if (theta == 0.99 && budget == 0) {
+        base_ops = r.ops_per_sec;
+      }
+      if (theta == 0.99 && budget == headline_budget) {
+        cached_ops = r.ops_per_sec;
+      }
+      table.AddRow({Table::Cell(budget >> 10), Table::Cell(theta, 2),
+                    Table::Cell(r.ops_per_sec / 1e6, 3),
+                    Table::Cell(r.far_per_op, 3),
+                    Table::Cell(100.0 * r.hit_ratio, 1),
+                    Table::Cell(r.invalidations), Table::Cell(r.evictions),
+                    Table::Cell(r.cache_bytes >> 10)});
+      json.Begin("budget=" + std::to_string(budget) +
+                 ",theta=" + std::to_string(theta));
+      json.Int("budget_bytes", budget);
+      json.Num("theta", theta);
+      json.Int("keys", cfg.keys);
+      json.Int("repeat", static_cast<uint64_t>(repeat));
+      json.Num("ops_per_sec", r.ops_per_sec);
+      json.Num("far_accesses_per_op", r.far_per_op);
+      json.Num("hit_ratio", r.hit_ratio, 4);
+      json.Int("invalidations", r.invalidations);
+      json.Int("evictions", r.evictions);
+      json.Int("admissions", r.admissions);
+      json.Int("cache_bytes_used", r.cache_bytes);
+      json.Raw("cache", r.cache_json);
+    }
+  }
+  table.Print(std::cout,
+              "E12: NearCache budget x Zipf skew (95/5 read/write, "
+              "notification-driven invalidation, simulated)");
+
+  const double speedup = base_ops > 0.0 ? cached_ops / base_ops : 0.0;
+  std::cout << "\nsummary: Zipf(0.99) cached("
+            << (headline_budget >> 10) << "KiB)/uncached = " << speedup
+            << "x (target >= 2x)\n";
+  json.Begin("headline");
+  json.Int("budget_bytes", headline_budget);
+  json.Num("theta", 0.99);
+  json.Num("speedup_vs_uncached", speedup, 4);
+  json.Num("target", 2.0);
+
+  json.Write(JsonOutputPath(argc, argv, "BENCH_e12.json"));
+  return speedup >= 2.0 ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #ifndef FMDS_BENCH_BENCH_UTIL_H_
 #define FMDS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -160,6 +161,47 @@ inline std::string JsonOutputPath(int argc, char** argv,
     }
   }
   return default_path;
+}
+
+// True when `flag` (e.g. "--smoke") appears verbatim on the command line.
+inline bool FlagPresent(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The --repeat=N argument, or 1 when absent. Benches that honor it run each
+// configuration N times (distinct seeds) and report the median, shrinking
+// run-to-run noise in the committed BENCH_*.json numbers. The simulated
+// clock is deterministic per seed, so N=1 stays reproducible; --repeat
+// matters when a bench mixes in wall-clock measurements or randomized
+// workloads whose seed varies per repeat.
+inline int RepeatArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--repeat=", 0) == 0) {
+      const int n = std::atoi(arg.c_str() + 9);
+      return n > 0 ? n : 1;
+    }
+  }
+  return 1;
+}
+
+// Median of the samples (mean of the middle pair for even counts). Used
+// with RepeatArg for median-of-N reporting; mutates its copy by sorting.
+inline double Median(std::vector<double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) {
+    return samples[mid];
+  }
+  return (samples[mid - 1] + samples[mid]) / 2.0;
 }
 
 // The --trace=<path> argument (Chrome trace-event JSON output), or "" when

@@ -1,0 +1,193 @@
+#include "src/cache/near_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fmds {
+
+namespace {
+// Ring capacity bound: every entry costs at least kEntryOverhead, so the
+// budget can never hold more than this many entries.
+size_t MaxEntries(uint64_t budget_bytes) {
+  return std::max<uint64_t>(1, budget_bytes / NearCache::kEntryOverhead);
+}
+}  // namespace
+
+NearCache::NearCache(FarClient* client, NearCacheOptions options)
+    : client_(client),
+      options_(options),
+      ring_(MaxEntries(options.budget_bytes)),
+      filter_(options.filter_slots) {}
+
+NearCache::~NearCache() { Clear(); }
+
+bool NearCache::Lookup(uint64_t key, std::span<std::byte> out) {
+  if (!enabled()) {
+    return false;
+  }
+  // One near access covers the whole probe — on a hit this is the entire
+  // cost of the operation (that asymmetry is the point of the cache).
+  client_->AccountNear(1);
+  const size_t slot = ring_.Find(key);
+  if (slot != ClockRing<Entry>::npos) {
+    Entry& e = ring_.value(slot);
+    if (e.valid && e.payload.size() == out.size()) {
+      ring_.Touch(slot);
+      std::memcpy(out.data(), e.payload.data(), out.size());
+      ++stats_.hits;
+      ++client_->mutable_stats().cache_hits;
+      client_->recorder().RecordCacheHit();
+      return true;
+    }
+  }
+  ++stats_.misses;
+  ++client_->mutable_stats().cache_misses;
+  client_->recorder().RecordCacheMiss();
+  return false;
+}
+
+void NearCache::Admit(uint64_t key, std::span<const std::byte> payload,
+                      FarAddr watch, uint64_t watch_len) {
+  if (!enabled()) {
+    return;
+  }
+  const uint64_t cost = payload.size() + kEntryOverhead;
+  if (cost > options_.budget_bytes) {
+    return;  // would never fit, even alone
+  }
+  const size_t slot = ring_.Find(key);
+  if (slot != ClockRing<Entry>::npos) {
+    // Resident (possibly invalidated) entry: refill in place. The
+    // subscription is still registered on the watched range, so no new
+    // round trip — this is what makes invalidation cheap to recover from.
+    Entry& e = ring_.value(slot);
+    bytes_used_ -= EntryCost(e);
+    e.payload.assign(payload.begin(), payload.end());
+    e.valid = true;
+    bytes_used_ += EntryCost(e);
+    ring_.Touch(slot);
+    ++stats_.refills;
+    EvictToBudget();
+    return;
+  }
+  if (options_.admit_after > 1) {
+    // k-hit filter: count misses per key in a small CLOCK ring; only a key
+    // seen admit_after times earns the subscribe round trip and budget.
+    const size_t fslot = filter_.Find(key);
+    uint32_t seen = 1;
+    if (fslot != ClockRing<uint32_t>::npos) {
+      seen = ++filter_.value(fslot);
+      filter_.Touch(fslot);
+    } else {
+      filter_.Insert(key, 1);
+    }
+    if (seen < options_.admit_after) {
+      return;
+    }
+    filter_.Erase(key);
+  }
+
+  NotifySpec spec;
+  spec.mode = NotifyMode::kOnWrite;
+  spec.addr = watch;
+  spec.len = watch_len;
+  spec.policy = options_.policy;
+  SubId sub = kInvalidSubId;
+  {
+    ScopedOpLabel label(&client_->recorder(), "cache.admit");
+    auto result = client_->Subscribe(spec, this);
+    if (!result.ok()) {
+      return;  // unsubscribable range: serve it uncached
+    }
+    sub = *result;
+  }
+  Entry e;
+  e.payload.assign(payload.begin(), payload.end());
+  e.sub = sub;
+  e.valid = true;
+  bytes_used_ += EntryCost(e);
+  sub_to_key_[sub] = key;
+  std::optional<std::pair<uint64_t, Entry>> evicted;
+  ring_.Insert(key, std::move(e), &evicted);
+  if (evicted.has_value()) {
+    bytes_used_ -= EntryCost(evicted->second);
+    ReleaseEntry(evicted->second);
+    ++stats_.evictions;
+  }
+  ++stats_.admissions;
+  EvictToBudget();
+}
+
+void NearCache::Invalidate(uint64_t key) {
+  const size_t slot = ring_.Find(key);
+  if (slot == ClockRing<Entry>::npos) {
+    return;
+  }
+  Entry& e = ring_.value(slot);
+  if (!e.valid) {
+    return;
+  }
+  e.valid = false;
+  // First in line for eviction: an invalid entry is only worth keeping for
+  // its subscription, not its budget share.
+  ring_.Unref(slot);
+  ++stats_.invalidations;
+  ++client_->mutable_stats().cache_invalidations;
+  client_->recorder().RecordCacheInvalidation();
+}
+
+void NearCache::InvalidateAll() {
+  ring_.ForEach([this](uint64_t, Entry& e) {
+    if (e.valid) {
+      e.valid = false;
+      ++stats_.invalidations;
+      ++client_->mutable_stats().cache_invalidations;
+      client_->recorder().RecordCacheInvalidation();
+    }
+  });
+}
+
+void NearCache::OnNotify(const NotifyEvent& event) {
+  if (event.kind == NotifyEventKind::kLossWarning) {
+    // An unknown number of events, for unknown subscriptions, were lost:
+    // the only safe response is to distrust everything cached.
+    ++stats_.loss_resets;
+    InvalidateAll();
+    return;
+  }
+  auto it = sub_to_key_.find(event.sub_id);
+  if (it != sub_to_key_.end()) {
+    Invalidate(it->second);
+  }
+}
+
+void NearCache::ReleaseEntry(Entry& entry) {
+  if (entry.sub != kInvalidSubId) {
+    sub_to_key_.erase(entry.sub);
+    ScopedOpLabel label(&client_->recorder(), "cache.evict");
+    (void)client_->Unsubscribe(entry.sub);
+    entry.sub = kInvalidSubId;
+  }
+}
+
+void NearCache::EvictToBudget() {
+  while (bytes_used_ > options_.budget_bytes) {
+    auto victim = ring_.EvictOne();
+    if (!victim.has_value()) {
+      break;
+    }
+    bytes_used_ -= EntryCost(victim->second);
+    ReleaseEntry(victim->second);
+    ++stats_.evictions;
+  }
+}
+
+void NearCache::Clear() {
+  ring_.ForEach([this](uint64_t, Entry& e) { ReleaseEntry(e); });
+  ring_.Clear();
+  filter_.Clear();
+  sub_to_key_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace fmds

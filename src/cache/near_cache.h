@@ -1,0 +1,156 @@
+// NearCache: a byte-budgeted client-side cache of far-memory regions with
+// CLOCK eviction, a k-hit admission filter, and notification-driven
+// coherence (§4.3).
+//
+// The paper's premise (§3.1) is the ~10x near/far gap: every avoided round
+// trip is the biggest lever there is. The HT-tree already caches its *trie*
+// client-side; NearCache extends that to the hot data itself — bucket
+// heads, items, blob chunks — so a skewed read mix runs near-only.
+//
+// Coherence: on admission the cache subscribes (kOnWrite) to the watched
+// far range; any writer touching it triggers a notification that the
+// owning client routes here via FarClient::DispatchNotifications(), which
+// marks the entry invalid. Under the default Reliable policy publication
+// is synchronous and dispatch runs at operation entry, so hits are
+// linearizable. Under lossy policies (drop_probability > 0) a dropped
+// event can leave an entry stale; staleness is then bounded by the
+// writer's own local Invalidate (read-your-writes), channel-overflow loss
+// resets, eviction, and address reuse — the §7.2 best-effort tradeoff,
+// documented in DESIGN.md §9.
+//
+// An invalidated entry keeps its slot and its subscription: the next miss
+// refills it in place without paying the subscribe round trip again, and
+// without re-running the admission filter (the key already proved hot).
+//
+// Accounting rules (DESIGN.md §9): Lookup charges exactly one near access,
+// hit or miss — on a hit that is the *entire* cost of the probe; admission
+// and eviction charge the subscribe/unsubscribe round trips under the
+// "cache.admit"/"cache.evict" labels; dispatching an empty notification
+// channel is free.
+//
+// Threading: owned by one client thread, same model as FarClient.
+#ifndef FMDS_SRC_CACHE_NEAR_CACHE_H_
+#define FMDS_SRC_CACHE_NEAR_CACHE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/clock_ring.h"
+#include "src/fabric/far_client.h"
+#include "src/fabric/notification.h"
+
+namespace fmds {
+
+struct NearCacheOptions {
+  // Total bytes of cached payload + per-entry overhead. 0 disables the
+  // cache entirely (every Lookup misses without charging anything).
+  uint64_t budget_bytes = 0;
+  // k-hit admission: a key enters the cache on its k-th miss. 1 admits on
+  // first touch; 2 (default) keeps one-shot keys from churning the budget.
+  uint32_t admit_after = 2;
+  // Delivery policy for the coherence subscriptions.
+  DeliveryPolicy policy = DeliveryPolicy::Reliable();
+  // Capacity of the admission filter's own CLOCK ring (miss counters).
+  size_t filter_slots = 4096;
+};
+
+struct NearCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;  // notification- or writer-driven entry kills
+  uint64_t admissions = 0;     // new entries (paid a subscribe RTT)
+  uint64_t refills = 0;        // in-place refills of resident entries
+  uint64_t evictions = 0;      // budget/capacity victims (paid unsubscribe)
+  uint64_t loss_resets = 0;    // whole-cache invalidations on loss warning
+
+  void Add(const NearCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    invalidations += other.invalidations;
+    admissions += other.admissions;
+    refills += other.refills;
+    evictions += other.evictions;
+    loss_resets += other.loss_resets;
+  }
+  double HitRatio() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+class NearCache : public NotificationSink {
+ public:
+  // Charged per entry on top of the payload: slot + index + subscription
+  // bookkeeping on both sides of the fabric.
+  static constexpr uint64_t kEntryOverhead = 64;
+
+  NearCache(FarClient* client, NearCacheOptions options);
+  NearCache(const NearCache&) = delete;
+  NearCache& operator=(const NearCache&) = delete;
+  ~NearCache() override;
+
+  bool enabled() const { return options_.budget_bytes > 0; }
+
+  // Probes the cache for `key`. A hit requires a valid entry whose payload
+  // size equals out.size(); the payload is copied into `out`. Charges one
+  // near access (the full cost of a hit); bumps hit/miss counters in
+  // NearCacheStats, ClientStats, and the flight recorder's current label.
+  bool Lookup(uint64_t key, std::span<std::byte> out);
+
+  // Offers freshly validated far data for caching. `watch` is the far
+  // range whose writes must invalidate this entry ([watch, watch+watch_len),
+  // word-aligned, single page). Resident entries refill in place (no new
+  // subscription); new keys pass the k-hit filter, then pay one subscribe
+  // round trip. Call only with data the caller has just validated — caching
+  // an unvalidated value would make a stale read sticky.
+  void Admit(uint64_t key, std::span<const std::byte> payload, FarAddr watch,
+             uint64_t watch_len);
+
+  // Writer-side local invalidation: a client that just mutated the watched
+  // range kills its own entry immediately, so read-your-writes holds even
+  // under lossy delivery policies.
+  void Invalidate(uint64_t key);
+
+  // Marks every entry invalid (subscriptions and slots survive for refill).
+  void InvalidateAll();
+
+  // NotificationSink: invalidate the entry watching the changed range; a
+  // loss warning invalidates everything (unknown events were dropped).
+  void OnNotify(const NotifyEvent& event) override;
+
+  // Drops every entry and releases the subscriptions (unsubscribe RTTs).
+  void Clear();
+
+  uint64_t bytes_used() const { return bytes_used_; }
+  size_t entries() const { return ring_.size(); }
+  const NearCacheStats& stats() const { return stats_; }
+  const NearCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::vector<std::byte> payload;
+    SubId sub = kInvalidSubId;
+    bool valid = false;
+  };
+
+  uint64_t EntryCost(const Entry& e) const {
+    return e.payload.size() + kEntryOverhead;
+  }
+  // Unsubscribes and forgets one evicted entry.
+  void ReleaseEntry(Entry& entry);
+  void EvictToBudget();
+
+  FarClient* client_;
+  NearCacheOptions options_;
+  ClockRing<Entry> ring_;
+  ClockRing<uint32_t> filter_;  // key -> miss count (admission filter)
+  std::unordered_map<SubId, uint64_t> sub_to_key_;
+  uint64_t bytes_used_ = 0;
+  NearCacheStats stats_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_CACHE_NEAR_CACHE_H_

@@ -33,8 +33,19 @@ Result<HtBlobStore> HtBlobStore::Attach(FarClient* client,
   return HtBlobStore(std::move(map), client, alloc);
 }
 
+void HtBlobStore::EnableChunkCache(NearCacheOptions options) {
+  if (options.budget_bytes > 0) {
+    chunk_cache_ = std::make_unique<NearCache>(client_, options);
+  } else {
+    chunk_cache_.reset();
+  }
+}
+
 Status HtBlobStore::Put(uint64_t key, std::span<const std::byte> value) {
   ScopedOpLabel label(&client_->recorder(), "blob.put");
+  if (chunk_cache_ != nullptr) {
+    (void)client_->DispatchNotifications();
+  }
   // Blob layout: [0] length word, then the bytes. The blob lives on the
   // same node as the key's shard so batched reads of many keys split
   // cleanly into per-node sub-batches (§7 fan-out).
@@ -57,11 +68,22 @@ Status HtBlobStore::Put(uint64_t key, std::span<const std::byte> value) {
 Result<std::vector<std::byte>> HtBlobStore::Get(uint64_t key,
                                                 uint64_t size_hint) {
   ScopedOpLabel label(&client_->recorder(), "blob.get");
+  if (chunk_cache_ != nullptr) {
+    (void)client_->DispatchNotifications();
+  }
   FMDS_ASSIGN_OR_RETURN(uint64_t blob, map_.Get(key));  // 1 far access
   const uint64_t first_fetch =
       kWordSize + (size_hint > 0 ? size_hint : kInlineFetch - kWordSize);
   std::vector<std::byte> buf(first_fetch);
-  FMDS_RETURN_IF_ERROR(client_->Read(blob, buf));  // 1 far access
+  // Chunk cache: a hit replaces the first-fetch far read with a near copy.
+  const bool chunk_hit =
+      chunk_cache_ != nullptr && chunk_cache_->Lookup(blob, buf);
+  if (!chunk_hit) {
+    FMDS_RETURN_IF_ERROR(client_->Read(blob, buf));  // 1 far access
+    if (chunk_cache_ != nullptr) {
+      chunk_cache_->Admit(blob, buf, blob, kWordSize);
+    }
+  }
   const uint64_t len = LoadAs<uint64_t>(buf);
   std::vector<std::byte> value(len);
   const uint64_t have = std::min<uint64_t>(len, first_fetch - kWordSize);
@@ -78,14 +100,18 @@ Result<std::vector<std::byte>> HtBlobStore::Get(uint64_t key,
 std::vector<Result<std::vector<std::byte>>> HtBlobStore::MultiGet(
     std::span<const uint64_t> keys, uint64_t size_hint) {
   ScopedOpLabel label(&client_->recorder(), "blob.multiget");
+  if (chunk_cache_ != nullptr) {
+    (void)client_->DispatchNotifications();
+  }
   std::vector<Result<std::vector<std::byte>>> results(
       keys.size(),
       Result<std::vector<std::byte>>(
           Status(StatusCode::kInternal, "multiget unresolved")));
   // Phase 1: all map lookups in batched waves.
   std::vector<Result<uint64_t>> blobs = map_.MultiGet(keys);
-  // Phase 2: metadata + payload gather — every live blob's length prefix
-  // and speculative payload in one doorbell.
+  // Phase 2: metadata + payload gather — every live blob whose first fetch
+  // the chunk cache can't serve shares one doorbell. Tails (from hits and
+  // fetches alike) collect into phase 3.
   const uint64_t first_fetch =
       kWordSize + (size_hint > 0 ? size_hint : kInlineFetch - kWordSize);
   struct Fetch {
@@ -93,54 +119,72 @@ std::vector<Result<std::vector<std::byte>>> HtBlobStore::MultiGet(
     FarAddr blob = kNullFarAddr;
     std::vector<std::byte> buf;
   };
+  struct Tail {
+    size_t idx = 0;  // result index
+    FarAddr blob = kNullFarAddr;
+    uint64_t have = 0;
+  };
   std::vector<Fetch> fetches;
+  std::vector<Tail> tails;
+  // Unpacks a first-fetch image into results[idx]; queues any tail.
+  const auto absorb_first_fetch = [&](size_t idx, FarAddr blob,
+                                      std::span<const std::byte> buf) {
+    const uint64_t len = LoadAs<uint64_t>(buf);
+    std::vector<std::byte> value(len);
+    const uint64_t have = std::min<uint64_t>(len, first_fetch - kWordSize);
+    std::memcpy(value.data(), buf.data() + kWordSize, have);
+    results[idx] = std::move(value);
+    if (have < len) {
+      tails.push_back(Tail{idx, blob, have});
+    }
+  };
   for (size_t i = 0; i < keys.size(); ++i) {
     if (!blobs[i].ok()) {
       results[i] = blobs[i].status();
       continue;
     }
-    fetches.push_back(Fetch{i, *blobs[i], std::vector<std::byte>(first_fetch)});
+    const FarAddr blob = *blobs[i];
+    if (chunk_cache_ != nullptr) {
+      std::vector<std::byte> cached(first_fetch);
+      if (chunk_cache_->Lookup(blob, cached)) {
+        absorb_first_fetch(i, blob, cached);
+        continue;
+      }
+    }
+    fetches.push_back(Fetch{i, blob, std::vector<std::byte>(first_fetch)});
   }
   for (Fetch& fetch : fetches) {
     client_->PostRead(fetch.blob, fetch.buf);
   }
-  std::vector<FarClient::Completion> done;
-  (void)client_->WaitAll(&done);
-  // Phase 3: tails beyond the speculative fetch share a final doorbell.
-  struct Tail {
-    size_t idx = 0;
-    uint64_t have = 0;
-  };
-  std::vector<Tail> tails;
-  for (size_t j = 0; j < fetches.size(); ++j) {
-    const Fetch& fetch = fetches[j];
-    if (!done[j].status.ok()) {
-      results[fetch.idx] = done[j].status;
-      continue;
-    }
-    const uint64_t len = LoadAs<uint64_t>(fetch.buf);
-    std::vector<std::byte> value(len);
-    const uint64_t have = std::min<uint64_t>(len, first_fetch - kWordSize);
-    std::memcpy(value.data(), fetch.buf.data() + kWordSize, have);
-    results[fetch.idx] = std::move(value);
-    if (have < len) {
-      tails.push_back(Tail{j, have});
+  if (!fetches.empty()) {
+    std::vector<FarClient::Completion> done;
+    (void)client_->WaitAll(&done);
+    for (size_t j = 0; j < fetches.size(); ++j) {
+      const Fetch& fetch = fetches[j];
+      if (!done[j].status.ok()) {
+        results[fetch.idx] = done[j].status;
+        continue;
+      }
+      if (chunk_cache_ != nullptr) {
+        chunk_cache_->Admit(fetch.blob, fetch.buf, fetch.blob, kWordSize);
+      }
+      absorb_first_fetch(fetch.idx, fetch.blob, fetch.buf);
     }
   }
+  // Phase 3: tails beyond the speculative fetch share a final doorbell.
   if (tails.empty()) {
     return results;
   }
   for (const Tail& tail : tails) {
-    const Fetch& fetch = fetches[tail.idx];
     client_->PostRead(
-        fetch.blob + kWordSize + tail.have,
-        std::span<std::byte>(*results[fetch.idx]).subspan(tail.have));
+        tail.blob + kWordSize + tail.have,
+        std::span<std::byte>(*results[tail.idx]).subspan(tail.have));
   }
-  done.clear();
+  std::vector<FarClient::Completion> done;
   (void)client_->WaitAll(&done);
   for (size_t j = 0; j < tails.size(); ++j) {
     if (!done[j].status.ok()) {
-      results[fetches[tails[j].idx].idx] = done[j].status;
+      results[tails[j].idx] = done[j].status;
     }
   }
   return results;

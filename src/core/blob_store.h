@@ -13,8 +13,10 @@
 #define FMDS_SRC_CORE_BLOB_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/cache/near_cache.h"
 #include "src/core/sharded_map.h"
 
 namespace fmds {
@@ -56,6 +58,18 @@ class HtBlobStore {
 
   ShardedMap& map() { return map_; }
 
+  // Chunk-granular NearCache: caches each blob's first fetch (length word +
+  // speculative payload) keyed by blob address, so a hot blob's Get costs
+  // only the map lookup — or zero far accesses when the map's own cache
+  // (options.cache on the index) hits too. Coherence: blobs are immutable,
+  // so the watched length word only changes when the allocator recycles the
+  // region for a new blob — whose write fires the invalidation. A Get whose
+  // effective first-fetch size differs from the cached chunk (different
+  // size_hint) misses and refills at the new size.
+  void EnableChunkCache(NearCacheOptions options);
+  NearCache* chunk_cache() { return chunk_cache_.get(); }
+  const NearCache* chunk_cache() const { return chunk_cache_.get(); }
+
  private:
   HtBlobStore(ShardedMap map, FarClient* client, FarAllocator* alloc)
       : map_(std::move(map)), client_(client), alloc_(alloc) {}
@@ -63,6 +77,7 @@ class HtBlobStore {
   ShardedMap map_;
   FarClient* client_;
   FarAllocator* alloc_;
+  std::unique_ptr<NearCache> chunk_cache_;
 };
 
 }  // namespace fmds

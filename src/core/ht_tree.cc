@@ -45,7 +45,30 @@ struct NodeRec {
 
 HtTree::HtTree(FarClient* client, FarAllocator* alloc, FarAddr header,
                Options options)
-    : client_(client), alloc_(alloc), header_(header), options_(options) {}
+    : client_(client), alloc_(alloc), header_(header), options_(options) {
+  if (options_.cache.budget_bytes > 0) {
+    near_cache_ = std::make_unique<NearCache>(client_, options_.cache);
+  }
+}
+
+bool HtTree::CacheLookupValue(uint64_t key, uint64_t* value) {
+  if (near_cache_ == nullptr) {
+    return false;
+  }
+  return near_cache_->Lookup(key, AsBytes(*value));
+}
+
+void HtTree::CacheAdmitValue(uint64_t key, uint64_t value, FarAddr bucket) {
+  if (near_cache_ == nullptr) {
+    return;
+  }
+  // Only version-checked, chain-resolved FOUND results reach this point:
+  // caching an unvalidated read would make a stale value sticky (same
+  // lesson as the BatchPut hint rule below). Absent keys and tombstones
+  // are not cached — negative entries would pin budget for keys the
+  // workload may never ask about again.
+  near_cache_->Admit(key, AsConstBytes(value), bucket, kWordSize);
+}
 
 Result<HtTree> HtTree::Create(FarClient* client, FarAllocator* alloc,
                               Options options) {
@@ -332,13 +355,23 @@ Status HtTree::RefreshPath(uint64_t hash) {
 
 Result<uint64_t> HtTree::Get(uint64_t key) {
   ScopedOpLabel label(&client_->recorder(), "httree.get");
-  const uint64_t hash = Mix64(key);
   ++op_stats_.gets;
+  DispatchCacheInvalidations();
+  // NearCache fast path: a valid entry IS the answer — no trie descent, no
+  // chain walk, zero far accesses. Coherence comes from the bucket-word
+  // watch (dispatched above); under a lossy delivery policy a stale hit is
+  // bounded by the writer-side Invalidate and the channel loss reset.
+  uint64_t cached_value = 0;
+  if (CacheLookupValue(key, &cached_value)) {
+    return cached_value;
+  }
+  const uint64_t hash = Mix64(key);
   for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
     const int32_t li = DescendCached(hash);
     const CachedNode leaf = nodes_[li];
     const FarAddr bucket = BucketAddr(leaf.table, BucketIndex(hash));
     Item item;
+    FarAddr head_addr = kNullFarAddr;
     Result<FarAddr> head = Status(StatusCode::kInternal, "unset");
     if (options_.use_indirect) {
       // Proposed hardware: ONE far access dereferences the bucket and
@@ -357,8 +390,9 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
     if (!head.ok()) {
       return head.status();
     }
+    head_addr = *head;
     if (options_.use_head_hints) {
-      head_cache_[bucket] = *head;
+      head_hints_.Upsert(bucket, head_addr);
     }
     client_->AccountNear(1);
     if ((item.meta & kFlagRetired) != 0 ||
@@ -369,7 +403,7 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
     }
     // Fresh view: walk the chain (first match wins; tombstone = absent).
     uint64_t chain_len = 0;
-    FarAddr cursor_addr = *head;
+    FarAddr cursor_addr = head_addr;
     Item cursor = item;
     while (true) {
       if ((cursor.meta & kFlagSentinel) != 0) {
@@ -388,6 +422,7 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
         if (tombstone) {
           return Status(StatusCode::kNotFound, "key removed");
         }
+        CacheAdmitValue(key, cursor.value, bucket);
         return cursor.value;
       }
       if (cursor.next == kNullFarAddr) {
@@ -419,11 +454,21 @@ HtTree::BatchGet::BatchGet(HtTree* map, std::span<const uint64_t> keys)
       results_(keys.size(),
                Status(StatusCode::kInternal, "multiget unresolved")) {
   map_->op_stats_.gets += keys.size();
+  map_->DispatchCacheInvalidations();
   probes_.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     Probe probe;
     probe.idx = i;
     probe.key = keys[i];
+    // NearCache consult: a hit resolves the probe before any wave posts —
+    // hot keys drop out of the doorbell entirely, without even a descent.
+    uint64_t cached_value = 0;
+    if (map_->CacheLookupValue(probe.key, &cached_value)) {
+      results_[i] = cached_value;
+      probe.stage = Stage::kDone;
+      probes_.push_back(probe);
+      continue;
+    }
     probe.hash = Mix64(keys[i]);
     probe.leaf = map_->nodes_[map_->DescendCached(probe.hash)];
     probe.bucket =
@@ -518,6 +563,9 @@ void HtTree::BatchGet::Classify(Probe& probe) {
     if ((item.meta & kFlagTombstone) != 0) {
       results_[probe.idx] = Status(StatusCode::kNotFound, "key removed");
     } else {
+      // Classify only sees version-checked fresh views (the kHead absorb
+      // gates on the staleness check), so the binding is admissible.
+      map_->CacheAdmitValue(probe.key, item.value, probe.bucket);
       results_[probe.idx] = item.value;
     }
     probe.stage = Stage::kDone;
@@ -556,15 +604,13 @@ Status HtTree::Put(uint64_t key, uint64_t value) {
   ScopedOpLabel label(&client_->recorder(), "httree.put");
   const uint64_t hash = Mix64(key);
   ++op_stats_.puts;
+  DispatchCacheInvalidations();
   FMDS_ASSIGN_OR_RETURN(FarAddr slot, AllocItemSlot());
   int32_t li = DescendCached(hash);
   CachedNode leaf = nodes_[li];
   FarAddr bucket = BucketAddr(leaf.table, BucketIndex(hash));
   client_->AccountNear(1);
-  auto hint = options_.use_head_hints ? head_cache_.find(bucket)
-                                      : head_cache_.end();
-  FarAddr predicted = hint != head_cache_.end() ? hint->second
-                                                : leaf.sentinel;
+  FarAddr predicted = HeadHint(bucket, leaf.sentinel);
   // Far access 1: publish the item body (not yet reachable).
   Item item{key, value, VersionOf(leaf.version), predicted};
   FMDS_RETURN_IF_ERROR(client_->Write(slot, AsConstBytes(item)));
@@ -580,8 +626,13 @@ Status HtTree::Put(uint64_t key, uint64_t value) {
                           client_->CompareSwap(bucket, predicted, slot));
     if (old == predicted) {
       if (options_.use_head_hints) {
-        head_cache_[bucket] = slot;
-        TrimHintCache();
+        head_hints_.Upsert(bucket, slot);
+      }
+      // Read-your-writes insurance: the CAS published a notification that
+      // the next dispatch would deliver anyway (Reliable policy), but a
+      // local kill of this key's entry holds even under lossy policies.
+      if (near_cache_ != nullptr) {
+        near_cache_->Invalidate(key);
       }
       // Split once this handle's inserts into the table reach load factor
       // ~1/2: most buckets hold at most one item, so lookups stay at one
@@ -614,7 +665,7 @@ Status HtTree::Put(uint64_t key, uint64_t value) {
       continue;
     }
     if (options_.use_head_hints) {
-      head_cache_[bucket] = old;
+      head_hints_.Upsert(bucket, old);
     }
     predicted = old;
     full_write_done = false;
@@ -628,6 +679,7 @@ HtTree::BatchPut::BatchPut(HtTree* map, std::span<const uint64_t> keys,
                            std::span<const uint64_t> values)
     : map_(map) {
   map_->op_stats_.puts += keys.size();
+  map_->DispatchCacheInvalidations();
   ops_.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     Op op;
@@ -655,11 +707,7 @@ size_t HtTree::BatchPut::PostWave() {
     op.leaf = map_->nodes_[op.leaf_index];
     op.bucket = map_->BucketAddr(op.leaf.table, map_->BucketIndex(op.hash));
     map_->client_->AccountNear(1);
-    const auto hint = map_->options_.use_head_hints
-                          ? map_->head_cache_.find(op.bucket)
-                          : map_->head_cache_.end();
-    op.predicted =
-        hint != map_->head_cache_.end() ? hint->second : op.leaf.sentinel;
+    op.predicted = map_->HeadHint(op.bucket, op.leaf.sentinel);
     // Both far accesses of the store ride the shared doorbell: publish the
     // item body, then CAS the bucket head. The doorbell preserves post
     // order per node, so the item is visible before it becomes reachable.
@@ -703,8 +751,10 @@ void HtTree::BatchPut::AbsorbWave(const CompletionMap& done) {
       continue;
     }
     if (map_->options_.use_head_hints) {
-      map_->head_cache_[op.bucket] = op.slot;
-      map_->TrimHintCache();
+      map_->head_hints_.Upsert(op.bucket, op.slot);
+    }
+    if (map_->near_cache_ != nullptr) {
+      map_->near_cache_->Invalidate(op.key);
     }
     const uint64_t estimate = ++map_->collision_estimate_[op.leaf.table];
     map_->client_->AccountNear(1);
@@ -762,15 +812,13 @@ Status HtTree::Remove(uint64_t key) {
   ScopedOpLabel label(&client_->recorder(), "httree.remove");
   const uint64_t hash = Mix64(key);
   ++op_stats_.removes;
+  DispatchCacheInvalidations();
   FMDS_ASSIGN_OR_RETURN(FarAddr slot, AllocItemSlot());
   int32_t li = DescendCached(hash);
   CachedNode leaf = nodes_[li];
   FarAddr bucket = BucketAddr(leaf.table, BucketIndex(hash));
   client_->AccountNear(1);
-  auto hint = options_.use_head_hints ? head_cache_.find(bucket)
-                                      : head_cache_.end();
-  FarAddr predicted = hint != head_cache_.end() ? hint->second
-                                                : leaf.sentinel;
+  FarAddr predicted = HeadHint(bucket, leaf.sentinel);
   Item item{key, 0, VersionOf(leaf.version) | kFlagTombstone, predicted};
   FMDS_RETURN_IF_ERROR(client_->Write(slot, AsConstBytes(item)));
   bool full_write_done = true;
@@ -782,8 +830,10 @@ Status HtTree::Remove(uint64_t key) {
                           client_->CompareSwap(bucket, predicted, slot));
     if (old == predicted) {
       if (options_.use_head_hints) {
-        head_cache_[bucket] = slot;
-        TrimHintCache();
+        head_hints_.Upsert(bucket, slot);
+      }
+      if (near_cache_ != nullptr) {
+        near_cache_->Invalidate(key);
       }
       // Tombstones lengthen chains exactly like inserts do.
       const uint64_t estimate = ++collision_estimate_[leaf.table];
@@ -812,7 +862,7 @@ Status HtTree::Remove(uint64_t key) {
       continue;
     }
     if (options_.use_head_hints) {
-      head_cache_[bucket] = old;
+      head_hints_.Upsert(bucket, old);
     }
     predicted = old;
     full_write_done = false;
@@ -1026,16 +1076,6 @@ uint64_t HtTree::cached_tables() const {
   return leaves;
 }
 
-void HtTree::TrimHintCache() {
-  // Head hints are a pure optimization (mispredicted CASes self-correct),
-  // so the cache is bounded by wholesale eviction — the trie mirror is the
-  // only cache whose size the structure fundamentally needs (§5.2).
-  constexpr size_t kMaxHints = 1 << 16;
-  if (head_cache_.size() > kMaxHints) {
-    head_cache_.clear();
-  }
-}
-
 uint64_t HtTree::cache_bytes() const {
   // The §5.2 geometry: the mirrored trie is what the client must cache to
   // get 1-far-access lookups.
@@ -1043,7 +1083,10 @@ uint64_t HtTree::cache_bytes() const {
 }
 
 uint64_t HtTree::hint_cache_bytes() const {
-  return head_cache_.size() * (sizeof(FarAddr) * 2 + sizeof(void*)) +
+  // Hints are a pure optimization (mispredicted CASes self-correct); the
+  // CLOCK ring bounds them at kMaxHeadHints entries, evicting cold buckets
+  // one at a time instead of the old wholesale clear.
+  return head_hints_.size() * (sizeof(FarAddr) * 2 + sizeof(void*)) +
          collision_estimate_.size() * (sizeof(FarAddr) + sizeof(uint64_t));
 }
 

@@ -33,10 +33,13 @@
 #define FMDS_SRC_CORE_HT_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/alloc/far_allocator.h"
+#include "src/cache/clock_ring.h"
+#include "src/cache/near_cache.h"
 #include "src/common/hash.h"
 #include "src/fabric/far_client.h"
 
@@ -64,6 +67,10 @@ class HtTree {
     // storage to one memory node with this (§7 scale-out), keeping a
     // shard's indirections local and its doorbell traffic single-node.
     AllocHint placement = AllocHint::Any();
+    // NearCache of bucket heads (budget_bytes = 0 keeps it off): a hit
+    // serves the whole lookup from near memory — zero far accesses —
+    // with coherence via per-bucket write notifications (DESIGN.md §9).
+    NearCacheOptions cache;
   };
 
   // Per-handle counters for the experiments.
@@ -149,6 +156,9 @@ class HtTree {
 
   const OpStats& op_stats() const { return op_stats_; }
   FarClient* client() { return client_; }
+  // The bucket-head NearCache, or nullptr when Options::cache is off.
+  NearCache* near_cache() { return near_cache_.get(); }
+  const NearCache* near_cache() const { return near_cache_.get(); }
 
   // Exposed for tests: forces a split of the table owning `key`.
   Status SplitTableOf(uint64_t key);
@@ -237,9 +247,44 @@ class HtTree {
   Result<int32_t> FetchSubtree(FarAddr addr);
 
   Status ReadItem(FarAddr addr, Item* out);
-  void TrimHintCache();
+
+  // ---- NearCache integration (key-addressed value entries) ----
+  // Entries are keyed by the USER key and hold the resolved value (8 bytes),
+  // watching the key's bucket word. That watch gives exact coherence: items
+  // are immutable once reachable, so the value bound to a key can only
+  // change through a bucket CAS (insert, tombstone, split freeze) — and
+  // every bucket CAS publishes a notification on the watched word. A hit
+  // therefore returns the value with ZERO far accesses and without even
+  // descending the trie or walking the chain; trie staleness is irrelevant
+  // on the hit path because the trie is never consulted.
+  //
+  // Routes pending invalidation notifications before an operation reads
+  // the cache (free when the channel is empty).
+  void DispatchCacheInvalidations() {
+    if (near_cache_ != nullptr) {
+      (void)client_->DispatchNotifications();
+    }
+  }
+  // Offers a freshly resolved (version-checked) key -> value binding.
+  void CacheAdmitValue(uint64_t key, uint64_t value, FarAddr bucket);
+  // Probe; on hit fills *value and returns true.
+  bool CacheLookupValue(uint64_t key, uint64_t* value);
+
   FarAddr BucketAddr(FarAddr table, uint64_t bucket) const {
     return table + kTableHeaderBytes + bucket * kWordSize;
+  }
+  // CAS-prediction hint for `bucket` (touching its CLOCK slot), or
+  // `fallback` (the leaf's sentinel) when unhinted or hints are off.
+  FarAddr HeadHint(FarAddr bucket, FarAddr fallback) {
+    if (!options_.use_head_hints) {
+      return fallback;
+    }
+    const size_t slot = head_hints_.Find(bucket);
+    if (slot == ClockRing<FarAddr>::npos) {
+      return fallback;
+    }
+    head_hints_.Touch(slot);
+    return head_hints_.value(slot);
   }
   uint64_t BucketIndex(uint64_t hash) const {
     return hash % buckets_per_table_;
@@ -264,10 +309,17 @@ class HtTree {
 
   std::vector<CachedNode> nodes_;  // nodes_[0] mirrors the root
   // Bucket-head hints: bucket addr -> last observed head item. Only an
-  // optimization (mispredicted CAS retries fix them up).
-  std::unordered_map<FarAddr, FarAddr> head_cache_;
+  // optimization (mispredicted CAS retries fix them up). Bounded by the
+  // same CLOCK ring NearCache uses, so a hot working set survives instead
+  // of the old wholesale clear.
+  static constexpr size_t kMaxHeadHints = 1 << 16;
+  ClockRing<FarAddr> head_hints_{kMaxHeadHints};
   // Per-table local collision estimate driving proactive splits.
   std::unordered_map<FarAddr, uint64_t> collision_estimate_;
+  // Bucket-head NearCache (null when Options::cache.budget_bytes == 0).
+  // Heap-owned so the NotificationSink pointer registered with the client
+  // stays stable across HtTree moves.
+  std::unique_ptr<NearCache> near_cache_;
 
   // Client item slab.
   FarAddr arena_next_ = kNullFarAddr;

@@ -225,4 +225,24 @@ uint64_t ShardedMap::cache_bytes() const {
   return total;
 }
 
+NearCacheStats ShardedMap::near_cache_stats() const {
+  NearCacheStats total;
+  for (const HtTree& shard : shards_) {
+    if (shard.near_cache() != nullptr) {
+      total.Add(shard.near_cache()->stats());
+    }
+  }
+  return total;
+}
+
+uint64_t ShardedMap::near_cache_bytes() const {
+  uint64_t total = 0;
+  for (const HtTree& shard : shards_) {
+    if (shard.near_cache() != nullptr) {
+      total += shard.near_cache()->bytes_used();
+    }
+  }
+  return total;
+}
+
 }  // namespace fmds

@@ -38,7 +38,11 @@ class ShardedMap {
   struct Options {
     uint32_t num_shards = 8;
     // Per-shard HT-tree knobs. `shard.placement` is overridden per shard
-    // when pin_shards is set (the normal configuration).
+    // when pin_shards is set (the normal configuration). `shard.cache`
+    // creates one NearCache *per shard* (the budget is per shard, not
+    // global): with pinning, every shard's coherence subscriptions live on
+    // that shard's own memory node, so invalidation traffic stays
+    // node-local instead of fanning out across the fabric.
     HtTree::Options shard;
     // Pin shard i's storage to node i % num_nodes. Turning this off leaves
     // placement round-robin per allocation — a measurable anti-pattern
@@ -81,6 +85,10 @@ class ShardedMap {
   // Sum of the shards' per-handle counters.
   HtTree::OpStats op_stats() const;
   uint64_t cache_bytes() const;
+  // Aggregated per-shard NearCache counters (zeros when caching is off).
+  NearCacheStats near_cache_stats() const;
+  // Total bytes resident across the shards' NearCaches.
+  uint64_t near_cache_bytes() const;
 
  private:
   ShardedMap(FarClient* client, FarAddr directory)

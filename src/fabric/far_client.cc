@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <thread>
+#include <unordered_set>
 
 // Sanitizer instrumentation slows the spinning side of real-time waits by
 // 5-20x, so wall-clock budgets that are generous natively can fire
@@ -29,7 +30,8 @@ FarClient::FarClient(Fabric* fabric, uint64_t client_id, ClientOptions options)
       client_id_(client_id),
       latency_(fabric->options().latency),
       obs_(client_id),
-      channel_(options.channel_capacity) {
+      channel_(options.channel_capacity),
+      channel_capacity_(options.channel_capacity) {
   obs_.set_options(options.obs);
 }
 
@@ -896,6 +898,15 @@ Result<SubId> FarClient::Subscribe(const NotifySpec& spec) {
   return id;
 }
 
+Result<SubId> FarClient::Subscribe(const NotifySpec& spec,
+                                   NotificationSink* sink) {
+  FMDS_ASSIGN_OR_RETURN(SubId id, Subscribe(spec));
+  if (sink != nullptr) {
+    sinks_[id] = sink;
+  }
+  return id;
+}
+
 Status FarClient::Unsubscribe(SubId id) {
   auto it = sub_homes_.find(id);
   if (it == sub_homes_.end()) {
@@ -904,13 +915,80 @@ Status FarClient::Unsubscribe(SubId id) {
   const NodeId node = it->second;  // captured before erase invalidates it
   fabric_->node(node).Unsubscribe(id);
   sub_homes_.erase(it);
+  sinks_.erase(id);
   AccountRoundTrip(FarOpKind::kNotification, node, kNullFarAddr, kWordSize, 1,
                    0);
   return OkStatus();
 }
 
+size_t FarClient::DispatchNotifications() {
+  // Empty-channel check is free: the queue head is client-local state the
+  // caller touches on every op anyway; charging here would tax every cached
+  // operation for coherence traffic that never arrived.
+  if (channel_.size() == 0) {
+    return 0;
+  }
+  AccountNear(1);
+  size_t routed = 0;
+  for (NotifyEvent& ev : channel_.Drain()) {
+    ++stats_.notifications;
+    if (obs_.enabled()) {
+      obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev.addr, ev.len,
+                    clock_.now_ns(), 0, true);
+    }
+    if (ev.kind == NotifyEventKind::kLossWarning) {
+      // No sub_id: an unknown number of events for unknown subscriptions
+      // were dropped. Every sink must assume the worst, and poll-style
+      // subscribers still need to see the warning too.
+      std::unordered_set<NotificationSink*> seen;
+      for (const auto& [sub, sink] : sinks_) {
+        if (seen.insert(sink).second) {
+          sink->OnNotify(ev);
+          ++routed;
+        }
+      }
+      ParkEvent(std::move(ev));
+      continue;
+    }
+    auto it = sinks_.find(ev.sub_id);
+    if (it != sinks_.end()) {
+      it->second->OnNotify(ev);
+      ++routed;
+    } else {
+      ParkEvent(std::move(ev));
+    }
+  }
+  return routed;
+}
+
+void FarClient::ParkEvent(NotifyEvent ev) {
+  // The park inherits the channel's bound: a dispatcher that never polls
+  // its poll-style events must not grow memory without limit. Overflow
+  // degrades exactly like the channel does — drop everything parked and
+  // leave a single loss warning.
+  if (parked_events_.size() >= channel_capacity_) {
+    parked_events_.clear();
+    NotifyEvent loss;
+    loss.kind = NotifyEventKind::kLossWarning;
+    loss.publish_ns = ev.publish_ns;
+    parked_events_.push_back(std::move(loss));
+    return;
+  }
+  parked_events_.push_back(std::move(ev));
+}
+
 std::optional<NotifyEvent> FarClient::PollNotification() {
   AccountNear(1);
+  if (!parked_events_.empty()) {
+    NotifyEvent ev = std::move(parked_events_.front());
+    parked_events_.pop_front();
+    ++stats_.notifications;
+    if (obs_.enabled()) {
+      obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev.addr, ev.len,
+                    clock_.now_ns(), 0, true);
+    }
+    return ev;
+  }
   auto ev = channel_.Poll();
   if (ev.has_value()) {
     ++stats_.notifications;
@@ -932,7 +1010,13 @@ Result<NotifyEvent> FarClient::WaitNotification(uint64_t timeout_ms) {
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(timeout_ms * kWaitBudgetScale);
   while (std::chrono::steady_clock::now() < deadline) {
-    auto ev = channel_.Poll();
+    std::optional<NotifyEvent> ev;
+    if (!parked_events_.empty()) {
+      ev = std::move(parked_events_.front());
+      parked_events_.pop_front();
+    } else {
+      ev = channel_.Poll();
+    }
     if (ev.has_value()) {
       ++stats_.notifications;
       AccountNear(1);

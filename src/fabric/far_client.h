@@ -168,6 +168,10 @@ class FarClient {
 
   // ----------------------- Notifications (§4.3) -----------------------
   Result<SubId> Subscribe(const NotifySpec& spec);
+  // Subscribe with a dispatch target: events for this subscription are
+  // routed to `sink` by DispatchNotifications() instead of surfacing
+  // through PollNotification(). Same 1-RTT registration cost.
+  Result<SubId> Subscribe(const NotifySpec& spec, NotificationSink* sink);
   Status Unsubscribe(SubId id);
   NotificationChannel& channel() { return channel_; }
   // Non-blocking; accounts one near access per poll and one notification
@@ -176,6 +180,15 @@ class FarClient {
   // Spins (real time, for threaded tests) until an event arrives or
   // ~timeout_ms elapses.
   Result<NotifyEvent> WaitNotification(uint64_t timeout_ms = 2000);
+  // Drains the channel and routes each event to the sink registered for its
+  // subscription. Loss warnings (which carry no sub_id) fan out to every
+  // distinct sink. Events for poll-style subscriptions are parked and remain
+  // observable through PollNotification()/WaitNotification(). Returns the
+  // number of events routed to sinks. Accounting: checking an empty channel
+  // is free (the local queue head is near state the client touches anyway);
+  // a non-empty drain charges one near access plus one notification stat
+  // per delivered event.
+  size_t DispatchNotifications();
 
   // --------------------------- Ordering (§2) ---------------------------
   // Memory barrier: all previously issued operations complete before any
@@ -282,6 +295,10 @@ class FarClient {
     bool ok = true;
   };
 
+  // Queues a dispatched poll-style event for PollNotification(), bounded by
+  // the channel capacity (overflow collapses to one loss warning).
+  void ParkEvent(NotifyEvent ev);
+
   OpId Enqueue(PendingOp op);
   // Executes one posted op against the memory nodes, accumulating node-group
   // charges into `groups` and message/serial-RTT totals; returns the
@@ -301,6 +318,11 @@ class FarClient {
   OpRecorder obs_;
   NotificationChannel channel_;
   std::unordered_map<SubId, NodeId> sub_homes_;
+  // Dispatch routing for sink-registered subscriptions plus the overflow
+  // park for poll-style events that DispatchNotifications() drained.
+  std::unordered_map<SubId, NotificationSink*> sinks_;
+  std::deque<NotifyEvent> parked_events_;
+  size_t channel_capacity_;
 
   std::vector<PendingOp> issue_queue_;
   std::deque<Completion> completion_queue_;

@@ -51,6 +51,16 @@ struct NotifySpec {
   DeliveryPolicy policy = DeliveryPolicy::Reliable();
 };
 
+// Receiver-side callback target for dispatched events. A subscriber (e.g. a
+// NearCache) registers a sink with FarClient::Subscribe(spec, sink); the
+// client's DispatchNotifications() routes delivered events to it. Dispatch
+// happens on the owning client's thread — sinks need no locking of their own.
+class NotificationSink {
+ public:
+  virtual ~NotificationSink() = default;
+  virtual void OnNotify(const struct NotifyEvent& event) = 0;
+};
+
 enum class NotifyEventKind : uint8_t {
   kChanged = 0,      // a subscribed range changed
   kLossWarning = 1,  // channel overflowed; an unknown number of events lost

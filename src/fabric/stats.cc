@@ -9,7 +9,8 @@ std::string ClientStats::ToString() const {
   std::snprintf(buf, sizeof(buf),
                 "far_ops=%llu msgs=%llu rd=%lluB wr=%lluB near=%llu rpc=%llu "
                 "notif=%llu slow=%llu bg=%llu batches=%llu batched=%llu "
-                "rtts_saved=%llu fanout=%llu xnode_saved=%llu",
+                "rtts_saved=%llu fanout=%llu xnode_saved=%llu "
+                "cache_hit=%llu cache_miss=%llu cache_inval=%llu",
                 static_cast<unsigned long long>(far_ops),
                 static_cast<unsigned long long>(messages),
                 static_cast<unsigned long long>(bytes_read),
@@ -23,7 +24,10 @@ std::string ClientStats::ToString() const {
                 static_cast<unsigned long long>(batched_ops),
                 static_cast<unsigned long long>(overlapped_rtts_saved),
                 static_cast<unsigned long long>(fanout_batches),
-                static_cast<unsigned long long>(cross_node_rtts_saved));
+                static_cast<unsigned long long>(cross_node_rtts_saved),
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses),
+                static_cast<unsigned long long>(cache_invalidations));
   return buf;
 }
 

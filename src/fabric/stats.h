@@ -34,6 +34,11 @@ struct ClientStats {
   uint64_t fanout_batches = 0;        // flushes that spanned > 1 node
   uint64_t cross_node_rtts_saved = 0; // node doorbells overlapped vs
                                       // one-node-at-a-time issue (G-1 each)
+  // NearCache (src/cache/): a hit replaces a far round trip with a near
+  // access; an invalidation is a notification-driven entry kill.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
 
   ClientStats Delta(const ClientStats& earlier) const {
     ClientStats d;
@@ -53,6 +58,9 @@ struct ClientStats {
     d.fanout_batches = fanout_batches - earlier.fanout_batches;
     d.cross_node_rtts_saved =
         cross_node_rtts_saved - earlier.cross_node_rtts_saved;
+    d.cache_hits = cache_hits - earlier.cache_hits;
+    d.cache_misses = cache_misses - earlier.cache_misses;
+    d.cache_invalidations = cache_invalidations - earlier.cache_invalidations;
     return d;
   }
 
@@ -71,6 +79,9 @@ struct ClientStats {
     overlapped_rtts_saved += other.overlapped_rtts_saved;
     fanout_batches += other.fanout_batches;
     cross_node_rtts_saved += other.cross_node_rtts_saved;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_invalidations += other.cache_invalidations;
   }
 
   std::string ToString() const;

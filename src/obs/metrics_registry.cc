@@ -21,13 +21,18 @@ void MetricsRegistry::Absorb(const OpRecorder& recorder) {
   for (size_t id = 0; id < recorder.label_count(); ++id) {
     const OpRecorder::Traffic& traffic = recorder.label_traffic()[id];
     const LogHistogram& hist = recorder.label_histograms()[id];
-    if (traffic.ops == 0 && hist.count() == 0) {
+    const OpRecorder::CacheCounts& cache = recorder.label_cache()[id];
+    if (traffic.ops == 0 && hist.count() == 0 && cache.hits == 0 &&
+        cache.misses == 0 && cache.invalidations == 0) {
       continue;
     }
     LabelRow& row = labels_[recorder.label_name(id)];
     row.hist.Merge(hist);
     row.ops += traffic.ops;
     row.bytes += traffic.bytes;
+    row.cache_hits += cache.hits;
+    row.cache_misses += cache.misses;
+    row.cache_invalidations += cache.invalidations;
   }
   for (NodeId node = 0; node < recorder.node_traffic().size(); ++node) {
     const OpRecorder::Traffic& cell = recorder.node_traffic()[node];
@@ -73,12 +78,19 @@ void MetricsRegistry::PrintOpKindTable(std::ostream& os,
 
 void MetricsRegistry::PrintLabelTable(std::ostream& os,
                                       const std::string& title) const {
-  Table table({"op label", "far_ops", "bytes", "mean_ns", "p50_ns", "p99_ns"});
+  Table table({"op label", "far_ops", "bytes", "mean_ns", "p50_ns", "p99_ns",
+               "hit%"});
   for (const auto& [name, row] : labels_) {
+    const uint64_t lookups = row.cache_hits + row.cache_misses;
+    std::string hit_pct = "-";
+    if (lookups > 0) {
+      hit_pct = Table::Cell(
+          100.0 * static_cast<double>(row.cache_hits) / lookups, 1);
+    }
     table.AddRow({name.empty() ? "(unlabeled)" : name, Table::Cell(row.ops),
                   Table::Cell(row.bytes), Table::Cell(row.hist.mean(), 1),
                   Table::Cell(row.hist.Percentile(0.50)),
-                  Table::Cell(row.hist.Percentile(0.99))});
+                  Table::Cell(row.hist.Percentile(0.99)), hit_pct});
   }
   table.Print(os, title);
 }
@@ -165,16 +177,50 @@ std::string MetricsRegistry::LabelJsonObject() const {
     out += "\"";
     out += name.empty() ? "(unlabeled)" : name;
     out += "\": {";
-    char buf[64];
+    char buf[192];
     std::snprintf(buf, sizeof(buf), "\"ops\": %llu, \"bytes\": %llu, ",
                   static_cast<unsigned long long>(row.ops),
                   static_cast<unsigned long long>(row.bytes));
     out += buf;
     out += HistStatsJson(row.hist);
+    const uint64_t lookups = row.cache_hits + row.cache_misses;
+    if (lookups > 0 || row.cache_invalidations > 0) {
+      std::snprintf(
+          buf, sizeof(buf),
+          ", \"cache_hits\": %llu, \"cache_misses\": %llu, "
+          "\"cache_invalidations\": %llu, \"hit_ratio\": %.4f",
+          static_cast<unsigned long long>(row.cache_hits),
+          static_cast<unsigned long long>(row.cache_misses),
+          static_cast<unsigned long long>(row.cache_invalidations),
+          lookups == 0 ? 0.0
+                       : static_cast<double>(row.cache_hits) / lookups);
+      out += buf;
+    }
     out += "}";
   }
   out += "}";
   return out;
+}
+
+std::string MetricsRegistry::CacheJsonObject() const {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+  for (const auto& [name, row] : labels_) {
+    hits += row.cache_hits;
+    misses += row.cache_misses;
+    invalidations += row.cache_invalidations;
+  }
+  const uint64_t lookups = hits + misses;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"hits\": %llu, \"misses\": %llu, \"hit_ratio\": %.4f, "
+                "\"invalidations\": %llu}",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups,
+                static_cast<unsigned long long>(invalidations));
+  return buf;
 }
 
 }  // namespace fmds

@@ -38,6 +38,9 @@ class MetricsRegistry {
     LogHistogram hist;
     uint64_t ops = 0;
     uint64_t bytes = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_invalidations = 0;
   };
   const std::map<std::string, LabelRow>& labels() const { return labels_; }
 
@@ -68,7 +71,12 @@ class MetricsRegistry {
   // [{"node":0,"ops":N,"bytes":B}, ...] summed over clients.
   std::string NodeHeatmapJsonArray() const;
   // {"httree.get": {"ops":N,"bytes":B,"p50_ns":..,"p99_ns":..}, ...}
+  // Labels with NearCache activity additionally carry cache_hits,
+  // cache_misses, cache_invalidations, and hit_ratio fields.
   std::string LabelJsonObject() const;
+  // {"hits":N,"misses":N,"hit_ratio":R,"invalidations":N} summed over all
+  // labels — the bench-level cache summary fragment.
+  std::string CacheJsonObject() const;
 
  private:
   std::vector<LogHistogram> kind_hists_;

@@ -9,6 +9,7 @@ OpRecorder::OpRecorder(uint64_t client_id) : client_id_(client_id) {
   label_ids_.emplace("", 0);
   label_hists_.emplace_back(options_.histogram_sub_bits);
   label_traffic_.emplace_back();
+  label_cache_.emplace_back();
   kind_hists_.reserve(kFarOpKindCount);
   for (size_t i = 0; i < kFarOpKindCount; ++i) {
     kind_hists_.emplace_back(options_.histogram_sub_bits);
@@ -47,6 +48,7 @@ uint32_t OpRecorder::InternLabel(std::string_view label) {
   label_ids_.emplace(label_names_.back(), id);
   label_hists_.emplace_back(options_.histogram_sub_bits);
   label_traffic_.emplace_back();
+  label_cache_.emplace_back();
   return id;
 }
 
@@ -107,6 +109,25 @@ void OpRecorder::RecordOp(FarOpKind kind, NodeId node, FarAddr addr,
   }
 }
 
+void OpRecorder::RecordCacheHit() {
+  if (enabled_) {
+    ++label_cache_[label_stack_.empty() ? 0 : label_stack_.back()].hits;
+  }
+}
+
+void OpRecorder::RecordCacheMiss() {
+  if (enabled_) {
+    ++label_cache_[label_stack_.empty() ? 0 : label_stack_.back()].misses;
+  }
+}
+
+void OpRecorder::RecordCacheInvalidation() {
+  if (enabled_) {
+    ++label_cache_[label_stack_.empty() ? 0 : label_stack_.back()]
+          .invalidations;
+  }
+}
+
 void OpRecorder::Reset() {
   for (auto& hist : kind_hists_) {
     hist.Reset();
@@ -116,6 +137,9 @@ void OpRecorder::Reset() {
   }
   for (auto& traffic : label_traffic_) {
     traffic = Traffic();
+  }
+  for (auto& cache : label_cache_) {
+    cache = CacheCounts();
   }
   node_traffic_.clear();
   trace_.Clear();

@@ -53,6 +53,14 @@ class OpRecorder {
     uint64_t bytes = 0;
   };
 
+  // Per-label NearCache activity (hit/miss attributed to the label of the
+  // data-structure op that consulted the cache).
+  struct CacheCounts {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+  };
+
   explicit OpRecorder(uint64_t client_id);
 
   void set_options(const ObsOptions& options);
@@ -85,6 +93,12 @@ class OpRecorder {
   // Monotonic id for one Flush() doorbell (its span + its ops).
   uint64_t NextBatchId() { return ++batch_seq_; }
 
+  // NearCache hooks: attribute a cache event to the current label so the
+  // hit-ratio column in MetricsRegistry breaks down by code path.
+  void RecordCacheHit();
+  void RecordCacheMiss();
+  void RecordCacheInvalidation();
+
   // ---- Read side ----
   const LogHistogram& kind_histogram(FarOpKind kind) const {
     return kind_hists_[static_cast<size_t>(kind)];
@@ -95,6 +109,8 @@ class OpRecorder {
     return label_hists_;
   }
   const std::vector<Traffic>& label_traffic() const { return label_traffic_; }
+  // Label id -> cache hit/miss/invalidation counts, parallel to label_name.
+  const std::vector<CacheCounts>& label_cache() const { return label_cache_; }
   size_t label_count() const { return label_names_.size(); }
   // Per-node traffic row; index = NodeId (grown on demand).
   const std::vector<Traffic>& node_traffic() const { return node_traffic_; }
@@ -115,6 +131,7 @@ class OpRecorder {
   std::unordered_map<std::string, uint32_t> label_ids_;
   std::vector<LogHistogram> label_hists_;  // id -> latency histogram
   std::vector<Traffic> label_traffic_;     // id -> ops/bytes
+  std::vector<CacheCounts> label_cache_;   // id -> cache hit/miss/inval
   std::vector<Traffic> node_traffic_;      // NodeId -> ops/bytes
   TraceRing trace_;
   uint64_t batch_seq_ = 0;
