@@ -46,8 +46,43 @@ bool NearCache::Lookup(uint64_t key, std::span<std::byte> out) {
   return false;
 }
 
+bool NearCache::ArmWatch(Entry& e, uint64_t key, FarAddr watch,
+                         uint64_t watch_len, uint64_t expected_watch_word,
+                         const char* label_name) {
+  NotifySpec spec;
+  spec.mode = NotifyMode::kOnWrite;
+  spec.addr = watch;
+  spec.len = watch_len;
+  spec.policy = options_.policy;
+  uint64_t snapshot = 0;
+  {
+    ScopedOpLabel label(&client_->recorder(), label_name);
+    auto result = client_->Subscribe(spec, this, &snapshot);
+    if (!result.ok()) {
+      return false;  // unsubscribable range: serve it uncached
+    }
+    e.sub = *result;
+  }
+  e.watch = watch;
+  e.watch_len = watch_len;
+  sub_to_key_[e.sub] = key;
+  // Read-and-arm check: the payload was read *before* the subscription
+  // existed. If the watched word moved in that window, a writer raced the
+  // admission and its notification went to nobody — the payload cannot be
+  // trusted. The subscription is live either way, so the entry enters
+  // invalid and the next miss refills it under coverage.
+  if (snapshot != expected_watch_word) {
+    e.valid = false;
+    ++stats_.raced_admits;
+  } else {
+    e.valid = true;
+  }
+  return true;
+}
+
 void NearCache::Admit(uint64_t key, std::span<const std::byte> payload,
-                      FarAddr watch, uint64_t watch_len) {
+                      FarAddr watch, uint64_t watch_len,
+                      uint64_t expected_watch_word) {
   if (!enabled()) {
     return;
   }
@@ -57,16 +92,34 @@ void NearCache::Admit(uint64_t key, std::span<const std::byte> payload,
   }
   const size_t slot = ring_.Find(key);
   if (slot != ClockRing<Entry>::npos) {
-    // Resident (possibly invalidated) entry: refill in place. The
-    // subscription is still registered on the watched range, so no new
-    // round trip — this is what makes invalidation cheap to recover from.
+    // Resident (possibly invalidated) entry.
     Entry& e = ring_.value(slot);
     bytes_used_ -= EntryCost(e);
     e.payload.assign(payload.begin(), payload.end());
-    e.valid = true;
+    if (e.watch == watch && e.watch_len == watch_len) {
+      // Same watch: refill in place. The live subscription covered the
+      // caller's read, so the payload is admissible as-is and no round
+      // trip is paid — this is what makes invalidation cheap to recover
+      // from. (A write racing the refill has already published into our
+      // channel; the next dispatch kills the entry again.)
+      e.valid = true;
+      ++stats_.refills;
+    } else {
+      // The key's watched range moved (e.g. a split migrated it to a new
+      // table and retired — possibly freed — the old one). The old
+      // subscription now watches dead memory and would never see another
+      // relevant write, so release it and read-and-arm the new range.
+      ReleaseEntry(e, "cache.rewatch");
+      ++stats_.rewatches;
+      if (!ArmWatch(e, key, watch, watch_len, expected_watch_word,
+                    "cache.rewatch")) {
+        // New range unsubscribable: the entry can't stay coherent. Drop it.
+        ring_.Erase(key);
+        return;
+      }
+    }
     bytes_used_ += EntryCost(e);
     ring_.Touch(slot);
-    ++stats_.refills;
     EvictToBudget();
     return;
   }
@@ -87,26 +140,13 @@ void NearCache::Admit(uint64_t key, std::span<const std::byte> payload,
     filter_.Erase(key);
   }
 
-  NotifySpec spec;
-  spec.mode = NotifyMode::kOnWrite;
-  spec.addr = watch;
-  spec.len = watch_len;
-  spec.policy = options_.policy;
-  SubId sub = kInvalidSubId;
-  {
-    ScopedOpLabel label(&client_->recorder(), "cache.admit");
-    auto result = client_->Subscribe(spec, this);
-    if (!result.ok()) {
-      return;  // unsubscribable range: serve it uncached
-    }
-    sub = *result;
-  }
   Entry e;
   e.payload.assign(payload.begin(), payload.end());
-  e.sub = sub;
-  e.valid = true;
+  if (!ArmWatch(e, key, watch, watch_len, expected_watch_word,
+                "cache.admit")) {
+    return;
+  }
   bytes_used_ += EntryCost(e);
-  sub_to_key_[sub] = key;
   std::optional<std::pair<uint64_t, Entry>> evicted;
   ring_.Insert(key, std::move(e), &evicted);
   if (evicted.has_value()) {
@@ -161,13 +201,15 @@ void NearCache::OnNotify(const NotifyEvent& event) {
   }
 }
 
-void NearCache::ReleaseEntry(Entry& entry) {
+void NearCache::ReleaseEntry(Entry& entry, const char* label_name) {
   if (entry.sub != kInvalidSubId) {
     sub_to_key_.erase(entry.sub);
-    ScopedOpLabel label(&client_->recorder(), "cache.evict");
+    ScopedOpLabel label(&client_->recorder(), label_name);
     (void)client_->Unsubscribe(entry.sub);
     entry.sub = kInvalidSubId;
   }
+  entry.watch = kNullFarAddr;
+  entry.watch_len = 0;
 }
 
 void NearCache::EvictToBudget() {

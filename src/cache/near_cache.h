@@ -10,23 +10,35 @@
 // Coherence: on admission the cache subscribes (kOnWrite) to the watched
 // far range; any writer touching it triggers a notification that the
 // owning client routes here via FarClient::DispatchNotifications(), which
-// marks the entry invalid. Under the default Reliable policy publication
-// is synchronous and dispatch runs at operation entry, so hits are
-// linearizable. Under lossy policies (drop_probability > 0) a dropped
-// event can leave an entry stale; staleness is then bounded by the
+// marks the entry invalid. The subscribe is a *read-and-arm*: the node
+// returns a snapshot of the watched word taken atomically with the
+// registration, and Admit compares it against the word the caller observed
+// during its validated read. A mismatch means a writer raced the window
+// between that read and the registration — the entry is then admitted
+// invalid (the subscription is live; the next miss refills it under it)
+// instead of pinning a possibly stale value. Under the default Reliable
+// policy publication is synchronous and dispatch runs at operation entry,
+// so hits are linearizable. Under lossy policies (drop_probability > 0) a
+// dropped event can leave an entry stale; staleness is then bounded by the
 // writer's own local Invalidate (read-your-writes), channel-overflow loss
 // resets, eviction, and address reuse — the §7.2 best-effort tradeoff,
 // documented in DESIGN.md §9.
 //
-// An invalidated entry keeps its slot and its subscription: the next miss
-// refills it in place without paying the subscribe round trip again, and
-// without re-running the admission filter (the key already proved hot).
+// An invalidated entry keeps its slot and its subscription: a miss whose
+// refill watches the *same* range refills in place without paying the
+// subscribe round trip again, and without re-running the admission filter
+// (the key already proved hot). A refill whose watched range *moved* —
+// e.g. an HtTree split migrated the key to a bucket in a new table, and
+// the old table was retired and freed — rewatches: the stale subscription
+// is released and a fresh read-and-arm subscribe covers the new range.
+// Keeping the old subscription would leave the entry watching dead memory,
+// blind to every future write.
 //
 // Accounting rules (DESIGN.md §9): Lookup charges exactly one near access,
-// hit or miss — on a hit that is the *entire* cost of the probe; admission
-// and eviction charge the subscribe/unsubscribe round trips under the
-// "cache.admit"/"cache.evict" labels; dispatching an empty notification
-// channel is free.
+// hit or miss — on a hit that is the *entire* cost of the probe;
+// admission, rewatch, and eviction charge their subscribe/unsubscribe
+// round trips under the "cache.admit"/"cache.rewatch"/"cache.evict"
+// labels; dispatching an empty notification channel is free.
 //
 // Threading: owned by one client thread, same model as FarClient.
 #ifndef FMDS_SRC_CACHE_NEAR_CACHE_H_
@@ -64,6 +76,10 @@ struct NearCacheStats {
   uint64_t refills = 0;        // in-place refills of resident entries
   uint64_t evictions = 0;      // budget/capacity victims (paid unsubscribe)
   uint64_t loss_resets = 0;    // whole-cache invalidations on loss warning
+  uint64_t rewatches = 0;      // refills whose watched range moved (paid
+                               // unsubscribe + subscribe RTTs)
+  uint64_t raced_admits = 0;   // admissions whose arm-time snapshot differed
+                               // from the validated read (entered invalid)
 
   void Add(const NearCacheStats& other) {
     hits += other.hits;
@@ -73,6 +89,8 @@ struct NearCacheStats {
     refills += other.refills;
     evictions += other.evictions;
     loss_resets += other.loss_resets;
+    rewatches += other.rewatches;
+    raced_admits += other.raced_admits;
   }
   double HitRatio() const {
     const uint64_t lookups = hits + misses;
@@ -101,12 +119,20 @@ class NearCache : public NotificationSink {
 
   // Offers freshly validated far data for caching. `watch` is the far
   // range whose writes must invalidate this entry ([watch, watch+watch_len),
-  // word-aligned, single page). Resident entries refill in place (no new
-  // subscription); new keys pass the k-hit filter, then pay one subscribe
-  // round trip. Call only with data the caller has just validated — caching
-  // an unvalidated value would make a stale read sticky.
+  // word-aligned, single page); `expected_watch_word` is the value of the
+  // range's first word as the caller observed it during the read that
+  // validated `payload` — every write that can change the key's value must
+  // change that word (bucket heads and blob length words satisfy this).
+  // Resident entries whose watch is unchanged refill in place (no new
+  // subscription); a resident entry whose watch moved rewatches (release +
+  // re-arm). New keys pass the k-hit filter, then pay one read-and-arm
+  // subscribe round trip; if the arm-time snapshot differs from
+  // `expected_watch_word`, a writer raced the admission and the entry
+  // enters invalid rather than serving a possibly stale value. Call only
+  // with data the caller has just validated — caching an unvalidated value
+  // would make a stale read sticky.
   void Admit(uint64_t key, std::span<const std::byte> payload, FarAddr watch,
-             uint64_t watch_len);
+             uint64_t watch_len, uint64_t expected_watch_word);
 
   // Writer-side local invalidation: a client that just mutated the watched
   // range kills its own entry immediately, so read-your-writes holds even
@@ -132,14 +158,26 @@ class NearCache : public NotificationSink {
   struct Entry {
     std::vector<std::byte> payload;
     SubId sub = kInvalidSubId;
+    // The subscribed range — kept so a refill can detect that the key's
+    // watch moved (bucket migrated by a split) and rewatch instead of
+    // staying subscribed to retired memory.
+    FarAddr watch = kNullFarAddr;
+    uint64_t watch_len = 0;
     bool valid = false;
   };
 
   uint64_t EntryCost(const Entry& e) const {
     return e.payload.size() + kEntryOverhead;
   }
-  // Unsubscribes and forgets one evicted entry.
-  void ReleaseEntry(Entry& entry);
+  // Read-and-arm subscribe on [watch, watch+watch_len): fills e.sub/e.watch,
+  // registers sub_to_key_, and sets e.valid from the snapshot comparison.
+  // Returns false (entry untouched beyond payload) if the range is
+  // unsubscribable.
+  bool ArmWatch(Entry& e, uint64_t key, FarAddr watch, uint64_t watch_len,
+                uint64_t expected_watch_word, const char* label_name);
+  // Unsubscribes and forgets one released entry; the label names the cause
+  // in the flight recorder ("cache.evict" eviction, "cache.rewatch" move).
+  void ReleaseEntry(Entry& entry, const char* label_name = "cache.evict");
   void EvictToBudget();
 
   FarClient* client_;

@@ -81,7 +81,10 @@ Result<std::vector<std::byte>> HtBlobStore::Get(uint64_t key,
   if (!chunk_hit) {
     FMDS_RETURN_IF_ERROR(client_->Read(blob, buf));  // 1 far access
     if (chunk_cache_ != nullptr) {
-      chunk_cache_->Admit(blob, buf, blob, kWordSize);
+      // Watch = the blob's own length word; the value just read doubles as
+      // the read-and-arm expectation (blobs are immutable, so the word only
+      // changes if the allocator recycles the region under us).
+      chunk_cache_->Admit(blob, buf, blob, kWordSize, LoadAs<uint64_t>(buf));
     }
   }
   const uint64_t len = LoadAs<uint64_t>(buf);
@@ -166,7 +169,8 @@ std::vector<Result<std::vector<std::byte>>> HtBlobStore::MultiGet(
         continue;
       }
       if (chunk_cache_ != nullptr) {
-        chunk_cache_->Admit(fetch.blob, fetch.buf, fetch.blob, kWordSize);
+        chunk_cache_->Admit(fetch.blob, fetch.buf, fetch.blob, kWordSize,
+                            LoadAs<uint64_t>(fetch.buf));
       }
       absorb_first_fetch(fetch.idx, fetch.blob, fetch.buf);
     }

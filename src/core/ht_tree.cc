@@ -58,7 +58,8 @@ bool HtTree::CacheLookupValue(uint64_t key, uint64_t* value) {
   return near_cache_->Lookup(key, AsBytes(*value));
 }
 
-void HtTree::CacheAdmitValue(uint64_t key, uint64_t value, FarAddr bucket) {
+void HtTree::CacheAdmitValue(uint64_t key, uint64_t value, FarAddr bucket,
+                             FarAddr head) {
   if (near_cache_ == nullptr) {
     return;
   }
@@ -66,8 +67,13 @@ void HtTree::CacheAdmitValue(uint64_t key, uint64_t value, FarAddr bucket) {
   // caching an unvalidated read would make a stale value sticky (same
   // lesson as the BatchPut hint rule below). Absent keys and tombstones
   // are not cached — negative entries would pin budget for keys the
-  // workload may never ask about again.
-  near_cache_->Admit(key, AsConstBytes(value), bucket, kWordSize);
+  // workload may never ask about again. `head` is the bucket word observed
+  // by the read that resolved this value: Admit's read-and-arm subscribe
+  // compares it against the word at arm time, so a bucket CAS racing the
+  // window between our read and the subscription cannot pin a stale value
+  // (every mutation swings the head to a freshly allocated item, so an
+  // unchanged head word means an unchanged chain).
+  near_cache_->Admit(key, AsConstBytes(value), bucket, kWordSize, head);
 }
 
 Result<HtTree> HtTree::Create(FarClient* client, FarAllocator* alloc,
@@ -422,7 +428,7 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
         if (tombstone) {
           return Status(StatusCode::kNotFound, "key removed");
         }
-        CacheAdmitValue(key, cursor.value, bucket);
+        CacheAdmitValue(key, cursor.value, bucket, head_addr);
         return cursor.value;
       }
       if (cursor.next == kNullFarAddr) {
@@ -565,7 +571,8 @@ void HtTree::BatchGet::Classify(Probe& probe) {
     } else {
       // Classify only sees version-checked fresh views (the kHead absorb
       // gates on the staleness check), so the binding is admissible.
-      map_->CacheAdmitValue(probe.key, item.value, probe.bucket);
+      // probe.head is the bucket word the kProbe wave observed.
+      map_->CacheAdmitValue(probe.key, item.value, probe.bucket, probe.head);
       results_[probe.idx] = item.value;
     }
     probe.stage = Stage::kDone;

@@ -266,7 +266,10 @@ class HtTree {
     }
   }
   // Offers a freshly resolved (version-checked) key -> value binding.
-  void CacheAdmitValue(uint64_t key, uint64_t value, FarAddr bucket);
+  // `head` is the bucket word observed by the resolving read (the
+  // read-and-arm race check — see CacheAdmitValue in ht_tree.cc).
+  void CacheAdmitValue(uint64_t key, uint64_t value, FarAddr bucket,
+                       FarAddr head);
   // Probe; on hit fills *value and returns true.
   bool CacheLookupValue(uint64_t key, uint64_t* value);
 

@@ -879,28 +879,30 @@ Status FarClient::WaitAll(std::vector<Completion>* out) {
 
 // ------------------------------ Notifications ------------------------------
 
-Result<SubId> FarClient::Subscribe(const NotifySpec& spec) {
+Result<SubId> FarClient::Subscribe(const NotifySpec& spec,
+                                   uint64_t* snapshot) {
   if (!IsWordAligned(spec.addr) || spec.len == 0) {
     return Status(StatusCode::kInvalidArgument,
                   "subscription must be word-aligned and non-empty");
   }
   FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(spec.addr));
   const SubId id = fabric_->NextSubId();
-  Status st =
-      fabric_->node(loc.node).Subscribe(loc.offset, spec, &channel_, id);
+  Status st = fabric_->node(loc.node).Subscribe(loc.offset, spec, &channel_,
+                                                id, snapshot);
   if (!st.ok()) {
     return st;
   }
   sub_homes_[id] = loc.node;
-  // Subscription setup message.
+  // Subscription setup message (the read-and-arm snapshot rides the reply).
   AccountRoundTrip(FarOpKind::kNotification, loc.node, spec.addr, kWordSize, 1,
                    0);
   return id;
 }
 
 Result<SubId> FarClient::Subscribe(const NotifySpec& spec,
-                                   NotificationSink* sink) {
-  FMDS_ASSIGN_OR_RETURN(SubId id, Subscribe(spec));
+                                   NotificationSink* sink,
+                                   uint64_t* snapshot) {
+  FMDS_ASSIGN_OR_RETURN(SubId id, Subscribe(spec, snapshot));
   if (sink != nullptr) {
     sinks_[id] = sink;
   }
@@ -931,15 +933,16 @@ size_t FarClient::DispatchNotifications() {
   AccountNear(1);
   size_t routed = 0;
   for (NotifyEvent& ev : channel_.Drain()) {
-    ++stats_.notifications;
-    if (obs_.enabled()) {
-      obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev.addr, ev.len,
-                    clock_.now_ns(), 0, true);
-    }
+    // Stats and obs are charged at the point of delivery, never at parking:
+    // a parked event is counted by the PollNotification()/WaitNotification()
+    // call that consumes it. Counting the drain itself would tally parked
+    // events twice whenever dispatch coexists with poll-style subscriptions
+    // (e.g. the near cache plus the HT-tree's split watch).
     if (ev.kind == NotifyEventKind::kLossWarning) {
       // No sub_id: an unknown number of events for unknown subscriptions
       // were dropped. Every sink must assume the worst, and poll-style
-      // subscribers still need to see the warning too.
+      // subscribers still need to see the warning too — the warning is
+      // parked for them and counted when they consume it.
       std::unordered_set<NotificationSink*> seen;
       for (const auto& [sub, sink] : sinks_) {
         if (seen.insert(sink).second) {
@@ -952,6 +955,11 @@ size_t FarClient::DispatchNotifications() {
     }
     auto it = sinks_.find(ev.sub_id);
     if (it != sinks_.end()) {
+      ++stats_.notifications;
+      if (obs_.enabled()) {
+        obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev.addr, ev.len,
+                      clock_.now_ns(), 0, true);
+      }
       it->second->OnNotify(ev);
       ++routed;
     } else {

@@ -167,11 +167,17 @@ class FarClient {
   Status WaitAll(std::vector<Completion>* out = nullptr);
 
   // ----------------------- Notifications (§4.3) -----------------------
-  Result<SubId> Subscribe(const NotifySpec& spec);
+  // Read-and-arm registration: if `snapshot` is non-null it receives the
+  // watched range's first word, read atomically with the registration on
+  // the memory node. A caller that validated data *before* subscribing
+  // compares the snapshot against the word it read: a mismatch means a
+  // write raced the registration window and the data must not be trusted.
+  Result<SubId> Subscribe(const NotifySpec& spec, uint64_t* snapshot = nullptr);
   // Subscribe with a dispatch target: events for this subscription are
   // routed to `sink` by DispatchNotifications() instead of surfacing
   // through PollNotification(). Same 1-RTT registration cost.
-  Result<SubId> Subscribe(const NotifySpec& spec, NotificationSink* sink);
+  Result<SubId> Subscribe(const NotifySpec& spec, NotificationSink* sink,
+                          uint64_t* snapshot = nullptr);
   Status Unsubscribe(SubId id);
   NotificationChannel& channel() { return channel_; }
   // Non-blocking; accounts one near access per poll and one notification
@@ -186,8 +192,10 @@ class FarClient {
   // observable through PollNotification()/WaitNotification(). Returns the
   // number of events routed to sinks. Accounting: checking an empty channel
   // is free (the local queue head is near state the client touches anyway);
-  // a non-empty drain charges one near access plus one notification stat
-  // per delivered event.
+  // a non-empty drain charges one near access, and each event bumps the
+  // notification stat exactly once, at the point it is delivered — sink
+  // routing here, or the PollNotification()/WaitNotification() call that
+  // later consumes a parked event. Parking is not delivery.
   size_t DispatchNotifications();
 
   // --------------------------- Ordering (§2) ---------------------------

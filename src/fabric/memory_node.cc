@@ -108,7 +108,8 @@ void MemoryNode::WriteRange(uint64_t offset, std::span<const std::byte> data,
 }
 
 Status MemoryNode::Subscribe(uint64_t offset, const NotifySpec& spec,
-                             NotificationChannel* channel, SubId id) {
+                             NotificationChannel* channel, SubId id,
+                             uint64_t* snapshot) {
   if (!IsWordAligned(offset) || spec.len == 0) {
     return InvalidArgument("notification range must be word-aligned");
   }
@@ -121,6 +122,15 @@ Status MemoryNode::Subscribe(uint64_t offset, const NotifySpec& spec,
   std::lock_guard<std::mutex> lock(sub_mu_);
   subs_.Add(offset, spec, channel, id);
   subs_active_.store(subs_.size(), std::memory_order_relaxed);
+  if (snapshot != nullptr) {
+    // Read-and-arm: the snapshot and the registration share this critical
+    // section. A concurrent writer's publish also takes sub_mu_, so its
+    // write is either already visible here (writer published before we
+    // registered, or will find us registered) — the subscriber can compare
+    // this word against the value it read before subscribing and treat any
+    // difference as a raced write.
+    *snapshot = WordRef(offset).load(std::memory_order_acquire);
+  }
   return OkStatus();
 }
 

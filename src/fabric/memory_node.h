@@ -48,8 +48,16 @@ class MemoryNode {
 
   // --- Notifications (§4.3). ---
   // spec.addr is the global address; `offset` its node-local location.
+  // Read-and-arm: if `snapshot` is non-null it receives the value of the
+  // range's first word, read inside the same critical section that
+  // registers the subscription. Writers publish under that lock too, so a
+  // concurrent write is either visible in the snapshot or delivered as a
+  // notification — never silently lost in between. Subscribers that cached
+  // a value read *before* subscribing compare the snapshot against what
+  // they read to detect a write that raced the registration.
   Status Subscribe(uint64_t offset, const NotifySpec& spec,
-                   NotificationChannel* channel, SubId id);
+                   NotificationChannel* channel, SubId id,
+                   uint64_t* snapshot = nullptr);
   bool Unsubscribe(SubId id);
   size_t subscription_count() const {
     return subs_active_.load(std::memory_order_relaxed);

@@ -107,12 +107,12 @@ TEST(NearCacheTest, ByteBudgetExactFit) {
   auto& client = env.NewClient();
   NearCache cache(&client, CacheOpts(2 * kEntryCost));
   uint64_t v1 = 111, v2 = 222, v3 = 333;
-  cache.Admit(1, AsConstBytes(v1), /*watch=*/64, kWordSize);
-  cache.Admit(2, AsConstBytes(v2), /*watch=*/128, kWordSize);
+  cache.Admit(1, AsConstBytes(v1), /*watch=*/64, kWordSize, /*expected=*/0);
+  cache.Admit(2, AsConstBytes(v2), /*watch=*/128, kWordSize, /*expected=*/0);
   EXPECT_EQ(cache.entries(), 2u);
   EXPECT_EQ(cache.bytes_used(), 2 * kEntryCost);
   EXPECT_EQ(cache.stats().evictions, 0u) << "two entries fit exactly";
-  cache.Admit(3, AsConstBytes(v3), /*watch=*/192, kWordSize);
+  cache.Admit(3, AsConstBytes(v3), /*watch=*/192, kWordSize, /*expected=*/0);
   EXPECT_EQ(cache.entries(), 2u) << "third entry forces an eviction";
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.bytes_used(), 2 * kEntryCost);
@@ -123,8 +123,8 @@ TEST(NearCacheTest, ByteBudgetOverByOneEvicts) {
   auto& client = env.NewClient();
   NearCache cache(&client, CacheOpts(2 * kEntryCost - 1));
   uint64_t v1 = 111, v2 = 222;
-  cache.Admit(1, AsConstBytes(v1), 64, kWordSize);
-  cache.Admit(2, AsConstBytes(v2), 128, kWordSize);
+  cache.Admit(1, AsConstBytes(v1), 64, kWordSize, 0);
+  cache.Admit(2, AsConstBytes(v2), 128, kWordSize, 0);
   EXPECT_EQ(cache.entries(), 1u) << "one byte short of two entries";
   EXPECT_EQ(cache.stats().evictions, 1u);
   uint64_t out = 0;
@@ -137,7 +137,7 @@ TEST(NearCacheTest, EntryLargerThanBudgetNeverAdmitted) {
   auto& client = env.NewClient();
   NearCache cache(&client, CacheOpts(kEntryCost - 1));
   uint64_t v = 7;
-  cache.Admit(1, AsConstBytes(v), 64, kWordSize);
+  cache.Admit(1, AsConstBytes(v), 64, kWordSize, 0);
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.stats().admissions, 0u);
 }
@@ -147,15 +147,15 @@ TEST(NearCacheTest, KHitAdmissionFilter) {
   auto& client = env.NewClient();
   NearCache cache(&client, CacheOpts(1 << 20, /*admit_after=*/3));
   uint64_t v = 42;
-  cache.Admit(1, AsConstBytes(v), 64, kWordSize);
-  cache.Admit(1, AsConstBytes(v), 64, kWordSize);
+  cache.Admit(1, AsConstBytes(v), 64, kWordSize, 0);
+  cache.Admit(1, AsConstBytes(v), 64, kWordSize, 0);
   EXPECT_EQ(cache.entries(), 0u) << "two sightings, threshold is three";
   EXPECT_EQ(cache.stats().admissions, 0u);
-  cache.Admit(1, AsConstBytes(v), 64, kWordSize);
+  cache.Admit(1, AsConstBytes(v), 64, kWordSize, 0);
   EXPECT_EQ(cache.entries(), 1u);
   EXPECT_EQ(cache.stats().admissions, 1u);
   // A different key starts its count from scratch.
-  cache.Admit(2, AsConstBytes(v), 128, kWordSize);
+  cache.Admit(2, AsConstBytes(v), 128, kWordSize, 0);
   EXPECT_EQ(cache.entries(), 1u);
 }
 
@@ -165,7 +165,7 @@ TEST(NearCacheTest, RefillAfterInvalidationSkipsResubscribe) {
   auto& writer = env.NewClient();
   NearCache cache(&reader, CacheOpts(1 << 20));
   uint64_t v = 100;
-  cache.Admit(1, AsConstBytes(v), 64, kWordSize);
+  cache.Admit(1, AsConstBytes(v), 64, kWordSize, 0);
   EXPECT_EQ(cache.stats().admissions, 1u);
 
   ASSERT_TRUE(writer.WriteWord(64, 5).ok());
@@ -175,9 +175,10 @@ TEST(NearCacheTest, RefillAfterInvalidationSkipsResubscribe) {
   EXPECT_FALSE(cache.Lookup(1, AsBytes(out))) << "invalidated entry misses";
 
   // The refill reuses the slot and the live subscription: zero far ops.
+  // (Expected word = 5: the value the refilling read would have observed.)
   const uint64_t far_before = reader.stats().far_ops;
   uint64_t v2 = 200;
-  cache.Admit(1, AsConstBytes(v2), 64, kWordSize);
+  cache.Admit(1, AsConstBytes(v2), 64, kWordSize, 5);
   EXPECT_EQ(reader.stats().far_ops, far_before) << "no subscribe round trip";
   EXPECT_EQ(cache.stats().refills, 1u);
   EXPECT_EQ(cache.stats().admissions, 1u) << "refill is not a new admission";
@@ -189,6 +190,77 @@ TEST(NearCacheTest, RefillAfterInvalidationSkipsResubscribe) {
   EXPECT_FALSE(cache.Lookup(1, AsBytes(out)));
 }
 
+TEST(NearCacheTest, RacedAdmissionEntersInvalid) {
+  // A write that lands between the caller's validated read and the
+  // subscribe registration publishes to nobody. The read-and-arm snapshot
+  // must catch it: the entry is admitted invalid instead of pinning the
+  // pre-write value forever (regression: admission used to subscribe after
+  // the read with no re-validation).
+  TestEnv env;
+  auto& reader = env.NewClient();
+  auto& writer = env.NewClient();
+  NearCache cache(&reader, CacheOpts(1 << 20));
+  // The racing write: the watched word is 7 by the time the subscribe
+  // arms, but the admitting caller read it as 0.
+  ASSERT_TRUE(writer.WriteWord(64, 7).ok());
+  uint64_t stale = 100;
+  cache.Admit(1, AsConstBytes(stale), 64, kWordSize, /*expected=*/0);
+  EXPECT_EQ(cache.entries(), 1u) << "the subscription is live";
+  EXPECT_EQ(cache.stats().admissions, 1u);
+  EXPECT_EQ(cache.stats().raced_admits, 1u);
+  uint64_t out = 0;
+  EXPECT_FALSE(cache.Lookup(1, AsBytes(out)))
+      << "the raced payload must never be served";
+  // The next miss refills under the now-active subscription and is
+  // trustworthy.
+  uint64_t fresh = 200;
+  cache.Admit(1, AsConstBytes(fresh), 64, kWordSize, 7);
+  EXPECT_EQ(cache.stats().refills, 1u);
+  EXPECT_TRUE(cache.Lookup(1, AsBytes(out)));
+  EXPECT_EQ(out, 200u);
+  // And coherence works from here on.
+  ASSERT_TRUE(writer.WriteWord(64, 8).ok());
+  reader.DispatchNotifications();
+  EXPECT_FALSE(cache.Lookup(1, AsBytes(out)));
+}
+
+TEST(NearCacheTest, RefillWithMovedWatchRewatches) {
+  // A key whose watched range moved (an HtTree split migrated it to a new
+  // table; the old one was retired and freed) must not keep the old
+  // subscription across the refill — it would watch dead memory and never
+  // see another relevant write (regression: the refill path used to ignore
+  // the watch argument entirely).
+  TestEnv env;
+  auto& reader = env.NewClient();
+  auto& writer = env.NewClient();
+  NearCache cache(&reader, CacheOpts(1 << 20));
+  uint64_t v = 100;
+  cache.Admit(1, AsConstBytes(v), /*watch=*/64, kWordSize, 0);
+  ASSERT_TRUE(writer.WriteWord(64, 5).ok());
+  EXPECT_EQ(reader.DispatchNotifications(), 1u);
+
+  // Refill at a NEW watch (the key's bucket moved to address 128).
+  uint64_t v2 = 200;
+  cache.Admit(1, AsConstBytes(v2), /*watch=*/128, kWordSize, 0);
+  EXPECT_EQ(cache.stats().rewatches, 1u);
+  EXPECT_EQ(cache.stats().admissions, 1u) << "a rewatch is not a new entry";
+  uint64_t out = 0;
+  EXPECT_TRUE(cache.Lookup(1, AsBytes(out)));
+  EXPECT_EQ(out, 200u);
+
+  // Writes to the RETIRED range are noise now: no event, no invalidation.
+  ASSERT_TRUE(writer.WriteWord(64, 6).ok());
+  EXPECT_EQ(reader.DispatchNotifications(), 0u);
+  EXPECT_TRUE(cache.Lookup(1, AsBytes(out))) << "old-range write is moot";
+
+  // Writes to the NEW range must invalidate — this is the bug the rewatch
+  // fixes: before, this write was never seen and the hit stayed stale.
+  ASSERT_TRUE(writer.WriteWord(128, 9).ok());
+  EXPECT_EQ(reader.DispatchNotifications(), 1u);
+  EXPECT_FALSE(cache.Lookup(1, AsBytes(out)))
+      << "cross-handle write to the new bucket must kill the entry";
+}
+
 TEST(NearCacheTest, LossWarningInvalidatesEverything) {
   TestEnv env;
   ClientOptions tiny;
@@ -197,8 +269,8 @@ TEST(NearCacheTest, LossWarningInvalidatesEverything) {
   auto& writer = env.NewClient();
   NearCache cache(&reader, CacheOpts(1 << 20));
   uint64_t v = 1;
-  cache.Admit(1, AsConstBytes(v), 64, kWordSize);
-  cache.Admit(2, AsConstBytes(v), 128, kWordSize);
+  cache.Admit(1, AsConstBytes(v), 64, kWordSize, 0);
+  cache.Admit(2, AsConstBytes(v), 128, kWordSize, 0);
   // Flood the two watched words past the channel capacity: some events are
   // dropped, so the channel reports a loss warning and the cache must
   // assume the worst about every entry.
@@ -222,7 +294,7 @@ TEST(NearCacheTest, DisabledCacheChargesNothing) {
   uint64_t out = 0;
   uint64_t v = 9;
   EXPECT_FALSE(cache.Lookup(1, AsBytes(out)));
-  cache.Admit(1, AsConstBytes(v), 64, kWordSize);
+  cache.Admit(1, AsConstBytes(v), 64, kWordSize, 0);
   EXPECT_EQ(cache.entries(), 0u);
   const ClientStats delta = client.stats().Delta(before);
   EXPECT_EQ(delta.near_ops, 0u) << "disabled probes are free";
@@ -235,7 +307,7 @@ TEST(NearCacheTest, LookupChargesOneNearAccessHitOrMiss) {
   auto& client = env.NewClient();
   NearCache cache(&client, CacheOpts(1 << 20));
   uint64_t v = 5, out = 0;
-  cache.Admit(1, AsConstBytes(v), 64, kWordSize);
+  cache.Admit(1, AsConstBytes(v), 64, kWordSize, 0);
   ClientStats before = client.stats();
   EXPECT_TRUE(cache.Lookup(1, AsBytes(out)));
   ClientStats delta = client.stats().Delta(before);
@@ -327,6 +399,28 @@ TEST(CacheCoherenceTest, SplitInvalidatesRetiredBuckets) {
   }
   EXPECT_GT(map->near_cache()->stats().invalidations, 0u)
       << "retired-bucket CASes must reach the cache";
+  // The post-split refills moved every key's bucket to a new table, so the
+  // cache must have rewatched — a refill that kept its retired-bucket
+  // subscription would be blind to every write below.
+  EXPECT_GT(map->near_cache()->stats().rewatches, 0u)
+      << "post-split refills must move their subscriptions";
+
+  // Regression for exactly that blindness: a SECOND handle now writes the
+  // keys through the post-split table. Its bucket CASes land in the new
+  // buckets; the first handle's cache only hears about them if its
+  // subscriptions followed the migration.
+  auto& writer_client = env.NewClient();
+  auto writer = HtTree::Attach(&writer_client, &env.alloc(), map->header(),
+                               CachedTables(/*buckets=*/64, /*depth=*/0));
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t k = 1; k <= 100; ++k) {
+    ASSERT_TRUE(writer->Put(k, k * 1000).ok());
+  }
+  for (uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_EQ(*map->Get(k), k * 1000)
+        << "key " << k << ": cross-handle write after the split must be "
+        << "seen — a stale hit means the entry still watches the old table";
+  }
 }
 
 TEST(CacheCoherenceTest, MultiGetServesHitsWithoutFarOps) {

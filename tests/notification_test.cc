@@ -211,6 +211,54 @@ TEST(NotifyTest, SubscriptionOnStripedNodeRoutesToOwner) {
   EXPECT_TRUE(watcher.PollNotification().has_value());
 }
 
+TEST(NotifyTest, SubscribeSnapshotReadsArmTimeWord) {
+  // Read-and-arm: the snapshot is the watched word at registration time,
+  // taken atomically with the registration. A subscriber that read the
+  // word *before* subscribing compares the two to detect a raced write.
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  ASSERT_TRUE(writer.WriteWord(64, 7).ok());
+  uint64_t snapshot = 123;
+  ASSERT_TRUE(watcher.Subscribe(OnWrite(64), &snapshot).ok());
+  EXPECT_EQ(snapshot, 7u) << "snapshot must reflect the pre-arm write";
+  // The pre-arm write produced no event; the next write does.
+  EXPECT_FALSE(watcher.PollNotification().has_value());
+  ASSERT_TRUE(writer.WriteWord(64, 8).ok());
+  EXPECT_TRUE(watcher.PollNotification().has_value());
+}
+
+struct CountingSink : NotificationSink {
+  int events = 0;
+  void OnNotify(const NotifyEvent&) override { ++events; }
+};
+
+TEST(NotifyTest, ParkedEventsCountedOnceAcrossDispatchAndPoll) {
+  // One client with a sink-routed subscription AND a poll-style one (the
+  // near cache plus the HT-tree's split watch, in miniature). The event
+  // parked by DispatchNotifications() must bump the notification stat only
+  // when PollNotification() delivers it — not once at the drain and again
+  // at the poll (regression: parked events were double-counted).
+  TestEnv env;
+  auto& writer = env.NewClient();
+  auto& watcher = env.NewClient();
+  CountingSink sink;
+  ASSERT_TRUE(watcher.Subscribe(OnWrite(64), &sink).ok());
+  ASSERT_TRUE(watcher.Subscribe(OnWrite(128)).ok());  // poll-style
+  ASSERT_TRUE(writer.WriteWord(64, 1).ok());
+  ASSERT_TRUE(writer.WriteWord(128, 2).ok());
+  EXPECT_EQ(watcher.DispatchNotifications(), 1u) << "only the sink event";
+  EXPECT_EQ(sink.events, 1);
+  EXPECT_EQ(watcher.stats().notifications, 1u)
+      << "the parked event is not yet delivered";
+  auto parked = watcher.PollNotification();
+  ASSERT_TRUE(parked.has_value());
+  EXPECT_EQ(parked->addr, 128u);
+  EXPECT_EQ(watcher.stats().notifications, 2u)
+      << "two events delivered, two counted — no double count";
+  EXPECT_FALSE(watcher.PollNotification().has_value());
+}
+
 TEST(NotifyChannelTest, DrainReturnsEverything) {
   NotificationChannel channel;
   for (int i = 0; i < 5; ++i) {
