@@ -1,0 +1,357 @@
+// E13 — optimistic multi-key transactions over ShardedMap (src/core/txn.*):
+// the paper's "far memory wants transactions built from one-sided CAS"
+// direction, measured as a transfer workload (YCSB-T shape: move one unit
+// between two accounts).
+//
+// Two claims, both enforced by the exit code:
+//   1. Batching: a txn moving B=4 transfers commits its 8-key read set in
+//      one doorbell (MultiGet probe wave) and its write set in two more
+//      (prepare, commit) — against the per-key sequential baseline
+//      (read a, read b, 2-RTT put a, 2-RTT put b = 6 dependent RTTs per
+//      transfer) that is >= 2x simulated throughput at 8 nodes under low
+//      contention.
+//   2. Liveness: at Zipf(0.99) skew with 4 concurrent clients (batch=1),
+//      the abort rate — aborted attempts / all attempts — stays < 25%, so
+//      OCC retries are a tax, not a wall.
+//
+// Flags: --smoke (tiny config for CI), --repeat=N (median-of-N),
+// --json=<path>.
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/sharded_map.h"
+#include "src/core/txn.h"
+
+namespace fmds {
+namespace {
+
+struct Config {
+  uint32_t nodes = 8;
+  uint32_t shards = 8;
+  uint64_t keys = 24000;
+  uint64_t buckets = 8192;  // low load factor: probes resolve at the head
+  int warmup_transfers = 1000;
+  int transfers = 12000;
+  // Contention rows (multi-threaded, batch=1).
+  uint32_t threads = 4;
+  int transfers_per_thread = 2000;
+};
+
+FabricOptions TxnFabric(uint32_t nodes) {
+  FabricOptions options;
+  options.num_nodes = nodes;
+  options.node_capacity = 256ull << 20;
+  return options;
+}
+
+ShardedMap::Options MapOptions(const Config& cfg) {
+  ShardedMap::Options options;
+  options.num_shards = cfg.shards;
+  options.shard.buckets_per_table = cfg.buckets;
+  return options;
+}
+
+constexpr uint64_t kInitialBalance = 1 << 20;
+
+// Draws `n` distinct keys into `out`.
+void DrawKeys(Rng& rng, uint64_t key_space, size_t n,
+              std::vector<uint64_t>* out) {
+  out->clear();
+  while (out->size() < n) {
+    const uint64_t k = rng.NextBelow(key_space) + 1;
+    bool dup = false;
+    for (uint64_t other : *out) {
+      dup |= other == k;
+    }
+    if (!dup) {
+      out->push_back(k);
+    }
+  }
+}
+
+struct RunResult {
+  double transfers_per_sec = 0.0;
+  double far_per_transfer = 0.0;
+  double abort_rate = 0.0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+};
+
+// Per-key sequential baseline: the transfer every far-memory KV supports
+// today — two dependent reads, then two 2-RTT stores, no atomicity.
+RunResult RunBaseline(const Config& cfg, uint64_t seed) {
+  BenchEnv env(TxnFabric(cfg.nodes));
+  FarClient& client = env.NewClient();
+  ShardedMap map = CheckOk(
+      ShardedMap::Create(&client, &env.alloc(), MapOptions(cfg)), "create");
+  for (uint64_t k = 1; k <= cfg.keys; ++k) {
+    CheckOk(map.Put(k, kInitialBalance), "preload");
+  }
+  Rng rng(seed);
+  std::vector<uint64_t> pair;
+  const auto transfer = [&] {
+    DrawKeys(rng, cfg.keys, 2, &pair);
+    const uint64_t from = CheckOk(map.Get(pair[0]), "get");
+    const uint64_t to = CheckOk(map.Get(pair[1]), "get");
+    CheckOk(map.Put(pair[0], from - 1), "put");
+    CheckOk(map.Put(pair[1], to + 1), "put");
+  };
+  for (int i = 0; i < cfg.warmup_transfers; ++i) {
+    transfer();
+  }
+  const ClientStats before = client.stats();
+  const uint64_t t0 = client.clock().now_ns();
+  for (int i = 0; i < cfg.transfers; ++i) {
+    transfer();
+  }
+  const ClientStats delta = client.stats().Delta(before);
+  const uint64_t elapsed = client.clock().now_ns() - t0;
+
+  RunResult r;
+  r.transfers_per_sec = cfg.transfers * 1e9 / static_cast<double>(elapsed);
+  r.far_per_transfer = static_cast<double>(delta.far_ops) / cfg.transfers;
+  return r;
+}
+
+// Txn mode: B transfers (2B distinct keys) per transaction. The read set
+// rides one MultiGet doorbell; commit adds prepare + commit doorbells.
+RunResult RunTxnMode(const Config& cfg, int batch, uint64_t seed) {
+  BenchEnv env(TxnFabric(cfg.nodes));
+  FarClient& client = env.NewClient();
+  ShardedMap map = CheckOk(
+      ShardedMap::Create(&client, &env.alloc(), MapOptions(cfg)), "create");
+  for (uint64_t k = 1; k <= cfg.keys; ++k) {
+    CheckOk(map.Put(k, kInitialBalance), "preload");
+  }
+  Rng rng(seed);
+  TxnOptions topt;
+  topt.seed = seed;
+  std::vector<uint64_t> keys;
+  const auto run_batch = [&] {
+    DrawKeys(rng, cfg.keys, 2 * batch, &keys);
+    CheckOk(RunTxn(&map, topt,
+                   [&](Txn& txn) -> Status {
+                     auto values = txn.MultiGet(keys);
+                     for (auto& v : values) {
+                       FMDS_RETURN_IF_ERROR(v.status());
+                     }
+                     for (int b = 0; b < batch; ++b) {
+                       FMDS_RETURN_IF_ERROR(
+                           txn.Put(keys[2 * b], *values[2 * b] - 1));
+                       FMDS_RETURN_IF_ERROR(
+                           txn.Put(keys[2 * b + 1], *values[2 * b + 1] + 1));
+                     }
+                     return OkStatus();
+                   }),
+            "txn");
+  };
+  for (int i = 0; i < cfg.warmup_transfers / batch; ++i) {
+    run_batch();
+  }
+  const ClientStats before = client.stats();
+  const uint64_t t0 = client.clock().now_ns();
+  const int batches = cfg.transfers / batch;
+  for (int i = 0; i < batches; ++i) {
+    run_batch();
+  }
+  const ClientStats delta = client.stats().Delta(before);
+  const uint64_t elapsed = client.clock().now_ns() - t0;
+
+  RunResult r;
+  const int transfers = batches * batch;
+  r.transfers_per_sec = transfers * 1e9 / static_cast<double>(elapsed);
+  r.far_per_transfer = static_cast<double>(delta.far_ops) / transfers;
+  r.commits = delta.txn_commits;
+  r.aborts = delta.txn_aborts;
+  const uint64_t attempts = r.commits + r.aborts;
+  r.abort_rate =
+      attempts > 0 ? static_cast<double>(r.aborts) / attempts : 0.0;
+  return r;
+}
+
+// Contention row: `threads` concurrent clients, batch=1, Zipf-skewed
+// account choice. Throughput here is wall-clock (threads really race);
+// the interesting number is the abort rate.
+RunResult RunContention(const Config& cfg, double theta, uint64_t seed) {
+  BenchEnv env(TxnFabric(cfg.nodes));
+  std::vector<FarClient*> clients;
+  for (uint32_t t = 0; t < cfg.threads + 1; ++t) {
+    clients.push_back(&env.NewClient());
+  }
+  ShardedMap root = CheckOk(
+      ShardedMap::Create(clients[0], &env.alloc(), MapOptions(cfg)),
+      "create");
+  for (uint64_t k = 1; k <= cfg.keys; ++k) {
+    CheckOk(root.Put(k, kInitialBalance), "preload");
+  }
+  std::vector<std::unique_ptr<ShardedMap>> maps;
+  for (uint32_t t = 0; t < cfg.threads; ++t) {
+    maps.push_back(std::make_unique<ShardedMap>(
+        CheckOk(ShardedMap::Attach(clients[t + 1], &env.alloc(),
+                                   root.directory(), MapOptions(cfg)),
+                "attach")));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      ShardedMap& map = *maps[t];
+      ZipfGenerator zipf(cfg.keys, theta, seed + 31 * t);
+      TxnOptions topt;
+      topt.max_attempts = 64;
+      topt.seed = seed ^ (t + 1);
+      for (int i = 0; i < cfg.transfers_per_thread; ++i) {
+        uint64_t from = zipf.Next() + 1;
+        uint64_t to = zipf.Next() + 1;
+        while (to == from) {
+          to = zipf.Next() + 1;
+        }
+        CheckOk(RunTxn(&map, topt,
+                       [&](Txn& txn) -> Status {
+                         FMDS_ASSIGN_OR_RETURN(uint64_t a, txn.Get(from));
+                         FMDS_ASSIGN_OR_RETURN(uint64_t b, txn.Get(to));
+                         FMDS_RETURN_IF_ERROR(txn.Put(from, a - 1));
+                         FMDS_RETURN_IF_ERROR(txn.Put(to, b + 1));
+                         return OkStatus();
+                       }),
+                "contended txn");
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  RunResult r;
+  for (uint32_t t = 0; t < cfg.threads; ++t) {
+    r.commits += clients[t + 1]->stats().txn_commits;
+    r.aborts += clients[t + 1]->stats().txn_aborts;
+  }
+  const uint64_t attempts = r.commits + r.aborts;
+  r.abort_rate =
+      attempts > 0 ? static_cast<double>(r.aborts) / attempts : 0.0;
+  r.transfers_per_sec =
+      wall > 0.0 ? cfg.threads * cfg.transfers_per_thread / wall : 0.0;
+  return r;
+}
+
+}  // namespace
+}  // namespace fmds
+
+int main(int argc, char** argv) {
+  using namespace fmds;
+
+  const bool smoke = FlagPresent(argc, argv, "--smoke");
+  const int repeat = RepeatArg(argc, argv);
+
+  Config cfg;
+  std::vector<double> thetas{0.0, 0.8, 0.99};
+  if (smoke) {
+    cfg.keys = 4000;
+    cfg.buckets = 2048;
+    cfg.warmup_transfers = 200;
+    cfg.transfers = 2000;
+    cfg.threads = 2;
+    cfg.transfers_per_thread = 400;
+    thetas = {0.99};
+  }
+
+  BenchJson json;
+  Table table({"mode", "batch", "theta", "threads", "Ktps", "far/transfer",
+               "abort%", "commits"});
+
+  // --- Claim 1: batched txns vs the sequential per-key baseline ---
+  double base_tps = 0.0;
+  double batch4_tps = 0.0;
+  for (int mode = 0; mode < 3; ++mode) {
+    std::vector<double> samples;
+    RunResult r;
+    for (int rep = 0; rep < repeat; ++rep) {
+      const uint64_t seed = 17 + 101 * rep;
+      r = mode == 0 ? RunBaseline(cfg, seed)
+                    : RunTxnMode(cfg, mode == 1 ? 1 : 4, seed);
+      samples.push_back(r.transfers_per_sec);
+    }
+    r.transfers_per_sec = Median(samples);
+    const char* name =
+        mode == 0 ? "baseline" : (mode == 1 ? "txn" : "txn");
+    const int batch = mode == 0 ? 0 : (mode == 1 ? 1 : 4);
+    if (mode == 0) {
+      base_tps = r.transfers_per_sec;
+    }
+    if (mode == 2) {
+      batch4_tps = r.transfers_per_sec;
+    }
+    table.AddRow({Table::Cell(name), Table::Cell(uint64_t(batch)),
+                  Table::Cell(0.0, 2), Table::Cell(uint64_t(1)),
+                  Table::Cell(r.transfers_per_sec / 1e3, 1),
+                  Table::Cell(r.far_per_transfer, 2),
+                  Table::Cell(100.0 * r.abort_rate, 1),
+                  Table::Cell(r.commits)});
+    json.Begin(std::string(name) + ",batch=" + std::to_string(batch));
+    json.Str("mode", name);
+    json.Int("batch", static_cast<uint64_t>(batch));
+    json.Int("nodes", cfg.nodes);
+    json.Int("keys", cfg.keys);
+    json.Int("threads", 1);
+    json.Int("repeat", static_cast<uint64_t>(repeat));
+    json.Num("transfers_per_sec", r.transfers_per_sec);
+    json.Num("far_accesses_per_transfer", r.far_per_transfer);
+    json.Num("abort_rate", r.abort_rate, 4);
+    json.Int("commits", r.commits);
+    json.Int("aborts", r.aborts);
+  }
+
+  // --- Claim 2: abort rate vs contention (multi-threaded, batch=1) ---
+  double abort99 = 1.0;
+  for (double theta : thetas) {
+    const RunResult r = RunContention(cfg, theta, 23);
+    if (theta == 0.99) {
+      abort99 = r.abort_rate;
+    }
+    table.AddRow({Table::Cell("contend"), Table::Cell(uint64_t(1)),
+                  Table::Cell(theta, 2), Table::Cell(uint64_t(cfg.threads)),
+                  Table::Cell(r.transfers_per_sec / 1e3, 1),
+                  Table::Cell(0.0, 2), Table::Cell(100.0 * r.abort_rate, 1),
+                  Table::Cell(r.commits)});
+    char theta_name[48];
+    std::snprintf(theta_name, sizeof(theta_name), "contention,theta=%.2f",
+                  theta);
+    json.Begin(theta_name);
+    json.Str("mode", "contention");
+    json.Int("batch", 1);
+    json.Num("theta", theta);
+    json.Int("threads", cfg.threads);
+    json.Int("keys", cfg.keys);
+    json.Num("wall_transfers_per_sec", r.transfers_per_sec);
+    json.Num("abort_rate", r.abort_rate, 4);
+    json.Int("commits", r.commits);
+    json.Int("aborts", r.aborts);
+  }
+
+  table.Print(std::cout,
+              "E13: multi-key optimistic transactions (transfer workload, "
+              "8-node simulated fabric)");
+
+  const double speedup = base_tps > 0.0 ? batch4_tps / base_tps : 0.0;
+  std::cout << "\nsummary: txn(batch=4)/sequential-baseline = " << speedup
+            << "x (target >= 2x); abort@theta0.99 = " << 100.0 * abort99
+            << "% (target < 25%)\n";
+  json.Begin("headline");
+  json.Num("speedup_batch4_vs_baseline", speedup, 4);
+  json.Num("speedup_target", 2.0);
+  json.Num("abort_rate_theta099", abort99, 4);
+  json.Num("abort_rate_target", 0.25);
+
+  json.Write(JsonOutputPath(argc, argv, "BENCH_e13.json"));
+  return (speedup >= 2.0 && abort99 < 0.25) ? 0 : 1;
+}

@@ -17,8 +17,9 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 SANITIZER_TARGETS=(fabric_test fabric_edge_test async_client_test
-  notification_test sharded_map_test obs_test cache_test)
-SANITIZER_FILTER='Fabric|AsyncClient|Notif|ShardedMap|Obs|Trace|OpLabel|NearCache|ClockRing|Cache'
+  notification_test sharded_map_test obs_test cache_test txn_test
+  txn_serializability_test)
+SANITIZER_FILTER='Fabric|AsyncClient|Notif|ShardedMap|Obs|Trace|OpLabel|NearCache|ClockRing|Cache|Txn|Serializ'
 
 echo "==> normal build"
 cmake -B build -S . >/dev/null

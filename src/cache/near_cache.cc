@@ -22,6 +22,11 @@ NearCache::NearCache(FarClient* client, NearCacheOptions options)
 NearCache::~NearCache() { Clear(); }
 
 bool NearCache::Lookup(uint64_t key, std::span<std::byte> out) {
+  return LookupWatch(key, out, nullptr, nullptr);
+}
+
+bool NearCache::LookupWatch(uint64_t key, std::span<std::byte> out,
+                            FarAddr* watch, uint64_t* watch_word) {
   if (!enabled()) {
     return false;
   }
@@ -34,6 +39,12 @@ bool NearCache::Lookup(uint64_t key, std::span<std::byte> out) {
     if (e.valid && e.payload.size() == out.size()) {
       ring_.Touch(slot);
       std::memcpy(out.data(), e.payload.data(), out.size());
+      if (watch != nullptr) {
+        *watch = e.watch;
+      }
+      if (watch_word != nullptr) {
+        *watch_word = e.watch_word;
+      }
       ++stats_.hits;
       ++client_->mutable_stats().cache_hits;
       client_->recorder().RecordCacheHit();
@@ -65,6 +76,7 @@ bool NearCache::ArmWatch(Entry& e, uint64_t key, FarAddr watch,
   }
   e.watch = watch;
   e.watch_len = watch_len;
+  e.watch_word = snapshot;
   sub_to_key_[e.sub] = key;
   // Read-and-arm check: the payload was read *before* the subscription
   // existed. If the watched word moved in that window, a writer raced the
@@ -102,6 +114,7 @@ void NearCache::Admit(uint64_t key, std::span<const std::byte> payload,
       // trip is paid — this is what makes invalidation cheap to recover
       // from. (A write racing the refill has already published into our
       // channel; the next dispatch kills the entry again.)
+      e.watch_word = expected_watch_word;
       e.valid = true;
       ++stats_.refills;
     } else {
@@ -176,6 +189,41 @@ void NearCache::Invalidate(uint64_t key) {
   client_->recorder().RecordCacheInvalidation();
 }
 
+void NearCache::Refill(uint64_t key, std::span<const std::byte> payload,
+                       FarAddr watch, uint64_t watch_len,
+                       uint64_t watch_word) {
+  if (!enabled()) {
+    return;
+  }
+  const size_t slot = ring_.Find(key);
+  if (slot == ClockRing<Entry>::npos) {
+    return;  // not resident: admission stays a read-path decision
+  }
+  Entry& e = ring_.value(slot);
+  if (e.watch != watch || e.watch_len != watch_len) {
+    // The key's watched range moved under this entry (split migration).
+    // Rewatching costs unsubscribe + subscribe round trips, which the
+    // write path must not pay — kill the entry and let a read re-admit.
+    Invalidate(key);
+    return;
+  }
+  if (!options_.word_versioned) {
+    // Without word versioning the echo of the writer's own CAS would kill
+    // this refill at the next dispatch; keeping the entry valid until then
+    // would serve hits that die unpredictably. Degrade to invalidation.
+    Invalidate(key);
+    return;
+  }
+  bytes_used_ -= EntryCost(e);
+  e.payload.assign(payload.begin(), payload.end());
+  e.watch_word = watch_word;
+  e.valid = true;
+  bytes_used_ += EntryCost(e);
+  ring_.Touch(slot);
+  ++stats_.writer_refills;
+  EvictToBudget();
+}
+
 void NearCache::InvalidateAll() {
   ring_.ForEach([this](uint64_t, Entry& e) {
     if (e.valid) {
@@ -196,9 +244,26 @@ void NearCache::OnNotify(const NotifyEvent& event) {
     return;
   }
   auto it = sub_to_key_.find(event.sub_id);
-  if (it != sub_to_key_.end()) {
-    Invalidate(it->second);
+  if (it == sub_to_key_.end()) {
+    return;
   }
+  if (options_.word_versioned) {
+    // The event carries the watched word's state-at-publish value. If it
+    // equals the word this entry was filled under, the write the event
+    // reports *is* the write that produced the cached value (typically our
+    // own refilled Put) — the entry is current, keep it. Coalesced events
+    // carry the latest word, and an event stream always ends with the
+    // current value, so a kept-stale window closes at the final event.
+    const size_t slot = ring_.Find(it->second);
+    if (slot != ClockRing<Entry>::npos) {
+      Entry& e = ring_.value(slot);
+      if (e.valid && e.watch == event.addr && e.watch_word == event.word) {
+        ++stats_.word_confirms;
+        return;
+      }
+    }
+  }
+  Invalidate(it->second);
 }
 
 void NearCache::ReleaseEntry(Entry& entry, const char* label_name) {

@@ -66,6 +66,15 @@ struct NearCacheOptions {
   DeliveryPolicy policy = DeliveryPolicy::Reliable();
   // Capacity of the admission filter's own CLOCK ring (miss counters).
   size_t filter_slots = 4096;
+  // Word-versioned coherence: treat the watched word as a version — every
+  // state of the watched range maps to a distinct word value that is never
+  // reused (HT-tree bucket heads qualify: item slots are never recycled and
+  // freed tables are quarantined). When set, a notification whose
+  // state-at-publish word equals the word the entry was filled under
+  // CONFIRMS the entry instead of killing it — which is what lets a writer
+  // refill its own entry at Put exit and survive the echo of its own CAS.
+  // Leave false for ranges whose words can repeat (e.g. blob length words).
+  bool word_versioned = false;
 };
 
 struct NearCacheStats {
@@ -80,6 +89,10 @@ struct NearCacheStats {
                                // unsubscribe + subscribe RTTs)
   uint64_t raced_admits = 0;   // admissions whose arm-time snapshot differed
                                // from the validated read (entered invalid)
+  uint64_t writer_refills = 0; // Refill() fills from a writer's own value
+                               // (zero far round trips)
+  uint64_t word_confirms = 0;  // notifications whose word matched the
+                               // entry's fill word (entry kept valid)
 
   void Add(const NearCacheStats& other) {
     hits += other.hits;
@@ -91,6 +104,8 @@ struct NearCacheStats {
     loss_resets += other.loss_resets;
     rewatches += other.rewatches;
     raced_admits += other.raced_admits;
+    writer_refills += other.writer_refills;
+    word_confirms += other.word_confirms;
   }
   double HitRatio() const {
     const uint64_t lookups = hits + misses;
@@ -117,6 +132,16 @@ class NearCache : public NotificationSink {
   // NearCacheStats, ClientStats, and the flight recorder's current label.
   bool Lookup(uint64_t key, std::span<std::byte> out);
 
+  // Lookup variant for transactional reads: a hit additionally reports the
+  // watched far range's first word address and the word value the entry was
+  // filled under, so the caller can record a validatable (address, word)
+  // pair in its read set. A txn that validates against this word detects
+  // every concurrent write — even one whose invalidation notification is
+  // still queued — because any such write changed the watched word.
+  // Accounting matches Lookup (one near access, hit/miss counters).
+  bool LookupWatch(uint64_t key, std::span<std::byte> out, FarAddr* watch,
+                   uint64_t* watch_word);
+
   // Offers freshly validated far data for caching. `watch` is the far
   // range whose writes must invalidate this entry ([watch, watch+watch_len),
   // word-aligned, single page); `expected_watch_word` is the value of the
@@ -138,6 +163,19 @@ class NearCache : public NotificationSink {
   // range kills its own entry immediately, so read-your-writes holds even
   // under lossy delivery policies.
   void Invalidate(uint64_t key);
+
+  // Writer-side refill: a client that just installed `payload` under a
+  // successful CAS that left the watched word equal to `watch_word` re-fills
+  // its own resident entry in place — zero far round trips, versus the read
+  // RTT a miss-then-refill would pay. Only meaningful with word_versioned
+  // (the echo of the writer's own CAS then *confirms* the entry instead of
+  // killing it; without word versioning the refill would die on its own
+  // notification). Resident same-watch entries refill; a resident entry
+  // whose watch moved is invalidated (rewatching would cost round trips the
+  // write path must not pay); absent keys are ignored (admission stays a
+  // read-path, filter-gated decision).
+  void Refill(uint64_t key, std::span<const std::byte> payload, FarAddr watch,
+              uint64_t watch_len, uint64_t watch_word);
 
   // Marks every entry invalid (subscriptions and slots survive for refill).
   void InvalidateAll();
@@ -163,6 +201,10 @@ class NearCache : public NotificationSink {
     // staying subscribed to retired memory.
     FarAddr watch = kNullFarAddr;
     uint64_t watch_len = 0;
+    // Value of the watched range's first word at the time the payload was
+    // validated — the entry's version under word_versioned coherence, and
+    // the word LookupWatch hands to transactional readers.
+    uint64_t watch_word = 0;
     bool valid = false;
   };
 

@@ -47,6 +47,11 @@ HtTree::HtTree(FarClient* client, FarAllocator* alloc, FarAddr header,
                Options options)
     : client_(client), alloc_(alloc), header_(header), options_(options) {
   if (options_.cache.budget_bytes > 0) {
+    // Bucket words are true versions — every mutation swings them to a
+    // freshly allocated, never-reused address — so the cache can use
+    // word-versioned coherence: a writer refills its own entry at Put exit
+    // and the echo of its CAS confirms instead of killing it.
+    options_.cache.word_versioned = true;
     near_cache_ = std::make_unique<NearCache>(client_, options_.cache);
   }
 }
@@ -397,10 +402,17 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
       return head.status();
     }
     head_addr = *head;
-    if (options_.use_head_hints) {
+    client_->AccountNear(1);
+    // A pending head is a transaction's lock record (only ever at the
+    // head); the pre-transaction chain hangs off its `next`. The walk
+    // resolves that view wait-free, but the pending address must never
+    // become a CAS-prediction hint (a Put predicting it would steal the
+    // lock) or a cache watch word (a txn validating against it would miss
+    // the commit).
+    const bool head_pending = (item.meta & kFlagPending) != 0;
+    if (options_.use_head_hints && !head_pending) {
       head_hints_.Upsert(bucket, head_addr);
     }
-    client_->AccountNear(1);
     if ((item.meta & kFlagRetired) != 0 ||
         VersionOf(item.meta) != leaf.version) {
       FMDS_RETURN_IF_ERROR(RefreshPath(hash));
@@ -411,6 +423,10 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
     uint64_t chain_len = 0;
     FarAddr cursor_addr = head_addr;
     Item cursor = item;
+    if (head_pending) {
+      cursor_addr = cursor.next;
+      FMDS_RETURN_IF_ERROR(ReadItem(cursor_addr, &cursor));
+    }
     while (true) {
       if ((cursor.meta & kFlagSentinel) != 0) {
         // End of chain (or empty bucket): definitive miss in one access
@@ -428,7 +444,9 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
         if (tombstone) {
           return Status(StatusCode::kNotFound, "key removed");
         }
-        CacheAdmitValue(key, cursor.value, bucket, head_addr);
+        if (!head_pending) {
+          CacheAdmitValue(key, cursor.value, bucket, head_addr);
+        }
         return cursor.value;
       }
       if (cursor.next == kNullFarAddr) {
@@ -441,6 +459,101 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
     }
   }
   return Status(StatusCode::kAborted, "get retries exhausted");
+}
+
+Result<HtTree::TxnReadView> HtTree::TxnRead(uint64_t key, bool allow_cache) {
+  ScopedOpLabel label(&client_->recorder(), "txn.read");
+  ++op_stats_.gets;
+  DispatchCacheInvalidations();
+  if (allow_cache && near_cache_ != nullptr) {
+    // Zero-far-op fast path: a valid entry carries the bucket it watches
+    // AND the word it was filled under, so the hit is a validatable read —
+    // commit-time word equality catches any concurrent write even if its
+    // invalidation notification is still queued.
+    uint64_t cached_value = 0;
+    FarAddr watch = kNullFarAddr;
+    uint64_t watch_word = 0;
+    if (near_cache_->LookupWatch(key, AsBytes(cached_value), &watch,
+                                 &watch_word)) {
+      TxnReadView view;
+      view.found = true;
+      view.value = cached_value;
+      view.bucket = watch;
+      view.head_word = watch_word;
+      return view;
+    }
+  }
+  const uint64_t hash = Mix64(key);
+  for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
+    const int32_t li = DescendCached(hash);
+    const CachedNode leaf = nodes_[li];
+    const FarAddr bucket = BucketAddr(leaf.table, BucketIndex(hash));
+    Item item;
+    Result<FarAddr> head = Status(StatusCode::kInternal, "unset");
+    if (options_.use_indirect) {
+      head = client_->Load0(bucket, AsBytes(item));
+    } else {
+      auto ptr = client_->ReadWord(bucket);
+      if (ptr.ok()) {
+        Status read = ReadItem(*ptr, &item);
+        head = read.ok() ? Result<FarAddr>(*ptr) : Result<FarAddr>(read);
+      } else {
+        head = ptr.status();
+      }
+    }
+    if (!head.ok()) {
+      return head.status();
+    }
+    const FarAddr head_addr = *head;
+    client_->AccountNear(1);
+    if ((item.meta & kFlagPending) != 0) {
+      // Another transaction holds this bucket pending. Unlike Get, a txn
+      // read must NOT resolve the pre-transaction view: the only word it
+      // could record would be the lock record's address, and validating
+      // against that would certify a read the in-flight commit is about to
+      // overwrite (write skew). Wait for a clean head instead.
+      StaleBackoff(attempt);
+      continue;
+    }
+    if (options_.use_head_hints) {
+      head_hints_.Upsert(bucket, head_addr);
+    }
+    if ((item.meta & kFlagRetired) != 0 ||
+        VersionOf(item.meta) != leaf.version) {
+      FMDS_RETURN_IF_ERROR(RefreshPath(hash));
+      StaleBackoff(attempt);
+      continue;
+    }
+    // Fresh, clean view: walk the chain. A miss is a successful view —
+    // negative reads participate in validation with the same word.
+    TxnReadView view;
+    view.bucket = bucket;
+    view.head_word = head_addr;
+    view.version = leaf.version;
+    view.versioned = true;
+    FarAddr cursor_addr = head_addr;
+    Item cursor = item;
+    while (true) {
+      if ((cursor.meta & kFlagSentinel) != 0) {
+        return view;  // found = false
+      }
+      if (cursor.key == key) {
+        if ((cursor.meta & kFlagTombstone) == 0) {
+          view.found = true;
+          view.value = cursor.value;
+          CacheAdmitValue(key, cursor.value, bucket, head_addr);
+        }
+        return view;
+      }
+      if (cursor.next == kNullFarAddr) {
+        return view;  // found = false
+      }
+      cursor_addr = cursor.next;
+      FMDS_RETURN_IF_ERROR(ReadItem(cursor_addr, &cursor));
+      ++op_stats_.chain_hops;
+    }
+  }
+  return Aborted("txn read waited out a pending bucket");
 }
 
 HtTree::CompletionMap HtTree::ToCompletionMap(
@@ -547,6 +660,14 @@ void HtTree::BatchGet::AbsorbWave(const CompletionMap& done) {
           probe.stage = Stage::kStale;
           break;
         }
+        if ((probe.item.meta & kFlagPending) != 0) {
+          // Transaction lock record at the head: the pre-transaction chain
+          // hangs off its `next`; resolve that view via the walk stage and
+          // keep it out of the cache (see Get).
+          probe.pending_seen = true;
+          probe.stage = Stage::kWalk;
+          break;
+        }
         Classify(probe);
         break;
       case Stage::kWalk:
@@ -571,8 +692,13 @@ void HtTree::BatchGet::Classify(Probe& probe) {
     } else {
       // Classify only sees version-checked fresh views (the kHead absorb
       // gates on the staleness check), so the binding is admissible.
-      // probe.head is the bucket word the kProbe wave observed.
-      map_->CacheAdmitValue(probe.key, item.value, probe.bucket, probe.head);
+      // probe.head is the bucket word the kProbe wave observed — unless a
+      // pending lock record sat there, in which case it must not become a
+      // cache watch word.
+      if (!probe.pending_seen) {
+        map_->CacheAdmitValue(probe.key, item.value, probe.bucket,
+                              probe.head);
+      }
       results_[probe.idx] = item.value;
     }
     probe.stage = Stage::kDone;
@@ -635,11 +761,17 @@ Status HtTree::Put(uint64_t key, uint64_t value) {
       if (options_.use_head_hints) {
         head_hints_.Upsert(bucket, slot);
       }
-      // Read-your-writes insurance: the CAS published a notification that
-      // the next dispatch would deliver anyway (Reliable policy), but a
-      // local kill of this key's entry holds even under lossy policies.
+      // Writer-side refill (zero far round trips): the writer holds the
+      // fresh value and its CAS left the bucket word equal to `slot`, so a
+      // resident entry refills in place instead of dying and paying a read
+      // RTT on the next lookup. Word-versioned coherence makes this safe:
+      // the echo of our own CAS confirms the entry (event word == slot),
+      // while any later writer's event carries a different word and kills
+      // it. Non-resident keys are untouched; a moved watch degrades to the
+      // old invalidate, so read-your-writes holds in every case.
       if (near_cache_ != nullptr) {
-        near_cache_->Invalidate(key);
+        near_cache_->Refill(key, AsConstBytes(value), bucket, kWordSize,
+                            slot);
       }
       // Split once this handle's inserts into the table reach load factor
       // ~1/2: most buckets hold at most one item, so lookups stay at one
@@ -656,6 +788,13 @@ Status HtTree::Put(uint64_t key, uint64_t value) {
     // Misprediction: inspect the actual head for staleness.
     Item head;
     FMDS_RETURN_IF_ERROR(ReadItem(old, &head));
+    if ((head.meta & kFlagPending) != 0) {
+      // A transaction holds the bucket pending. Only its owner may change
+      // the word (commit or rollback), so adopting `old` as the prediction
+      // would steal the lock — wait it out instead.
+      StaleBackoff(attempt);
+      continue;
+    }
     if ((head.meta & kFlagRetired) != 0 ||
         VersionOf(head.meta) != leaf.version) {
       FMDS_RETURN_IF_ERROR(RefreshPath(hash));
@@ -760,8 +899,10 @@ void HtTree::BatchPut::AbsorbWave(const CompletionMap& done) {
     if (map_->options_.use_head_hints) {
       map_->head_hints_.Upsert(op.bucket, op.slot);
     }
+    // Writer-side refill, same rationale as the sync Put's.
     if (map_->near_cache_ != nullptr) {
-      map_->near_cache_->Invalidate(op.key);
+      map_->near_cache_->Refill(op.key, AsConstBytes(op.value), op.bucket,
+                                kWordSize, op.slot);
     }
     const uint64_t estimate = ++map_->collision_estimate_[op.leaf.table];
     map_->client_->AccountNear(1);
@@ -854,6 +995,11 @@ Status HtTree::Remove(uint64_t key) {
     ++op_stats_.cas_retries;
     Item head;
     FMDS_RETURN_IF_ERROR(ReadItem(old, &head));
+    if ((head.meta & kFlagPending) != 0) {
+      // Transaction lock record: wait for its owner (see Put).
+      StaleBackoff(attempt);
+      continue;
+    }
     if ((head.meta & kFlagRetired) != 0 ||
         VersionOf(head.meta) != leaf.version) {
       FMDS_RETURN_IF_ERROR(RefreshPath(hash));
@@ -936,10 +1082,39 @@ Status HtTree::SplitLeafLocked(const CachedNode& leaf, uint64_t hash,
   // observed value is the frozen chain head. Batched: one bucket-array
   // read, one doorbell of nb CASes, then individual retries for the rare
   // buckets a racing insert changed in between.
+  //
+  // Pending pre-check: a freeze CAS must never predict a transaction's
+  // lock record — succeeding would steal the bucket from its owner, whose
+  // commit/rollback CAS is must-succeed by protocol. Items are immutable
+  // and slots never reused, so a head that checks clean here stays clean;
+  // a transaction preparing after the check changes the word, and the
+  // freeze CAS then simply mispredicts into the retry loop below (which
+  // waits pending heads out before retrying).
   std::vector<uint64_t> heads(nb);
-  FMDS_RETURN_IF_ERROR(client_->Read(
-      BucketAddr(table, 0),
-      std::as_writable_bytes(std::span<uint64_t>(heads))));
+  std::vector<Item> head_items(nb);
+  for (int attempt = 0;; ++attempt) {
+    FMDS_RETURN_IF_ERROR(client_->Read(
+        BucketAddr(table, 0),
+        std::as_writable_bytes(std::span<uint64_t>(heads))));
+    std::vector<FarSeg> head_iov;
+    head_iov.reserve(nb);
+    for (uint64_t b = 0; b < nb; ++b) {
+      head_iov.push_back(FarSeg{heads[b], kItemBytes});
+    }
+    FMDS_RETURN_IF_ERROR(client_->RGather(
+        head_iov, std::as_writable_bytes(std::span<Item>(head_items))));
+    bool pending = false;
+    for (uint64_t b = 0; b < nb; ++b) {
+      if ((head_items[b].meta & kFlagPending) != 0) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) {
+      break;
+    }
+    StaleBackoff(attempt);
+  }
   std::vector<FarClient::CasTarget> wave(nb);
   std::vector<uint64_t> observed(nb);
   for (uint64_t b = 0; b < nb; ++b) {
@@ -948,13 +1123,32 @@ Status HtTree::SplitLeafLocked(const CachedNode& leaf, uint64_t hash,
   }
   FMDS_RETURN_IF_ERROR(client_->CasBatch(wave, observed));
   for (uint64_t b = 0; b < nb; ++b) {
-    uint64_t expected = observed[b];
-    while (expected != heads[b]) {
-      heads[b] = expected;
+    uint64_t predicted = heads[b];
+    uint64_t got = observed[b];
+    int attempt = 0;
+    while (got != predicted) {
+      Item head_item;
+      FMDS_RETURN_IF_ERROR(ReadItem(got, &head_item));
+      if ((head_item.meta & kFlagPending) != 0) {
+        // Owner-only word: wait for the transaction to commit or roll
+        // back rather than CASing its lock record away.
+        StaleBackoff(attempt++);
+        FMDS_ASSIGN_OR_RETURN(got, client_->ReadWord(BucketAddr(table, b)));
+        if (got == predicted) {
+          // Rolled back to exactly the head we predicted — the earlier
+          // CAS still failed, so retry it rather than exiting unfrozen.
+          FMDS_ASSIGN_OR_RETURN(
+              got, client_->CompareSwap(BucketAddr(table, b), predicted,
+                                        retired_sentinel_));
+        }
+        continue;
+      }
+      predicted = got;
       FMDS_ASSIGN_OR_RETURN(
-          expected, client_->CompareSwap(BucketAddr(table, b), heads[b],
-                                         retired_sentinel_));
+          got, client_->CompareSwap(BucketAddr(table, b), predicted,
+                                    retired_sentinel_));
     }
+    heads[b] = predicted;
   }
   FMDS_RETURN_IF_ERROR(client_->WriteWord(table + kTabState, 1));
 

@@ -164,6 +164,11 @@ class HtTree {
   Status SplitTableOf(uint64_t key);
 
  private:
+  // Txn (src/core/txn.*) builds multi-key optimistic commits out of this
+  // map's private machinery: validated bucket words, item slots, the
+  // pending lock-record protocol, and the per-shard NearCache.
+  friend class Txn;
+
   // ---- Far layout constants ----
   // Map header words.
   static constexpr uint64_t kHdrRoot = 0;        // trie root pointer
@@ -202,6 +207,14 @@ class HtTree {
   static constexpr uint64_t kFlagSentinel = 1ull << 32;
   static constexpr uint64_t kFlagRetired = 1ull << 33;
   static constexpr uint64_t kFlagTombstone = 1ull << 34;
+  // Transaction lock record (src/core/txn.*): a pending item sits at a
+  // bucket head while a multi-key commit is in flight; its `next` is the
+  // pre-transaction clean head. Invariants: pending items appear ONLY at
+  // bucket heads, and only the owning transaction may change a pending
+  // bucket's word (commit swings it to the new chain, rollback restores
+  // `next`). Readers skip it (pre-transaction view); writers and splits
+  // wait it out rather than CAS over it.
+  static constexpr uint64_t kFlagPending = 1ull << 35;
 
   struct Item {
     uint64_t key;
@@ -247,6 +260,31 @@ class HtTree {
   Result<int32_t> FetchSubtree(FarAddr addr);
 
   Status ReadItem(FarAddr addr, Item* out);
+
+  // ---- Transaction read hook (used by Txn via friendship) ----
+  // One validated read observation: the resolved value (or a definitive
+  // miss) together with the bucket word it was resolved under. The word is
+  // the txn's validation handle — every mutation of the bucket swings it to
+  // a freshly allocated address that is never reused (arena slots are not
+  // recycled; freed tables are quarantined), so word equality at commit
+  // time proves the chain is unchanged since this read.
+  struct TxnReadView {
+    bool found = false;
+    uint64_t value = 0;
+    FarAddr bucket = kNullFarAddr;
+    uint64_t head_word = 0;  // clean (non-pending) head observed
+    uint64_t version = 0;    // table version of the view
+    bool versioned = false;  // false when served from the NearCache (the
+                             // cache stores words, not table versions)
+  };
+  // Reads `key` and returns a validatable view. Unlike Get, a miss is a
+  // successful view (found = false) — negative reads participate in
+  // validation too. Waits out pending bucket heads (bounded backoff) so the
+  // recorded word is always clean; returns kAborted if a transaction holds
+  // the bucket past the retry budget. `allow_cache` permits the zero-far-op
+  // NearCache fast path (versioned = false); pass false when the caller
+  // needs the table version (write intents building item images).
+  Result<TxnReadView> TxnRead(uint64_t key, bool allow_cache);
 
   // ---- NearCache integration (key-addressed value entries) ----
   // Entries are keyed by the USER key and hold the resolved value (8 bytes),
@@ -362,6 +400,9 @@ class HtTree {
       Item item{};
       Stage stage = Stage::kProbe;
       FarClient::OpId op = 0;
+      // Head was a transaction lock record: the walk resolves the
+      // pre-transaction view, which must not feed hints or the cache.
+      bool pending_seen = false;
     };
     // Chain-walk decision on a fresh item image: hit, definitive miss, or
     // continue walking next wave.

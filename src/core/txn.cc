@@ -1,0 +1,541 @@
+#include "src/core/txn.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/obs/recorder.h"
+
+namespace fmds {
+
+namespace {
+uint64_t VersionBits(uint64_t version) { return version & 0xffffffffull; }
+}  // namespace
+
+Status Txn::Abort(const char* why) {
+  if (!aborted_) {
+    aborted_ = true;
+    ++client()->mutable_stats().txn_aborts;
+  }
+  return Aborted(why);
+}
+
+Status Txn::RecordView(uint64_t key, uint32_t shard_idx,
+                       const HtTree::TxnReadView& view, bool record_key) {
+  auto [it, inserted] = buckets_.try_emplace(
+      view.bucket,
+      BucketView{view.head_word, view.version, view.versioned, shard_idx});
+  if (!inserted) {
+    if (it->second.word != view.head_word) {
+      // Two reads of the same bucket saw different words: a writer landed
+      // between them, so no single snapshot contains both observations.
+      return Abort("txn read set is not a snapshot");
+    }
+    if (view.versioned && !it->second.versioned) {
+      it->second.version = view.version;
+      it->second.versioned = true;
+    }
+  }
+  if (record_key) {
+    reads_.emplace(key, ReadRec{view.found, view.value, view.bucket});
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> Txn::Get(uint64_t key) {
+  if (aborted_ || committed_) {
+    return Aborted("txn handle is dead");
+  }
+  if (auto w = writes_.find(key); w != writes_.end()) {
+    // Read-your-writes from the buffer.
+    if (w->second.tombstone) {
+      return NotFound("txn: key removed by this txn");
+    }
+    return w->second.value;
+  }
+  if (auto r = reads_.find(key); r != reads_.end()) {
+    // Repeatable read from the memo.
+    if (!r->second.found) {
+      return NotFound("txn: key absent");
+    }
+    return r->second.value;
+  }
+  const uint32_t shard_idx = map_->ShardOf(key);
+  auto view = map_->shard(shard_idx).TxnRead(key, /*allow_cache=*/true);
+  if (!view.ok()) {
+    if (view.status().code() == StatusCode::kAborted) {
+      return Abort("txn read outwaited a pending bucket");
+    }
+    return view.status();
+  }
+  FMDS_RETURN_IF_ERROR(RecordView(key, shard_idx, *view, /*record_key=*/true));
+  if (!view->found) {
+    return NotFound("txn: key absent");
+  }
+  return view->value;
+}
+
+std::vector<Result<uint64_t>> Txn::MultiGet(std::span<const uint64_t> keys) {
+  std::vector<Result<uint64_t>> results(
+      keys.size(), Status(StatusCode::kInternal, "txn multiget unresolved"));
+  if (aborted_ || committed_) {
+    for (auto& r : results) {
+      r = Aborted("txn handle is dead");
+    }
+    return results;
+  }
+  FarClient* c = client();
+  ScopedOpLabel label(&c->recorder(), "txn.read");
+  (void)c->DispatchNotifications();
+
+  // Resolve what never needs the fabric: write buffer, read memo, caches.
+  struct Probe {
+    size_t idx = 0;
+    uint64_t key = 0;
+    uint32_t shard_idx = 0;
+    HtTree* shard = nullptr;
+    FarAddr bucket = kNullFarAddr;
+    uint64_t version = 0;
+    HtTree::Item item{};
+    FarClient::OpId op = 0;
+  };
+  std::vector<Probe> probes;
+  probes.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const uint64_t key = keys[i];
+    if (auto w = writes_.find(key); w != writes_.end()) {
+      results[i] = w->second.tombstone
+                       ? Result<uint64_t>(NotFound("txn: key removed"))
+                       : Result<uint64_t>(w->second.value);
+      continue;
+    }
+    if (auto r = reads_.find(key); r != reads_.end()) {
+      results[i] = r->second.found
+                       ? Result<uint64_t>(r->second.value)
+                       : Result<uint64_t>(NotFound("txn: key absent"));
+      continue;
+    }
+    Probe probe;
+    probe.idx = i;
+    probe.key = key;
+    probe.shard_idx = map_->ShardOf(key);
+    probe.shard = &map_->shard(probe.shard_idx);
+    NearCache* cache = probe.shard->near_cache();
+    if (cache != nullptr) {
+      uint64_t cached_value = 0;
+      FarAddr watch = kNullFarAddr;
+      uint64_t watch_word = 0;
+      if (cache->LookupWatch(key, AsBytes(cached_value), &watch,
+                             &watch_word)) {
+        HtTree::TxnReadView view;
+        view.found = true;
+        view.value = cached_value;
+        view.bucket = watch;
+        view.head_word = watch_word;
+        Status rec = RecordView(key, probe.shard_idx, view, true);
+        results[i] = rec.ok() ? Result<uint64_t>(cached_value)
+                              : Result<uint64_t>(rec);
+        continue;
+      }
+    }
+    const uint64_t hash = Mix64(key);
+    HtTree* shard = probe.shard;
+    const HtTree::CachedNode leaf =
+        shard->nodes_[shard->DescendCached(hash)];
+    probe.bucket = shard->BucketAddr(leaf.table, shard->BucketIndex(hash));
+    probe.version = leaf.version;
+    probes.push_back(probe);
+  }
+  if (aborted_) {
+    for (auto& r : results) {
+      if (!r.ok() && r.status().code() == StatusCode::kInternal) {
+        r = Aborted("txn aborted during multiget");
+      }
+    }
+    return results;
+  }
+
+  // One doorbell of bucket probes across all shards (the §7 fan-out: one
+  // wave, per-node sub-batches overlap).
+  for (Probe& probe : probes) {
+    probe.op = c->PostLoad0(probe.bucket, AsBytes(probe.item));
+    ++probe.shard->op_stats_.gets;
+  }
+  std::vector<FarClient::Completion> done;
+  Status wait = c->WaitAll(&done);
+  const auto completions = HtTree::ToCompletionMap(std::move(done));
+  for (Probe& probe : probes) {
+    if (aborted_) {
+      results[probe.idx] = Aborted("txn aborted during multiget");
+      continue;
+    }
+    const auto it = completions.find(probe.op);
+    if (it == completions.end() || !it->second.status.ok()) {
+      results[probe.idx] =
+          it == completions.end()
+              ? (wait.ok() ? Status(StatusCode::kInternal, "probe lost")
+                           : wait)
+              : it->second.status;
+      continue;
+    }
+    const FarAddr head = it->second.word;
+    const HtTree::Item& item = probe.item;
+    const bool clean_head_hit =
+        (item.meta & HtTree::kFlagPending) == 0 &&
+        (item.meta & HtTree::kFlagRetired) == 0 &&
+        VersionBits(item.meta) == VersionBits(probe.version);
+    HtTree::TxnReadView view;
+    bool resolved = false;
+    if (clean_head_hit) {
+      view.bucket = probe.bucket;
+      view.head_word = head;
+      view.version = probe.version;
+      view.versioned = true;
+      if ((item.meta & HtTree::kFlagSentinel) != 0) {
+        resolved = true;  // empty bucket: definitive miss
+      } else if (item.key == probe.key) {
+        resolved = true;
+        if ((item.meta & HtTree::kFlagTombstone) == 0) {
+          view.found = true;
+          view.value = item.value;
+        }
+      }
+      // Anything deeper in the chain falls back to the sync walk.
+    }
+    if (!resolved) {
+      // Pending head, stale view, or a chain: the synchronous path owns
+      // the retry/backoff discipline.
+      auto fallback = probe.shard->TxnRead(probe.key, /*allow_cache=*/false);
+      --probe.shard->op_stats_.gets;  // TxnRead bumps it again
+      if (!fallback.ok()) {
+        results[probe.idx] =
+            fallback.status().code() == StatusCode::kAborted
+                ? Abort("txn read outwaited a pending bucket")
+                : fallback.status();
+        continue;
+      }
+      view = *fallback;
+    }
+    Status rec = RecordView(probe.key, probe.shard_idx, view, true);
+    if (!rec.ok()) {
+      results[probe.idx] = rec;
+      continue;
+    }
+    results[probe.idx] = view.found
+                             ? Result<uint64_t>(view.value)
+                             : Result<uint64_t>(NotFound("txn: key absent"));
+  }
+  return results;
+}
+
+Result<FarAddr> Txn::EnsureWritableBucket(uint64_t key) {
+  if (auto w = writes_.find(key); w != writes_.end()) {
+    return w->second.bucket;  // pinned by the earlier write
+  }
+  if (auto r = reads_.find(key); r != reads_.end()) {
+    const auto bv = buckets_.find(r->second.bucket);
+    if (bv != buckets_.end() && bv->second.versioned) {
+      return r->second.bucket;
+    }
+  }
+  // Pin with a far-validated read: commit needs the table version for item
+  // images, and the cache stores only words. An earlier cache-served read
+  // of this bucket is cross-checked by RecordView (word mismatch aborts).
+  const uint32_t shard_idx = map_->ShardOf(key);
+  auto view = map_->shard(shard_idx).TxnRead(key, /*allow_cache=*/false);
+  if (!view.ok()) {
+    if (view.status().code() == StatusCode::kAborted) {
+      return Abort("txn write outwaited a pending bucket");
+    }
+    return view.status();
+  }
+  FMDS_RETURN_IF_ERROR(
+      RecordView(key, shard_idx, *view, !reads_.contains(key)));
+  return view->bucket;
+}
+
+Status Txn::BufferWrite(uint64_t key, uint64_t value, bool tombstone) {
+  if (aborted_ || committed_) {
+    return Aborted("txn handle is dead");
+  }
+  FMDS_ASSIGN_OR_RETURN(FarAddr bucket, EnsureWritableBucket(key));
+  writes_[key] = WriteRec{value, tombstone, bucket};
+  return OkStatus();
+}
+
+Status Txn::Put(uint64_t key, uint64_t value) {
+  return BufferWrite(key, value, /*tombstone=*/false);
+}
+
+Status Txn::Remove(uint64_t key) {
+  return BufferWrite(key, 0, /*tombstone=*/true);
+}
+
+Status Txn::BuildCommits(std::vector<BucketCommit>* commits) {
+  std::unordered_map<FarAddr, size_t> index;
+  for (const auto& [key, w] : writes_) {
+    const auto bv = buckets_.find(w.bucket);
+    if (bv == buckets_.end() || !bv->second.versioned) {
+      return Internal("txn write bucket was never pinned");
+    }
+    const auto [it, inserted] = index.try_emplace(w.bucket, commits->size());
+    if (inserted) {
+      BucketCommit bc;
+      bc.bucket = w.bucket;
+      bc.shard = &map_->shard(bv->second.shard);
+      bc.expected = bv->second.word;
+      commits->push_back(std::move(bc));
+    }
+    (*commits)[it->second].writes.emplace_back(key, w);
+  }
+  for (BucketCommit& bc : *commits) {
+    const uint64_t ver = VersionBits(buckets_[bc.bucket].version);
+    // Chainlet: f_m -> ... -> f_0 -> pre-txn head. Later entries shadow
+    // earlier ones, matching insert-at-head semantics.
+    FarAddr prev = bc.expected;
+    bc.items.reserve(bc.writes.size());
+    for (const auto& [key, w] : bc.writes) {
+      FMDS_ASSIGN_OR_RETURN(FarAddr slot, bc.shard->AllocItemSlot());
+      bc.items.emplace_back(
+          slot, HtTree::Item{key, w.value,
+                             ver | (w.tombstone ? HtTree::kFlagTombstone : 0),
+                             prev});
+      prev = slot;
+    }
+    bc.final_head = prev;
+    // Lock record: key/value are meaningless (readers skip on the flag
+    // before any key comparison); `next` preserves the pre-txn view.
+    FMDS_ASSIGN_OR_RETURN(FarAddr pending, bc.shard->AllocItemSlot());
+    bc.pending = pending;
+    bc.pending_item =
+        HtTree::Item{0, 0, ver | HtTree::kFlagPending, bc.expected};
+  }
+  return OkStatus();
+}
+
+Status Txn::RollbackPrepared(std::span<BucketCommit* const> prepared) {
+  if (prepared.empty()) {
+    return OkStatus();
+  }
+  FarClient* c = client();
+  ScopedOpLabel label(&c->recorder(), "txn.abort");
+  std::vector<FarClient::CasTarget> targets;
+  std::vector<uint64_t> observed(prepared.size());
+  targets.reserve(prepared.size());
+  for (const BucketCommit* bc : prepared) {
+    targets.push_back(
+        FarClient::CasTarget{bc->bucket, bc->pending, bc->expected});
+  }
+  FMDS_RETURN_IF_ERROR(c->CasBatch(targets, observed));
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    if (observed[i] != prepared[i]->pending) {
+      // Owner-only invariant broken: nobody else may touch a pending word.
+      return Internal("txn rollback CAS lost a pending bucket");
+    }
+  }
+  return OkStatus();
+}
+
+void Txn::FinalizeBucket(const BucketCommit& bc) {
+  HtTree* shard = bc.shard;
+  if (shard->options_.use_head_hints) {
+    shard->head_hints_.Upsert(bc.bucket, bc.final_head);
+  }
+  if (shard->near_cache_ == nullptr) {
+    return;
+  }
+  for (const auto& [key, w] : bc.writes) {
+    if (w.tombstone) {
+      shard->near_cache_->Invalidate(key);
+    } else {
+      // Writer-side refill under the committed head word — same zero-RTT
+      // path as HtTree::Put's exit.
+      shard->near_cache_->Refill(key, AsConstBytes(w.value), bc.bucket,
+                                 kWordSize, bc.final_head);
+    }
+  }
+}
+
+Status Txn::Commit() {
+  if (aborted_) {
+    return Aborted("txn already aborted");
+  }
+  if (committed_) {
+    return FailedPrecondition("txn already committed");
+  }
+  committed_ = true;
+  FarClient* c = client();
+  ScopedOpLabel label(&c->recorder(), "txn.commit");
+
+  // Read-only: one validation doorbell re-reading every recorded bucket
+  // word. All read intervals share [last read, first validation read], so
+  // unchanged words certify a consistent snapshot.
+  if (writes_.empty()) {
+    if (!buckets_.empty()) {
+      ScopedOpLabel vlabel(&c->recorder(), "txn.validate");
+      std::vector<uint64_t> expected;
+      expected.reserve(buckets_.size());
+      for (const auto& [bucket, bv] : buckets_) {
+        expected.push_back(bv.word);
+        (void)c->PostReadWord(bucket);
+      }
+      std::vector<FarClient::Completion> done;
+      FMDS_RETURN_IF_ERROR(c->WaitAll(&done));
+      for (size_t i = 0; i < expected.size(); ++i) {
+        if (done[i].word != expected[i]) {
+          ++c->mutable_stats().txn_validate_fails;
+          return Abort("txn validation failed");
+        }
+      }
+    }
+    ++c->mutable_stats().txn_commits;
+    return OkStatus();
+  }
+
+  std::vector<BucketCommit> commits;
+  FMDS_RETURN_IF_ERROR(BuildCommits(&commits));
+
+  // Fast path: a single write bucket and no other read buckets means the
+  // prepare CAS IS the whole transaction — publish the chainlet directly,
+  // no lock record, one doorbell (bodies + CAS; per-node post order makes
+  // the items visible before the CAS links them).
+  if (commits.size() == 1 && buckets_.size() == 1) {
+    BucketCommit& bc = commits.front();
+    for (const auto& [slot, img] : bc.items) {
+      (void)c->PostWrite(slot, AsConstBytes(img));
+    }
+    bc.cas_op = c->PostCompareSwap(bc.bucket, bc.expected, bc.final_head);
+    std::vector<FarClient::Completion> done;
+    FMDS_RETURN_IF_ERROR(c->WaitAll(&done));
+    const auto completions = HtTree::ToCompletionMap(std::move(done));
+    const auto it = completions.find(bc.cas_op);
+    if (it == completions.end()) {
+      return Internal("txn commit CAS completion lost");
+    }
+    if (it->second.word != bc.expected) {
+      ++c->mutable_stats().txn_prepare_fails;
+      return Abort("txn commit CAS lost the bucket");
+    }
+    FinalizeBucket(bc);
+    ++c->mutable_stats().txn_commits;
+    return OkStatus();
+  }
+
+  // Round P — prepare: per write bucket, publish items + lock record and
+  // CAS the bucket word recorded-head -> lock record, all in one flush.
+  // NOTE: with shard pinning, a bucket's items and its bucket word live on
+  // the same node, so the doorbell's per-node post order guarantees the
+  // bodies land first (the same contract MultiPut relies on).
+  for (BucketCommit& bc : commits) {
+    for (const auto& [slot, img] : bc.items) {
+      (void)c->PostWrite(slot, AsConstBytes(img));
+    }
+    (void)c->PostWrite(bc.pending, AsConstBytes(bc.pending_item));
+    bc.cas_op = c->PostCompareSwap(bc.bucket, bc.expected, bc.pending);
+  }
+  std::vector<FarClient::Completion> done;
+  FMDS_RETURN_IF_ERROR(c->WaitAll(&done));
+  const auto completions = HtTree::ToCompletionMap(std::move(done));
+  std::vector<BucketCommit*> prepared;
+  bool prepare_failed = false;
+  for (BucketCommit& bc : commits) {
+    const auto it = completions.find(bc.cas_op);
+    if (it == completions.end() || !it->second.status.ok()) {
+      prepare_failed = true;
+      continue;
+    }
+    if (it->second.word == bc.expected) {
+      prepared.push_back(&bc);
+    } else {
+      prepare_failed = true;
+    }
+  }
+  if (prepare_failed) {
+    FMDS_RETURN_IF_ERROR(RollbackPrepared(prepared));
+    ++c->mutable_stats().txn_prepare_fails;
+    return Abort("txn prepare lost a bucket");
+  }
+
+  // Round V — validate the read-set buckets the prepare didn't already
+  // cover (its CAS validated every write bucket's word).
+  std::vector<std::pair<FarAddr, uint64_t>> checks;
+  for (const auto& [bucket, bv] : buckets_) {
+    if (std::any_of(
+            commits.begin(), commits.end(),
+            [&](const BucketCommit& bc) { return bc.bucket == bucket; })) {
+      continue;
+    }
+    checks.emplace_back(bucket, bv.word);
+  }
+  if (!checks.empty()) {
+    ScopedOpLabel vlabel(&c->recorder(), "txn.validate");
+    for (const auto& [bucket, word] : checks) {
+      (void)word;
+      (void)c->PostReadWord(bucket);
+    }
+    std::vector<FarClient::Completion> vdone;
+    FMDS_RETURN_IF_ERROR(c->WaitAll(&vdone));
+    for (size_t i = 0; i < checks.size(); ++i) {
+      if (vdone[i].word != checks[i].second) {
+        FMDS_RETURN_IF_ERROR(RollbackPrepared(prepared));
+        ++c->mutable_stats().txn_validate_fails;
+        return Abort("txn validation failed");
+      }
+    }
+  }
+
+  // Round C — commit: swing every locked bucket lock record -> new chain
+  // head in one CasBatch. Must succeed: pending words are owner-only.
+  std::vector<FarClient::CasTarget> targets;
+  std::vector<uint64_t> observed(commits.size());
+  targets.reserve(commits.size());
+  for (const BucketCommit& bc : commits) {
+    targets.push_back(
+        FarClient::CasTarget{bc.bucket, bc.pending, bc.final_head});
+  }
+  FMDS_RETURN_IF_ERROR(c->CasBatch(targets, observed));
+  for (size_t i = 0; i < commits.size(); ++i) {
+    if (observed[i] != commits[i].pending) {
+      return Internal("txn commit CAS lost a pending bucket");
+    }
+  }
+  for (const BucketCommit& bc : commits) {
+    FinalizeBucket(bc);
+  }
+  ++c->mutable_stats().txn_commits;
+  return OkStatus();
+}
+
+Status RunTxn(ShardedMap* map, const TxnOptions& options,
+              const std::function<Status(Txn&)>& body) {
+  Rng jitter(options.seed);
+  Status last = Aborted("txn: no attempts made");
+  const int attempts = std::max(1, options.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Txn txn(map);
+    Status s = body(txn);
+    if (s.ok()) {
+      s = txn.Commit();
+    }
+    if (s.ok()) {
+      return s;
+    }
+    if (s.code() != StatusCode::kAborted) {
+      return s;  // real failure — retrying would repeat it
+    }
+    last = s;
+    if (options.backoff_base_us > 0 && attempt + 1 < attempts) {
+      // Jittered exponential backoff, capped: contending txns decorrelate
+      // instead of re-colliding in lockstep.
+      const uint64_t ceiling = options.backoff_base_us
+                               << std::min(attempt, 6);
+      const uint64_t us = 1 + jitter.NextBelow(ceiling);
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+  return last;
+}
+
+}  // namespace fmds

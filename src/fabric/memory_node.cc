@@ -174,6 +174,11 @@ void MemoryNode::PublishWrite(uint64_t offset, uint64_t len, uint64_t now_ns) {
     event.addr = sub->spec.addr + (lo - sub->node_offset);
     event.len = hi - lo;
     event.publish_ns = now_ns + sub->spec.policy.delay_ns;
+    // State-at-publish snapshot of the subscribed range's first word, read
+    // under sub_mu_ — the same critical section read-and-arm uses. Racing
+    // writers both publish; whichever publish runs last reads the final
+    // word, so an event stream always ENDS with the current value.
+    event.word = WordRef(sub->node_offset).load(std::memory_order_acquire);
     if (sub->spec.mode == NotifyMode::kOnWriteData) {
       event.data.resize(event.len);
       ReadRange(lo, std::span<std::byte>(event.data));

@@ -21,6 +21,7 @@ void NotificationChannel::Publish(NotifyEvent event, bool coalesce) {
         queued.len = hi - lo;
         queued.publish_ns = std::max(queued.publish_ns, event.publish_ns);
         queued.coalesced += 1 + event.coalesced;
+        queued.word = event.word;  // latest write wins
         if (!event.data.empty()) {
           queued.data = std::move(event.data);
         }

@@ -73,6 +73,14 @@ struct NotifyEvent {
   uint64_t len = 0;
   uint64_t publish_ns = 0;  // writer-side virtual timestamp
   uint64_t coalesced = 0;   // additional events merged into this one
+  // Value of the subscribed range's FIRST word, read at publish time inside
+  // the node's subscription critical section (same section the read-and-arm
+  // snapshot uses). For word-versioned caches — watched words that only ever
+  // swing to fresh values, like HT-tree bucket heads — this lets a
+  // subscriber compare the event against the word its entry was filled
+  // under: a match confirms the entry is current (the writer was itself),
+  // a mismatch demands invalidation. Coalesced events keep the latest word.
+  uint64_t word = 0;
   std::vector<std::byte> data;  // payload for kOnWriteData
 };
 

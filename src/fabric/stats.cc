@@ -10,7 +10,8 @@ std::string ClientStats::ToString() const {
                 "far_ops=%llu msgs=%llu rd=%lluB wr=%lluB near=%llu rpc=%llu "
                 "notif=%llu slow=%llu bg=%llu batches=%llu batched=%llu "
                 "rtts_saved=%llu fanout=%llu xnode_saved=%llu "
-                "cache_hit=%llu cache_miss=%llu cache_inval=%llu",
+                "cache_hit=%llu cache_miss=%llu cache_inval=%llu "
+                "txn_commit=%llu txn_abort=%llu txn_vfail=%llu txn_pfail=%llu",
                 static_cast<unsigned long long>(far_ops),
                 static_cast<unsigned long long>(messages),
                 static_cast<unsigned long long>(bytes_read),
@@ -27,7 +28,11 @@ std::string ClientStats::ToString() const {
                 static_cast<unsigned long long>(cross_node_rtts_saved),
                 static_cast<unsigned long long>(cache_hits),
                 static_cast<unsigned long long>(cache_misses),
-                static_cast<unsigned long long>(cache_invalidations));
+                static_cast<unsigned long long>(cache_invalidations),
+                static_cast<unsigned long long>(txn_commits),
+                static_cast<unsigned long long>(txn_aborts),
+                static_cast<unsigned long long>(txn_validate_fails),
+                static_cast<unsigned long long>(txn_prepare_fails));
   return buf;
 }
 

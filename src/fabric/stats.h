@@ -39,6 +39,13 @@ struct ClientStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_invalidations = 0;
+  // Optimistic multi-key transactions (src/core/txn.*): commit/abort
+  // outcomes and the reason a commit attempt died. abort rate =
+  // txn_aborts / (txn_commits + txn_aborts).
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;
+  uint64_t txn_validate_fails = 0;  // read-set word changed under the txn
+  uint64_t txn_prepare_fails = 0;   // write-set bucket CAS mispredicted
 
   ClientStats Delta(const ClientStats& earlier) const {
     ClientStats d;
@@ -61,6 +68,10 @@ struct ClientStats {
     d.cache_hits = cache_hits - earlier.cache_hits;
     d.cache_misses = cache_misses - earlier.cache_misses;
     d.cache_invalidations = cache_invalidations - earlier.cache_invalidations;
+    d.txn_commits = txn_commits - earlier.txn_commits;
+    d.txn_aborts = txn_aborts - earlier.txn_aborts;
+    d.txn_validate_fails = txn_validate_fails - earlier.txn_validate_fails;
+    d.txn_prepare_fails = txn_prepare_fails - earlier.txn_prepare_fails;
     return d;
   }
 
@@ -82,6 +93,10 @@ struct ClientStats {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     cache_invalidations += other.cache_invalidations;
+    txn_commits += other.txn_commits;
+    txn_aborts += other.txn_aborts;
+    txn_validate_fails += other.txn_validate_fails;
+    txn_prepare_fails += other.txn_prepare_fails;
   }
 
   std::string ToString() const;
