@@ -202,5 +202,54 @@ int main() {
                               3)});
   }
   curve.Print(std::cout, "E5c: modelled queue throughput vs clients");
+
+  // ---- Idle consumer poll cost: polled reads vs pushed estimates ----
+  // A consumer that polls an empty queue pays far reads just to learn
+  // "still empty". With watch_estimates the header words arrive as
+  // notifications, so the idle poll must cost ZERO far accesses — the
+  // assertion below is the exit-code gate.
+  constexpr int kIdlePolls = 1000;
+  uint64_t polled_far = 0;
+  uint64_t watched_far = 0;
+  for (const bool watched : {false, true}) {
+    BenchEnv env(DefaultFabric());
+    auto& producer = env.NewClient();
+    FarQueue::Options options;
+    options.capacity = 4096;
+    options.max_clients = 2;
+    options.refresh_every = 1;  // poll mode: re-read the header every miss
+    options.watch_estimates = watched;
+    auto queue = CheckOk(FarQueue::Create(&producer, &env.alloc(), options),
+                         "farqueue");
+    auto& consumer = env.NewClient();
+    auto view = CheckOk(FarQueue::Attach(&consumer, queue.header(), options),
+                        "attach");
+    const ClientStats before = consumer.stats();
+    for (int i = 0; i < kIdlePolls; ++i) {
+      auto got = view.Dequeue();
+      CheckOk(got.ok() ? Status(StatusCode::kInternal, "unexpected item")
+                       : OkStatus(),
+              "idle poll");
+    }
+    const uint64_t far = consumer.stats().Delta(before).far_ops;
+    (watched ? watched_far : polled_far) = far;
+  }
+  Table idle({"consumer mode", "idle polls", "far ops", "far/poll"});
+  idle.AddRow({"polled estimates", Table::Cell(uint64_t{kIdlePolls}),
+               Table::Cell(polled_far),
+               Table::Cell(static_cast<double>(polled_far) / kIdlePolls, 3)});
+  idle.AddRow({"watched estimates", Table::Cell(uint64_t{kIdlePolls}),
+               Table::Cell(watched_far),
+               Table::Cell(static_cast<double>(watched_far) / kIdlePolls, 3)});
+  idle.Print(std::cout,
+             "E5d: idle consumer poll cost (watched head/tail -> zero far "
+             "accesses while empty)");
+
+  if (watched_far != 0 || polled_far == 0) {
+    std::cout << "E5d FAIL: watched idle polls cost " << watched_far
+              << " far ops (want 0); polled cost " << polled_far
+              << " (want > 0)\n";
+    return 1;
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 namespace fmds {
 
@@ -21,6 +22,58 @@ NearCache::NearCache(FarClient* client, NearCacheOptions options)
 
 NearCache::~NearCache() { Clear(); }
 
+uint64_t NearCache::BudgetLimit() const {
+  return options_.shared_budget != nullptr ? options_.shared_budget->limit
+                                           : options_.budget_bytes;
+}
+
+uint64_t NearCache::HighWatermark() const {
+  if (options_.shared_budget != nullptr) {
+    return options_.shared_budget->high_watermark;
+  }
+  return CacheBudget::DefaultHigh(options_.budget_bytes,
+                                  options_.high_watermark_bytes);
+}
+
+uint64_t NearCache::LowWatermark() const {
+  if (options_.shared_budget != nullptr) {
+    return options_.shared_budget->low_watermark;
+  }
+  return CacheBudget::DefaultLow(options_.budget_bytes,
+                                 options_.high_watermark_bytes,
+                                 options_.low_watermark_bytes);
+}
+
+uint64_t NearCache::BudgetUsedLocked() const {
+  return options_.shared_budget != nullptr
+             ? options_.shared_budget->used.load(std::memory_order_relaxed)
+             : bytes_used_;
+}
+
+void NearCache::AddBytesLocked(uint64_t n) {
+  bytes_used_ += n;
+  if (options_.shared_budget != nullptr) {
+    options_.shared_budget->used.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+void NearCache::SubBytesLocked(uint64_t n) {
+  bytes_used_ -= n;
+  if (options_.shared_budget != nullptr) {
+    options_.shared_budget->used.fetch_sub(n, std::memory_order_relaxed);
+  }
+}
+
+void NearCache::DrainRetiredLocked() {
+  // Owner thread only: finishes subscriptions the background evictor tore
+  // down node-side. ForgetSubscription touches owner-thread client maps and
+  // costs no round trip.
+  for (SubId id : retired_subs_) {
+    client_->ForgetSubscription(id);
+  }
+  retired_subs_.clear();
+}
+
 bool NearCache::Lookup(uint64_t key, std::span<std::byte> out) {
   return LookupWatch(key, out, nullptr, nullptr);
 }
@@ -33,6 +86,10 @@ bool NearCache::LookupWatch(uint64_t key, std::span<std::byte> out,
   // One near access covers the whole probe — on a hit this is the entire
   // cost of the operation (that asymmetry is the point of the cache).
   client_->AccountNear(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!retired_subs_.empty()) {
+    DrainRetiredLocked();
+  }
   const size_t slot = ring_.Find(key);
   if (slot != ClockRing<Entry>::npos) {
     Entry& e = ring_.value(slot);
@@ -57,9 +114,10 @@ bool NearCache::LookupWatch(uint64_t key, std::span<std::byte> out,
   return false;
 }
 
-bool NearCache::ArmWatch(Entry& e, uint64_t key, FarAddr watch,
-                         uint64_t watch_len, uint64_t expected_watch_word,
-                         const char* label_name) {
+bool NearCache::ArmWatchLocked(Entry& e, uint64_t key, FarAddr watch,
+                               uint64_t watch_len,
+                               uint64_t expected_watch_word,
+                               const char* label_name) {
   NotifySpec spec;
   spec.mode = NotifyMode::kOnWrite;
   spec.addr = watch;
@@ -99,14 +157,18 @@ void NearCache::Admit(uint64_t key, std::span<const std::byte> payload,
     return;
   }
   const uint64_t cost = payload.size() + kEntryOverhead;
-  if (cost > options_.budget_bytes) {
+  if (cost > BudgetLimit()) {
     return;  // would never fit, even alone
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!retired_subs_.empty()) {
+    DrainRetiredLocked();
   }
   const size_t slot = ring_.Find(key);
   if (slot != ClockRing<Entry>::npos) {
     // Resident (possibly invalidated) entry.
     Entry& e = ring_.value(slot);
-    bytes_used_ -= EntryCost(e);
+    SubBytesLocked(EntryCost(e));
     e.payload.assign(payload.begin(), payload.end());
     if (e.watch == watch && e.watch_len == watch_len) {
       // Same watch: refill in place. The live subscription covered the
@@ -122,19 +184,31 @@ void NearCache::Admit(uint64_t key, std::span<const std::byte> payload,
       // table and retired — possibly freed — the old one). The old
       // subscription now watches dead memory and would never see another
       // relevant write, so release it and read-and-arm the new range.
-      ReleaseEntry(e, "cache.rewatch");
+      ReleaseEntryLocked(e, "cache.rewatch");
       ++stats_.rewatches;
-      if (!ArmWatch(e, key, watch, watch_len, expected_watch_word,
-                    "cache.rewatch")) {
+      if (!ArmWatchLocked(e, key, watch, watch_len, expected_watch_word,
+                          "cache.rewatch")) {
         // New range unsubscribable: the entry can't stay coherent. Drop it.
         ring_.Erase(key);
         return;
       }
     }
-    bytes_used_ += EntryCost(e);
+    AddBytesLocked(EntryCost(e));
     ring_.Touch(slot);
-    EvictToBudget();
+    if (!options_.background_eviction) {
+      EvictToBudgetLocked();
+    }
     return;
+  }
+  if (options_.background_eviction) {
+    // The hot path never sweeps: above the high watermark (or with the ring
+    // at capacity) the admission is dropped and the background evictor is
+    // responsible for making room.
+    if (BudgetUsedLocked() + cost > HighWatermark() ||
+        ring_.size() + 1 >= ring_.capacity()) {
+      ++stats_.wm_drops;
+      return;
+    }
   }
   if (options_.admit_after > 1) {
     // k-hit filter: count misses per key in a small CLOCK ring; only a key
@@ -155,23 +229,25 @@ void NearCache::Admit(uint64_t key, std::span<const std::byte> payload,
 
   Entry e;
   e.payload.assign(payload.begin(), payload.end());
-  if (!ArmWatch(e, key, watch, watch_len, expected_watch_word,
-                "cache.admit")) {
+  if (!ArmWatchLocked(e, key, watch, watch_len, expected_watch_word,
+                      "cache.admit")) {
     return;
   }
-  bytes_used_ += EntryCost(e);
+  AddBytesLocked(EntryCost(e));
   std::optional<std::pair<uint64_t, Entry>> evicted;
   ring_.Insert(key, std::move(e), &evicted);
   if (evicted.has_value()) {
-    bytes_used_ -= EntryCost(evicted->second);
-    ReleaseEntry(evicted->second);
+    SubBytesLocked(EntryCost(evicted->second));
+    ReleaseEntryLocked(evicted->second);
     ++stats_.evictions;
   }
   ++stats_.admissions;
-  EvictToBudget();
+  if (!options_.background_eviction) {
+    EvictToBudgetLocked();
+  }
 }
 
-void NearCache::Invalidate(uint64_t key) {
+void NearCache::InvalidateLocked(uint64_t key, bool account_client) {
   const size_t slot = ring_.Find(key);
   if (slot == ClockRing<Entry>::npos) {
     return;
@@ -185,16 +261,25 @@ void NearCache::Invalidate(uint64_t key) {
   // its subscription, not its budget share.
   ring_.Unref(slot);
   ++stats_.invalidations;
-  ++client_->mutable_stats().cache_invalidations;
-  client_->recorder().RecordCacheInvalidation();
+  if (account_client) {
+    ++client_->mutable_stats().cache_invalidations;
+    client_->recorder().RecordCacheInvalidation();
+  }
 }
 
-void NearCache::Refill(uint64_t key, std::span<const std::byte> payload,
-                       FarAddr watch, uint64_t watch_len,
-                       uint64_t watch_word) {
-  if (!enabled()) {
-    return;
-  }
+void NearCache::Invalidate(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateLocked(key, /*account_client=*/true);
+}
+
+void NearCache::InvalidateExternal(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateLocked(key, /*account_client=*/false);
+}
+
+void NearCache::RefillLocked(uint64_t key, std::span<const std::byte> payload,
+                             FarAddr watch, uint64_t watch_len,
+                             uint64_t watch_word, bool account_client) {
   const size_t slot = ring_.Find(key);
   if (slot == ClockRing<Entry>::npos) {
     return;  // not resident: admission stays a read-path decision
@@ -204,43 +289,75 @@ void NearCache::Refill(uint64_t key, std::span<const std::byte> payload,
     // The key's watched range moved under this entry (split migration).
     // Rewatching costs unsubscribe + subscribe round trips, which the
     // write path must not pay — kill the entry and let a read re-admit.
-    Invalidate(key);
+    InvalidateLocked(key, account_client);
     return;
   }
   if (!options_.word_versioned) {
     // Without word versioning the echo of the writer's own CAS would kill
     // this refill at the next dispatch; keeping the entry valid until then
     // would serve hits that die unpredictably. Degrade to invalidation.
-    Invalidate(key);
+    InvalidateLocked(key, account_client);
     return;
   }
-  bytes_used_ -= EntryCost(e);
+  SubBytesLocked(EntryCost(e));
   e.payload.assign(payload.begin(), payload.end());
   e.watch_word = watch_word;
   e.valid = true;
-  bytes_used_ += EntryCost(e);
+  AddBytesLocked(EntryCost(e));
   ring_.Touch(slot);
   ++stats_.writer_refills;
-  EvictToBudget();
+  if (!options_.background_eviction) {
+    EvictToBudgetLocked();
+  }
 }
 
-void NearCache::InvalidateAll() {
-  ring_.ForEach([this](uint64_t, Entry& e) {
+void NearCache::Refill(uint64_t key, std::span<const std::byte> payload,
+                       FarAddr watch, uint64_t watch_len,
+                       uint64_t watch_word) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(key, payload, watch, watch_len, watch_word,
+               /*account_client=*/true);
+}
+
+void NearCache::RefillExternal(uint64_t key, std::span<const std::byte> payload,
+                               FarAddr watch, uint64_t watch_len,
+                               uint64_t watch_word) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(key, payload, watch, watch_len, watch_word,
+               /*account_client=*/false);
+}
+
+void NearCache::InvalidateAllLocked(bool account_client) {
+  ring_.ForEach([this, account_client](uint64_t, Entry& e) {
     if (e.valid) {
       e.valid = false;
       ++stats_.invalidations;
-      ++client_->mutable_stats().cache_invalidations;
-      client_->recorder().RecordCacheInvalidation();
+      if (account_client) {
+        ++client_->mutable_stats().cache_invalidations;
+        client_->recorder().RecordCacheInvalidation();
+      }
     }
   });
 }
 
+void NearCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateAllLocked(/*account_client=*/true);
+}
+
 void NearCache::OnNotify(const NotifyEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (event.kind == NotifyEventKind::kLossWarning) {
     // An unknown number of events, for unknown subscriptions, were lost:
     // the only safe response is to distrust everything cached.
     ++stats_.loss_resets;
-    InvalidateAll();
+    InvalidateAllLocked(/*account_client=*/true);
     return;
   }
   auto it = sub_to_key_.find(event.sub_id);
@@ -263,10 +380,10 @@ void NearCache::OnNotify(const NotifyEvent& event) {
       }
     }
   }
-  Invalidate(it->second);
+  InvalidateLocked(it->second, /*account_client=*/true);
 }
 
-void NearCache::ReleaseEntry(Entry& entry, const char* label_name) {
+void NearCache::ReleaseEntryLocked(Entry& entry, const char* label_name) {
   if (entry.sub != kInvalidSubId) {
     sub_to_key_.erase(entry.sub);
     ScopedOpLabel label(&client_->recorder(), label_name);
@@ -277,24 +394,91 @@ void NearCache::ReleaseEntry(Entry& entry, const char* label_name) {
   entry.watch_len = 0;
 }
 
-void NearCache::EvictToBudget() {
-  while (bytes_used_ > options_.budget_bytes) {
+void NearCache::EvictToBudgetLocked() {
+  while (BudgetUsedLocked() > BudgetLimit()) {
     auto victim = ring_.EvictOne();
     if (!victim.has_value()) {
       break;
     }
-    bytes_used_ -= EntryCost(victim->second);
-    ReleaseEntry(victim->second);
+    SubBytesLocked(EntryCost(victim->second));
+    ReleaseEntryLocked(victim->second);
     ++stats_.evictions;
   }
 }
 
+bool NearCache::SweepNeeded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_used_ > 0 && BudgetUsedLocked() > HighWatermark();
+}
+
+size_t NearCache::BackgroundSweep(FarClient* evictor_client) {
+  // Phase 1 (under the cache mutex): pick CLOCK victims and reclaim their
+  // near state. The victims' subscriptions are remembered but NOT torn down
+  // here — paying round trips under the mutex would stall the hot path the
+  // sweep exists to protect.
+  struct Retired {
+    SubId sub;
+    FarAddr watch;
+  };
+  std::vector<Retired> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t low = LowWatermark();
+    while (BudgetUsedLocked() > low && !ring_.empty()) {
+      auto victim = ring_.EvictOne();
+      if (!victim.has_value()) {
+        break;
+      }
+      Entry& e = victim->second;
+      SubBytesLocked(EntryCost(e));
+      ++stats_.bg_evictions;
+      if (e.sub != kInvalidSubId) {
+        sub_to_key_.erase(e.sub);
+        retired.push_back({e.sub, e.watch});
+        // The owner forgets the id (no RTT) on its next cache op; any
+        // event still in flight for it is ignored (sub_to_key_ miss) or
+        // discarded by the owner's forgotten-subs filter.
+        retired_subs_.push_back(e.sub);
+      }
+    }
+  }
+  // Phase 2 (no cache mutex): pay the node-side unsubscribe round trips on
+  // the evictor's own client and clock.
+  for (const Retired& r : retired) {
+    ScopedOpLabel label(&evictor_client->recorder(), "cache.bg_evict");
+    (void)evictor_client->UnsubscribeAt(r.watch, r.sub);
+    ++evictor_client->mutable_stats().bg_evictions;
+  }
+  return retired.size();
+}
+
 void NearCache::Clear() {
-  ring_.ForEach([this](uint64_t, Entry& e) { ReleaseEntry(e); });
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainRetiredLocked();
+  ring_.ForEach([this](uint64_t, Entry& e) { ReleaseEntryLocked(e); });
   ring_.Clear();
   filter_.Clear();
   sub_to_key_.clear();
+  if (options_.shared_budget != nullptr && bytes_used_ > 0) {
+    options_.shared_budget->used.fetch_sub(bytes_used_,
+                                           std::memory_order_relaxed);
+  }
   bytes_used_ = 0;
+}
+
+uint64_t NearCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_used_;
+}
+
+size_t NearCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+NearCacheStats NearCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace fmds

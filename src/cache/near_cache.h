@@ -40,11 +40,24 @@
 // round trips under the "cache.admit"/"cache.rewatch"/"cache.evict"
 // labels; dispatching an empty notification channel is free.
 //
-// Threading: owned by one client thread, same model as FarClient.
+// Threading (§11, write-behind): the cache is *owned* by one client
+// thread — Lookup/Admit/OnNotify/Clear run there — but two kinds of helper
+// threads may now touch it, so every method takes an internal mutex:
+//   - a write-behind flusher refills/invalidates entries after publishing
+//     (RefillExternal/InvalidateExternal — no owner-client accounting);
+//   - a background evictor reclaims budget off the hot path
+//     (BackgroundSweep — node-side unsubscribes paid by the *evictor's*
+//     client; owner-side subscription bookkeeping is retired lazily on the
+//     owner thread).
+// The mutex guards cache state only; it is never held across a round trip
+// except on owner-thread release paths (rewatch/clear/sync evict).
 #ifndef FMDS_SRC_CACHE_NEAR_CACHE_H_
 #define FMDS_SRC_CACHE_NEAR_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +67,32 @@
 #include "src/fabric/notification.h"
 
 namespace fmds {
+
+// A byte budget shared by several caches (ShardedMap's per-shard rings
+// draw on one of these so the client's footprint stays bounded as shard
+// counts grow). `used` is the fleet-wide total across every attached
+// cache; each cache still evicts only its own entries.
+struct CacheBudget {
+  static uint64_t DefaultHigh(uint64_t limit, uint64_t high) {
+    return high != 0 ? high : limit;
+  }
+  static uint64_t DefaultLow(uint64_t limit, uint64_t high, uint64_t low) {
+    if (low != 0) {
+      return low;
+    }
+    const uint64_t h = DefaultHigh(limit, high);
+    return h - h / 8;
+  }
+  explicit CacheBudget(uint64_t limit_bytes, uint64_t high_bytes = 0,
+                       uint64_t low_bytes = 0)
+      : limit(limit_bytes),
+        high_watermark(DefaultHigh(limit_bytes, high_bytes)),
+        low_watermark(DefaultLow(limit_bytes, high_bytes, low_bytes)) {}
+  const uint64_t limit;
+  const uint64_t high_watermark;  // background mode: admissions drop above
+  const uint64_t low_watermark;   // background mode: sweeps drain to here
+  std::atomic<uint64_t> used{0};
+};
 
 struct NearCacheOptions {
   // Total bytes of cached payload + per-entry overhead. 0 disables the
@@ -75,6 +114,18 @@ struct NearCacheOptions {
   // refill its own entry at Put exit and survive the echo of its own CAS.
   // Leave false for ranges whose words can repeat (e.g. blob length words).
   bool word_versioned = false;
+  // Mage-style background eviction: the hot path NEVER runs a CLOCK sweep
+  // or pays an unsubscribe round trip. Admissions proceed while used bytes
+  // stay under the high watermark and are dropped (wm_drops) above it; a
+  // BackgroundEvictor thread calls BackgroundSweep() to drain the cache to
+  // the low watermark off the critical path.
+  bool background_eviction = false;
+  uint64_t high_watermark_bytes = 0;  // 0 => the budget/limit itself
+  uint64_t low_watermark_bytes = 0;   // 0 => high - high/8
+  // Fleet-wide budget shared with sibling caches. When set, `budget_bytes`
+  // should equal the shared limit (it sizes this cache's ring); all byte
+  // accounting and watermark checks run against the shared total.
+  std::shared_ptr<CacheBudget> shared_budget;
 };
 
 struct NearCacheStats {
@@ -83,7 +134,8 @@ struct NearCacheStats {
   uint64_t invalidations = 0;  // notification- or writer-driven entry kills
   uint64_t admissions = 0;     // new entries (paid a subscribe RTT)
   uint64_t refills = 0;        // in-place refills of resident entries
-  uint64_t evictions = 0;      // budget/capacity victims (paid unsubscribe)
+  uint64_t evictions = 0;      // synchronous (hot-path) budget/capacity
+                               // victims (paid unsubscribe)
   uint64_t loss_resets = 0;    // whole-cache invalidations on loss warning
   uint64_t rewatches = 0;      // refills whose watched range moved (paid
                                // unsubscribe + subscribe RTTs)
@@ -93,6 +145,10 @@ struct NearCacheStats {
                                // (zero far round trips)
   uint64_t word_confirms = 0;  // notifications whose word matched the
                                // entry's fill word (entry kept valid)
+  uint64_t bg_evictions = 0;   // victims reclaimed by BackgroundSweep()
+                               // (unsubscribe paid by the evictor client)
+  uint64_t wm_drops = 0;       // admissions dropped above the high
+                               // watermark while awaiting a sweep
 
   void Add(const NearCacheStats& other) {
     hits += other.hits;
@@ -106,6 +162,8 @@ struct NearCacheStats {
     raced_admits += other.raced_admits;
     writer_refills += other.writer_refills;
     word_confirms += other.word_confirms;
+    bg_evictions += other.bg_evictions;
+    wm_drops += other.wm_drops;
   }
   double HitRatio() const {
     const uint64_t lookups = hits + misses;
@@ -177,6 +235,14 @@ class NearCache : public NotificationSink {
   void Refill(uint64_t key, std::span<const std::byte> payload, FarAddr watch,
               uint64_t watch_len, uint64_t watch_word);
 
+  // Cross-thread variants for the write-behind flusher (§11): same refill /
+  // invalidate semantics, but NO owner-client stats, recorder, or near-op
+  // accounting — the flusher charges its own client. Safe to call from a
+  // non-owner thread.
+  void RefillExternal(uint64_t key, std::span<const std::byte> payload,
+                      FarAddr watch, uint64_t watch_len, uint64_t watch_word);
+  void InvalidateExternal(uint64_t key);
+
   // Marks every entry invalid (subscriptions and slots survive for refill).
   void InvalidateAll();
 
@@ -187,9 +253,24 @@ class NearCache : public NotificationSink {
   // Drops every entry and releases the subscriptions (unsubscribe RTTs).
   void Clear();
 
-  uint64_t bytes_used() const { return bytes_used_; }
-  size_t entries() const { return ring_.size(); }
-  const NearCacheStats& stats() const { return stats_; }
+  // True when a background sweep has bytes to reclaim (used >= high
+  // watermark in background mode). Cheap enough to poll.
+  bool SweepNeeded() const;
+
+  // Background eviction (Mage-style): evicts this cache's CLOCK victims
+  // until the (possibly shared) used total drops to the low watermark.
+  // Victim state is reclaimed under the cache mutex; the per-victim
+  // unsubscribe round trips are then paid OUTSIDE the mutex by
+  // `evictor_client` (label "cache.bg_evict", ClientStats.bg_evictions) so
+  // the owner thread never blocks behind fabric teardown. The owner's
+  // subscription bookkeeping is retired lazily (ForgetSubscription) on its
+  // next cache operation. Returns the number of entries reclaimed. Caller
+  // (the BackgroundEvictor) must stop sweeping before the cache dies.
+  size_t BackgroundSweep(FarClient* evictor_client);
+
+  uint64_t bytes_used() const;
+  size_t entries() const;
+  NearCacheStats stats() const;
   const NearCacheOptions& options() const { return options_; }
 
  private:
@@ -211,22 +292,46 @@ class NearCache : public NotificationSink {
   uint64_t EntryCost(const Entry& e) const {
     return e.payload.size() + kEntryOverhead;
   }
+  // Byte accounting against the local counter and, when configured, the
+  // shared fleet budget.
+  void AddBytesLocked(uint64_t n);
+  void SubBytesLocked(uint64_t n);
+  uint64_t BudgetUsedLocked() const;
+  uint64_t BudgetLimit() const;
+  uint64_t HighWatermark() const;
+  uint64_t LowWatermark() const;
+  // Owner-thread lazy cleanup of subscriptions the background evictor
+  // already tore down node-side.
+  void DrainRetiredLocked();
   // Read-and-arm subscribe on [watch, watch+watch_len): fills e.sub/e.watch,
   // registers sub_to_key_, and sets e.valid from the snapshot comparison.
   // Returns false (entry untouched beyond payload) if the range is
   // unsubscribable.
-  bool ArmWatch(Entry& e, uint64_t key, FarAddr watch, uint64_t watch_len,
-                uint64_t expected_watch_word, const char* label_name);
+  bool ArmWatchLocked(Entry& e, uint64_t key, FarAddr watch,
+                      uint64_t watch_len, uint64_t expected_watch_word,
+                      const char* label_name);
   // Unsubscribes and forgets one released entry; the label names the cause
   // in the flight recorder ("cache.evict" eviction, "cache.rewatch" move).
-  void ReleaseEntry(Entry& entry, const char* label_name = "cache.evict");
-  void EvictToBudget();
+  void ReleaseEntryLocked(Entry& entry, const char* label_name = "cache.evict");
+  // Marks one entry invalid. `account_client` gates the owner-client
+  // ClientStats/recorder bumps (false on cross-thread paths).
+  void InvalidateLocked(uint64_t key, bool account_client);
+  void InvalidateAllLocked(bool account_client);
+  void RefillLocked(uint64_t key, std::span<const std::byte> payload,
+                    FarAddr watch, uint64_t watch_len, uint64_t watch_word,
+                    bool account_client);
+  void EvictToBudgetLocked();
 
   FarClient* client_;
   NearCacheOptions options_;
+  // Guards every member below. See the threading note at the top.
+  mutable std::mutex mu_;
   ClockRing<Entry> ring_;
   ClockRing<uint32_t> filter_;  // key -> miss count (admission filter)
   std::unordered_map<SubId, uint64_t> sub_to_key_;
+  // Sub ids the background evictor reclaimed; the owner thread forgets
+  // them (no round trip) on its next cache operation.
+  std::vector<SubId> retired_subs_;
   uint64_t bytes_used_ = 0;
   NearCacheStats stats_;
 };

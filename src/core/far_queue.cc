@@ -46,10 +46,18 @@ Result<FarQueue> FarQueue::Create(FarClient* client, FarAllocator* alloc,
   queue.lock_ = FarMutex::Attach(header + kHdrLock);
   queue.est_head_ = ring_base;
   queue.est_tail_ = ring_base;
+  if (options.watch_estimates) {
+    FMDS_RETURN_IF_ERROR(queue.EnableWatch());
+  }
   return queue;
 }
 
 Result<FarQueue> FarQueue::Attach(FarClient* client, FarAddr header) {
+  return Attach(client, header, Options{});
+}
+
+Result<FarQueue> FarQueue::Attach(FarClient* client, FarAddr header,
+                                  Options options) {
   uint64_t hdr[8];
   FMDS_RETURN_IF_ERROR(client->Read(
       header, std::as_writable_bytes(std::span<uint64_t>(hdr))));
@@ -57,13 +65,73 @@ Result<FarQueue> FarQueue::Attach(FarClient* client, FarAddr header) {
   queue.ring_base_ = hdr[kHdrRingBase / 8];
   queue.capacity_ = hdr[kHdrCapacity / 8];
   queue.max_clients_ = hdr[kHdrMaxClients / 8];
+  queue.refresh_every_ = options.refresh_every;
   queue.lock_ = FarMutex::Attach(header + kHdrLock);
   queue.est_head_ = hdr[kHdrHead / 8];
   queue.est_tail_ = hdr[kHdrTail / 8];
+  if (options.watch_estimates) {
+    FMDS_RETURN_IF_ERROR(queue.EnableWatch());
+  }
   return queue;
 }
 
+void FarQueue::EstimateWatch::OnNotify(const NotifyEvent& event) {
+  if (event.kind == NotifyEventKind::kLossWarning) {
+    loss = true;
+    return;
+  }
+  // event.word is the pointer word's value read inside the node's
+  // subscription critical section at publish time; coalesced events keep
+  // the latest, so adopting it directly is always monotone in real time.
+  if (event.sub_id == head_sub) {
+    head = event.word;
+  } else if (event.sub_id == tail_sub) {
+    tail = event.word;
+  }
+}
+
+Status FarQueue::EnableWatch() {
+  watch_ = std::make_unique<EstimateWatch>();
+  NotifySpec spec;
+  spec.mode = NotifyMode::kOnWrite;
+  spec.len = kWordSize;
+  // Coalescing is safe (and desirable) here: only the newest pointer value
+  // matters, and the event's `word` field carries it.
+  spec.policy = DeliveryPolicy{0.0, /*coalesce=*/true, 0};
+  uint64_t snapshot = 0;
+  spec.addr = head_addr();
+  FMDS_ASSIGN_OR_RETURN(watch_->head_sub,
+                        client_->Subscribe(spec, watch_.get(), &snapshot));
+  watch_->head = snapshot;
+  spec.addr = tail_addr();
+  FMDS_ASSIGN_OR_RETURN(watch_->tail_sub,
+                        client_->Subscribe(spec, watch_.get(), &snapshot));
+  watch_->tail = snapshot;
+  // Read-and-arm: the snapshots are exact at registration time.
+  est_head_ = watch_->head;
+  est_tail_ = watch_->tail;
+  return OkStatus();
+}
+
 Status FarQueue::MaybeRefreshEstimates() {
+  if (watch_ != nullptr) {
+    // Pushed estimates: drain whatever the fabric delivered (free when the
+    // channel is empty) and adopt the watch's latest pointer values. Our
+    // own faai/saai publish notifications synchronously at the node, so by
+    // the time the next op dispatches, the watch is at least as fresh as
+    // our last completed op.
+    (void)client_->DispatchNotifications();
+    if (watch_->loss) {
+      watch_->loss = false;
+      FMDS_ASSIGN_OR_RETURN(watch_->head,
+                            client_->ReadWordBackground(head_addr()));
+      FMDS_ASSIGN_OR_RETURN(watch_->tail,
+                            client_->ReadWordBackground(tail_addr()));
+    }
+    est_head_ = watch_->head;
+    est_tail_ = watch_->tail;
+    return OkStatus();
+  }
   if (ops_since_refresh_ < refresh_every_) {
     return OkStatus();
   }
@@ -167,6 +235,13 @@ Result<uint64_t> FarQueue::Dequeue() {
   uint64_t occ =
       LogicalOccSlots(est_head_, est_tail_, capacity_ * kWordSize);
   if (occ == 0) {
+    if (watch_ != nullptr) {
+      // Watched pointers: the estimate is push-fresh, so an idle poll ends
+      // here at ZERO far accesses (bench_e5's idle-poll gate). A concurrent
+      // enqueue not yet delivered surfaces on a later poll — same
+      // conservative-empty contract as the synchronous check below.
+      return Status(StatusCode::kNotFound, "queue empty");
+    }
     // Estimate says maybe-empty: read the true tail before reserving.
     ++op_stats_.slow_dequeues;
     ++client_->mutable_stats().slow_path_ops;

@@ -34,6 +34,7 @@
 #define FMDS_SRC_CORE_FAR_QUEUE_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "src/alloc/far_allocator.h"
 #include "src/core/far_mutex.h"
@@ -47,8 +48,16 @@ class FarQueue {
     uint64_t capacity = 1024;    // ring slots
     uint64_t max_clients = 16;   // n: bound on concurrent clients
     // Refresh the head/tail estimates (background reads) every this many
-    // fast-path ops.
+    // fast-path ops. Ignored under watch_estimates.
     uint64_t refresh_every = 4;
+    // Watch the head/tail header words via read-and-arm subscriptions
+    // instead of periodic background reads: estimates update from pushed
+    // notifications drained at op entry, so an IDLE consumer's poll
+    // (estimate says empty) costs ZERO far accesses — the ReadWord
+    // empty-check and the periodic refresh reads both disappear. On a
+    // channel loss warning the estimates resynchronize with one pair of
+    // background reads.
+    bool watch_estimates = false;
   };
 
   struct OpStats {
@@ -64,8 +73,12 @@ class FarQueue {
   static Result<FarQueue> Create(FarClient* client, FarAllocator* alloc,
                                  Options options);
   static Result<FarQueue> Create(FarClient* client, FarAllocator* alloc);
-  // Binds to an existing queue (reads the geometry header).
+  // Binds to an existing queue (reads the geometry header). The Options
+  // overload applies this handle's estimate knobs (refresh_every /
+  // watch_estimates); geometry fields are ignored — the directory knows.
   static Result<FarQueue> Attach(FarClient* client, FarAddr header);
+  static Result<FarQueue> Attach(FarClient* client, FarAddr header,
+                                 Options options);
 
   FarAddr header() const { return header_; }
   uint64_t capacity() const { return capacity_; }
@@ -104,6 +117,19 @@ class FarQueue {
   // Background refresh of the remote pointer estimates.
   Status MaybeRefreshEstimates();
 
+  // Pushed estimates (Options::watch_estimates): one sink watching the
+  // head and tail header words. Heap-owned because the pointer registered
+  // with FarClient::Subscribe must stay stable across FarQueue moves.
+  struct EstimateWatch : NotificationSink {
+    SubId head_sub = kInvalidSubId;
+    SubId tail_sub = kInvalidSubId;
+    uint64_t head = 0;  // latest pushed pointer values (absolute addresses)
+    uint64_t tail = 0;
+    bool loss = false;  // channel overflowed; values untrustworthy
+    void OnNotify(const NotifyEvent& event) override;
+  };
+  Status EnableWatch();
+
   // Slack-landing fixups (hold the queue lock).
   Status FixupTailLanding(FarAddr landed, uint64_t value);
   Result<uint64_t> FixupHeadLanding(FarAddr landed, uint64_t faai_value);
@@ -120,6 +146,7 @@ class FarQueue {
   uint64_t est_head_ = 0;
   uint64_t est_tail_ = 0;
   uint64_t ops_since_refresh_ = 0;
+  std::unique_ptr<EstimateWatch> watch_;
 
   OpStats op_stats_;
 };

@@ -18,6 +18,10 @@ constexpr uint32_t kMaxDepth = 40;
 // Stale retries may have to outwait an in-flight split (buckets frozen,
 // trie not yet republished), so the budget is generous and backs off.
 constexpr int kMaxOpRetries = 4096;
+// Wave-based CAS retries in BatchPut before dropping to the synchronous
+// fallback. Each retry costs two extra waves (inspect, re-CAS), so a
+// persistent loser hands off to the sync path's backoff fairly quickly.
+constexpr int kMaxBatchCasRetries = 16;
 
 uint64_t VersionOf(uint64_t meta) { return meta & 0xffffffffull; }
 
@@ -367,6 +371,22 @@ Status HtTree::RefreshPath(uint64_t hash) {
 Result<uint64_t> HtTree::Get(uint64_t key) {
   ScopedOpLabel label(&client_->recorder(), "httree.get");
   ++op_stats_.gets;
+  // Write-behind read-your-writes: the pending table is the newest truth
+  // for this thread's own writes, so it outranks the near cache and the
+  // far map. A miss here implies the write already published (the flusher
+  // erases records only after its CAS and cache-refill stages), making the
+  // pending -> dispatch -> cache consult order safe.
+  if (wb_ != nullptr) {
+    uint64_t pending_value = 0;
+    bool pending_tombstone = false;
+    if (wb_->Lookup(key, &pending_value, &pending_tombstone)) {
+      client_->AccountNear(1);
+      if (pending_tombstone) {
+        return Status(StatusCode::kNotFound, "key removed");
+      }
+      return pending_value;
+    }
+  }
   DispatchCacheInvalidations();
   // NearCache fast path: a valid entry IS the answer — no trie descent, no
   // chain walk, zero far accesses. Coherence comes from the bucket-word
@@ -579,8 +599,23 @@ HtTree::BatchGet::BatchGet(HtTree* map, std::span<const uint64_t> keys)
     Probe probe;
     probe.idx = i;
     probe.key = keys[i];
-    // NearCache consult: a hit resolves the probe before any wave posts —
+    // Pending-table consult first (read-your-writes, see Get), then the
+    // NearCache: either hit resolves the probe before any wave posts —
     // hot keys drop out of the doorbell entirely, without even a descent.
+    if (map_->wb_ != nullptr) {
+      uint64_t pending_value = 0;
+      bool pending_tombstone = false;
+      if (map_->wb_->Lookup(probe.key, &pending_value, &pending_tombstone)) {
+        map_->client_->AccountNear(1);
+        results_[i] = pending_tombstone
+                          ? Result<uint64_t>(
+                                Status(StatusCode::kNotFound, "key removed"))
+                          : Result<uint64_t>(pending_value);
+        probe.stage = Stage::kDone;
+        probes_.push_back(probe);
+        continue;
+      }
+    }
     uint64_t cached_value = 0;
     if (map_->CacheLookupValue(probe.key, &cached_value)) {
       results_[i] = cached_value;
@@ -735,6 +770,15 @@ std::vector<Result<uint64_t>> HtTree::MultiGet(
 
 Status HtTree::Put(uint64_t key, uint64_t value) {
   ScopedOpLabel label(&client_->recorder(), "httree.put");
+  if (wb_ != nullptr) {
+    // Write-behind: stage and return — no far round trip, no allocation,
+    // no cache sweep on this thread. The flusher publishes asynchronously;
+    // errors surface at FlushBarrier().
+    ++op_stats_.puts;
+    client_->AccountNear(1);
+    wb_->Put(key, value);
+    return OkStatus();
+  }
   const uint64_t hash = Mix64(key);
   ++op_stats_.puts;
   DispatchCacheInvalidations();
@@ -823,52 +867,148 @@ Status HtTree::Put(uint64_t key, uint64_t value) {
 
 HtTree::BatchPut::BatchPut(HtTree* map, std::span<const uint64_t> keys,
                            std::span<const uint64_t> values)
-    : map_(map) {
-  map_->op_stats_.puts += keys.size();
+    : BatchPut(map, keys, values, {}, nullptr) {}
+
+HtTree::BatchPut::BatchPut(HtTree* map, std::span<const uint64_t> keys,
+                           std::span<const uint64_t> values,
+                           std::span<const uint8_t> tombstones,
+                           std::vector<WriteOutcome>* outcomes)
+    : map_(map), outcomes_(outcomes) {
   map_->DispatchCacheInvalidations();
+  if (outcomes_ != nullptr) {
+    outcomes_->assign(keys.size(), WriteOutcome{});
+  }
   ops_.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     Op op;
     op.key = keys[i];
-    op.value = i < values.size() ? values[i] : 0;
+    op.tombstone = i < tombstones.size() && tombstones[i] != 0;
+    op.value = (!op.tombstone && i < values.size()) ? values[i] : 0;
     op.hash = Mix64(keys[i]);
+    if (op.tombstone) {
+      ++map_->op_stats_.removes;
+    } else {
+      ++map_->op_stats_.puts;
+    }
     ops_.push_back(op);
   }
 }
 
 size_t HtTree::BatchPut::PostWave() {
   size_t posted = 0;
+  // Same-bucket ops within one wave chain their predictions: op k links
+  // (and predicts) op k-1's slot, so the whole chain rides the ordered
+  // doorbell with zero intra-batch mispredictions. Without this, a batch
+  // of hot keys (write-behind under Zipf) collides on its own buckets and
+  // every op past the first falls back to a serial synchronous Put —
+  // re-serializing exactly the round trips the batch exists to overlap.
+  // Only each chain's FIRST op races external writers.
+  std::unordered_map<FarAddr, const Op*> chain_tail;
   for (Op& op : ops_) {
-    if (op.state != State::kInit) {
-      continue;
+    switch (op.state) {
+      case State::kInit: {
+        auto slot = map_->AllocItemSlot();
+        if (!slot.ok()) {
+          op.result = slot.status();
+          op.state = State::kDone;
+          break;
+        }
+        op.slot = *slot;
+        op.leaf_index = map_->DescendCached(op.hash);
+        op.leaf = map_->nodes_[op.leaf_index];
+        op.bucket =
+            map_->BucketAddr(op.leaf.table, map_->BucketIndex(op.hash));
+        map_->client_->AccountNear(1);
+        const auto tail = chain_tail.find(op.bucket);
+        op.predicted = tail != chain_tail.end()
+                           ? tail->second->slot
+                           : map_->HeadHint(op.bucket, op.leaf.sentinel);
+        chain_tail[op.bucket] = &op;
+        // Both far accesses of the store ride the shared doorbell: publish
+        // the item body, then CAS the bucket head. The doorbell preserves
+        // post order per node, so the item is visible before it becomes
+        // reachable. A removal is the same insert-at-head with the
+        // tombstone flag set.
+        Item item{op.key, op.value,
+                  VersionOf(op.leaf.version) |
+                      (op.tombstone ? kFlagTombstone : 0ull),
+                  op.predicted};
+        op.write_op = map_->client_->PostWrite(op.slot, AsConstBytes(item));
+        op.cas_op =
+            map_->client_->PostCompareSwap(op.bucket, op.predicted, op.slot);
+        op.state = State::kPosted;
+        posted += 2;
+        break;
+      }
+      case State::kInspect:
+        // Read the item behind the observed head before adopting it as a
+        // prediction (it could be the retired sentinel of a frozen
+        // bucket). The read rides the same doorbell as every other op in
+        // the wave, so an entire failed chain re-validates in one batched
+        // round trip.
+        op.read_op = map_->client_->PostRead(op.observed, AsBytes(op.head));
+        op.state = State::kInspectPosted;
+        posted += 1;
+        break;
+      case State::kRelink: {
+        // The slot body is already published and never became reachable
+        // (the CAS failed), so only the link word needs rewriting. An
+        // earlier same-bucket op in this wave re-forms the chain; its
+        // members keep their original relative order, so their link words
+        // are rewritten with the values they already hold.
+        const auto tail = chain_tail.find(op.bucket);
+        op.predicted =
+            tail != chain_tail.end() ? tail->second->slot : op.observed;
+        chain_tail[op.bucket] = &op;
+        op.write_op =
+            map_->client_->PostWriteWord(op.slot + kItemNext, op.predicted);
+        op.cas_op =
+            map_->client_->PostCompareSwap(op.bucket, op.predicted, op.slot);
+        op.state = State::kPosted;
+        posted += 2;
+        break;
+      }
+      case State::kPosted:
+      case State::kInspectPosted:
+      case State::kDone:
+      case State::kFallback:
+        break;
     }
-    auto slot = map_->AllocItemSlot();
-    if (!slot.ok()) {
-      op.result = slot.status();
-      op.state = State::kDone;
-      continue;
-    }
-    op.slot = *slot;
-    op.leaf_index = map_->DescendCached(op.hash);
-    op.leaf = map_->nodes_[op.leaf_index];
-    op.bucket = map_->BucketAddr(op.leaf.table, map_->BucketIndex(op.hash));
-    map_->client_->AccountNear(1);
-    op.predicted = map_->HeadHint(op.bucket, op.leaf.sentinel);
-    // Both far accesses of the store ride the shared doorbell: publish the
-    // item body, then CAS the bucket head. The doorbell preserves post
-    // order per node, so the item is visible before it becomes reachable.
-    Item item{op.key, op.value, VersionOf(op.leaf.version), op.predicted};
-    op.write_op = map_->client_->PostWrite(op.slot, AsConstBytes(item));
-    op.cas_op =
-        map_->client_->PostCompareSwap(op.bucket, op.predicted, op.slot);
-    op.state = State::kPosted;
-    posted += 2;
   }
   return posted;
 }
 
 void HtTree::BatchPut::AbsorbWave(const CompletionMap& done) {
-  for (Op& op : ops_) {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    Op& op = ops_[i];
+    if (op.state == State::kInspectPosted) {
+      const auto rit = done.find(op.read_op);
+      if (rit == done.end()) {
+        continue;  // posted into a wave this map did not flush yet
+      }
+      if (!rit->second.status.ok()) {
+        op.result = rit->second.status;
+        op.state = State::kDone;
+        continue;
+      }
+      map_->client_->AccountNear(1);
+      if ((op.head.meta & kFlagPending) != 0 ||
+          (op.head.meta & kFlagRetired) != 0 ||
+          VersionOf(op.head.meta) != op.leaf.version) {
+        // A pending transaction lock (only its owner may change the word)
+        // or a concurrent split: both need the sync path's backoff /
+        // RefreshPath machinery. Rare enough to pay the serial trip.
+        op.state = State::kFallback;
+        continue;
+      }
+      // Validated live head of the current table generation: safe to adopt
+      // as the prediction and as a hint (mirrors the sync Put).
+      if (map_->options_.use_head_hints) {
+        map_->head_hints_.Upsert(op.bucket, op.observed);
+      }
+      op.state = State::kRelink;
+      continue;
+    }
     if (op.state != State::kPosted) {
       continue;
     }
@@ -885,24 +1025,41 @@ void HtTree::BatchPut::AbsorbWave(const CompletionMap& done) {
     }
     const uint64_t old = cit->second.word;
     if (old != op.predicted) {
-      // Mispredicted: stale cache, a same-bucket neighbor earlier in this
-      // batch, or a concurrent writer. Finish through the synchronous Put
-      // in Take(). The observed head must NOT be cached as a hint here:
-      // without reading its item we cannot tell it from the retired
-      // sentinel of a concurrently frozen bucket, and a later CAS
+      // Mispredicted: stale cache or a concurrent writer (same-batch
+      // neighbors never collide — they chain at post time). Retry inside
+      // the wave engine: inspect the observed head next wave, adopt it if
+      // it validates, re-CAS the wave after. The observed head must NOT
+      // be cached as a hint before that read: we cannot tell it from the
+      // retired sentinel of a concurrently frozen bucket, and a later CAS
       // predicting the sentinel would "succeed" into the dead table and
-      // lose the write. (Sync Put validates the head before caching it.)
+      // lose the write.
       ++map_->op_stats_.cas_retries;
-      op.state = State::kFallback;
+      if (++op.attempts >= kMaxBatchCasRetries) {
+        op.state = State::kFallback;
+      } else {
+        op.observed = old;
+        op.state = State::kInspect;
+      }
       continue;
     }
     if (map_->options_.use_head_hints) {
       map_->head_hints_.Upsert(op.bucket, op.slot);
     }
-    // Writer-side refill, same rationale as the sync Put's.
+    // Writer-side refill, same rationale as the sync Put's; a tombstone
+    // mirrors the sync Remove and invalidates instead.
     if (map_->near_cache_ != nullptr) {
-      map_->near_cache_->Refill(op.key, AsConstBytes(op.value), op.bucket,
-                                kWordSize, op.slot);
+      if (op.tombstone) {
+        map_->near_cache_->Invalidate(op.key);
+      } else {
+        map_->near_cache_->Refill(op.key, AsConstBytes(op.value), op.bucket,
+                                  kWordSize, op.slot);
+      }
+    }
+    // Only the batched fast path yields a refillable outcome: its CAS left
+    // the bucket word equal to op.slot, the exact confirmation word a
+    // cross-thread RefillExternal needs.
+    if (outcomes_ != nullptr) {
+      (*outcomes_)[i] = WriteOutcome{op.bucket, op.slot, !op.tombstone};
     }
     const uint64_t estimate = ++map_->collision_estimate_[op.leaf.table];
     map_->client_->AccountNear(1);
@@ -917,14 +1074,47 @@ void HtTree::BatchPut::AbsorbWave(const CompletionMap& done) {
 
 Status HtTree::BatchPut::Take() {
   Status first = OkStatus();
+  std::unordered_set<FarAddr> fallback_buckets;
   for (Op& op : ops_) {
     if (op.state == State::kFallback) {
-      --map_->op_stats_.puts;  // Put() bumps it again
-      op.result = map_->Put(op.key, op.value);
+      fallback_buckets.insert(op.bucket);
+      // The sync op bumps the stat again.
+      if (op.tombstone) {
+        --map_->op_stats_.removes;
+        op.result = map_->Remove(op.key);
+      } else {
+        --map_->op_stats_.puts;
+        op.result = map_->Put(op.key, op.value);
+      }
       op.state = State::kDone;
     }
     if (first.ok() && !op.result.ok()) {
       first = op.result;
+    }
+  }
+  if (outcomes_ != nullptr) {
+    // A chained bucket's stable post-batch head is its LAST landed slot;
+    // refill confirmations must record that word, not each member's own
+    // slot (the member's word was overwritten by its chain successor). A
+    // bucket any fallback op re-wrote moved past the chain entirely —
+    // downgrade its outcomes to invalidate.
+    std::unordered_map<FarAddr, uint64_t> final_head;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      const WriteOutcome& o = (*outcomes_)[i];
+      if (o.bucket != kNullFarAddr) {
+        final_head[o.bucket] = o.head;
+      }
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      WriteOutcome& o = (*outcomes_)[i];
+      if (!o.refillable) {
+        continue;
+      }
+      if (fallback_buckets.count(o.bucket) != 0) {
+        o.refillable = false;
+      } else {
+        o.head = final_head[o.bucket];
+      }
     }
   }
   // Deferred splits run after the waves so the batched fast path itself
@@ -943,8 +1133,39 @@ Status HtTree::MultiPut(std::span<const uint64_t> keys,
   if (keys.size() != values.size()) {
     return InvalidArgument("MultiPut keys/values length mismatch");
   }
+  return MultiWrite(keys, values, {});
+}
+
+Status HtTree::MultiWrite(std::span<const uint64_t> keys,
+                          std::span<const uint64_t> values,
+                          std::span<const uint8_t> tombstones,
+                          std::vector<WriteOutcome>* outcomes) {
+  if (keys.size() != values.size() ||
+      (!tombstones.empty() && tombstones.size() != keys.size())) {
+    return InvalidArgument("MultiWrite span length mismatch");
+  }
   ScopedOpLabel label(&client_->recorder(), "httree.multiput");
-  BatchPut engine(this, keys, values);
+  if (wb_ != nullptr) {
+    // Write-behind handles stage instead of publishing: a direct publish
+    // here could overtake an older staged write to the same key. The
+    // engine's flusher handle has wb_ == null and takes the path below.
+    client_->AccountNear(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const bool tombstone = i < tombstones.size() && tombstones[i] != 0;
+      if (tombstone) {
+        ++op_stats_.removes;
+        wb_->Remove(keys[i]);
+      } else {
+        ++op_stats_.puts;
+        wb_->Put(keys[i], values[i]);
+      }
+    }
+    if (outcomes != nullptr) {
+      outcomes->assign(keys.size(), WriteOutcome{});
+    }
+    return OkStatus();
+  }
+  BatchPut engine(this, keys, values, tombstones, outcomes);
   while (engine.PostWave() > 0) {
     std::vector<FarClient::Completion> done;
     (void)client_->WaitAll(&done);
@@ -958,6 +1179,12 @@ Status HtTree::Remove(uint64_t key) {
   // concurrency story as Put. Splits drop tombstones and everything they
   // shadow.
   ScopedOpLabel label(&client_->recorder(), "httree.remove");
+  if (wb_ != nullptr) {
+    ++op_stats_.removes;
+    client_->AccountNear(1);
+    wb_->Remove(key);
+    return OkStatus();
+  }
   const uint64_t hash = Mix64(key);
   ++op_stats_.removes;
   DispatchCacheInvalidations();
@@ -1241,6 +1468,89 @@ Status HtTree::SplitLeafLocked(const CachedNode& leaf, uint64_t hash,
       client_->FetchAdd(header_ + kHdrTableCount, 1).status());
   *internal_out = internal;
   return OkStatus();
+}
+
+namespace {
+// Distinguishes a flusher client's id from its application client's.
+constexpr uint64_t kWbClientIdBit = 1ull << 62;
+
+// Publishes write-behind batches through a flusher-owned FarClient and
+// Attach'd handle to the same far map, then refills the application
+// handle's NearCache from the per-key outcomes. Lives entirely on the
+// flusher thread; the only cross-thread touch is the (internally locked)
+// NearCache External calls.
+class HtTreeWbPublisher : public WriteBehindEngine::Publisher {
+ public:
+  HtTreeWbPublisher(std::unique_ptr<FarClient> client, HtTree map,
+                    NearCache* app_cache)
+      : client_(std::move(client)),
+        map_(std::move(map)),
+        app_cache_(app_cache) {}
+
+  FarClient* client() override { return client_.get(); }
+
+  Status Publish(const WriteBehindEngine::Batch& batch) override {
+    return map_.MultiWrite(batch.keys, batch.values, batch.tombstones,
+                           &outcomes_);
+  }
+
+  void RefillCaches(const WriteBehindEngine::Batch& batch) override {
+    if (app_cache_ == nullptr) {
+      return;
+    }
+    for (size_t i = 0; i < batch.keys.size(); ++i) {
+      if (batch.tombstones[i] != 0 || !outcomes_[i].refillable) {
+        // Tombstones and fallback publishes: drop the entry and let the
+        // bucket notification (already in the app channel by now) rule.
+        app_cache_->InvalidateExternal(batch.keys[i]);
+      } else {
+        // Fast-path store: the CAS left the bucket word equal to
+        // outcomes_[i].head, so a resident entry refills in place and the
+        // writer's next read costs zero far accesses.
+        app_cache_->RefillExternal(batch.keys[i],
+                                   AsConstBytes(batch.values[i]),
+                                   outcomes_[i].bucket, kWordSize,
+                                   outcomes_[i].head);
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<FarClient> client_;
+  HtTree map_;
+  NearCache* app_cache_;
+  std::vector<HtTree::WriteOutcome> outcomes_;
+};
+}  // namespace
+
+Status HtTree::EnableWriteBehind(const WriteBehindOptions& wb_options) {
+  if (wb_ != nullptr) {
+    return FailedPrecondition("write-behind already enabled");
+  }
+  // The flusher owns a separate client (so publish round trips land on its
+  // clock, not this thread's) and a separate handle (head hints on for CAS
+  // prediction, near cache off — the app handle's cache is refilled via
+  // the External calls instead).
+  auto flusher_client = std::make_unique<FarClient>(
+      client_->fabric(), client_->id() | kWbClientIdBit,
+      wb_options.flusher_client);
+  Options fopt = options_;
+  fopt.cache = NearCacheOptions{};
+  FMDS_ASSIGN_OR_RETURN(
+      HtTree handle, Attach(flusher_client.get(), alloc_, header_, fopt));
+  auto publisher = std::make_unique<HtTreeWbPublisher>(
+      std::move(flusher_client), std::move(handle), near_cache_.get());
+  wb_ = std::make_unique<WriteBehindEngine>(client_, std::move(publisher),
+                                            wb_options);
+  return OkStatus();
+}
+
+Status HtTree::FlushBarrier() {
+  if (wb_ == nullptr) {
+    return OkStatus();
+  }
+  ScopedOpLabel label(&client_->recorder(), "httree.flush_barrier");
+  return wb_->FlushBarrier();
 }
 
 Status HtTree::EnableSplitNotifications(DeliveryPolicy policy) {

@@ -41,6 +41,7 @@
 #include "src/cache/clock_ring.h"
 #include "src/cache/near_cache.h"
 #include "src/common/hash.h"
+#include "src/core/write_behind.h"
 #include "src/fabric/far_client.h"
 
 namespace fmds {
@@ -126,6 +127,26 @@ class HtTree {
   Status MultiPut(std::span<const uint64_t> keys,
                   std::span<const uint64_t> values);
 
+  // Per-key publish location from MultiWrite, for the write-behind
+  // flusher's writer-side cache refill. Only the batched fast path is
+  // refillable: a fallback's bucket head is unknown here, so the refill
+  // stage invalidates instead and lets the bucket notification rule.
+  struct WriteOutcome {
+    FarAddr bucket = kNullFarAddr;
+    FarAddr head = kNullFarAddr;  // new bucket head = the key's item slot
+    bool refillable = false;
+  };
+
+  // Batched mixed store/remove: like MultiPut, but tombstones[i] != 0
+  // selects a Remove for keys[i] (an empty span means all stores). When
+  // `outcomes` is non-null it is resized to keys.size() and filled in
+  // input order. Same batching contract and fallback semantics as
+  // MultiPut; this is the write-behind flusher's publish primitive.
+  Status MultiWrite(std::span<const uint64_t> keys,
+                    std::span<const uint64_t> values,
+                    std::span<const uint8_t> tombstones,
+                    std::vector<WriteOutcome>* outcomes = nullptr);
+
   using CompletionMap =
       std::unordered_map<FarClient::OpId, FarClient::Completion>;
   static CompletionMap ToCompletionMap(std::vector<FarClient::Completion> done);
@@ -159,6 +180,22 @@ class HtTree {
   // The bucket-head NearCache, or nullptr when Options::cache is off.
   NearCache* near_cache() { return near_cache_.get(); }
   const NearCache* near_cache() const { return near_cache_.get(); }
+
+  // ---- Write-behind mode (DESIGN.md §11) ----
+  // Switches Put/Remove to asynchronous enqueue-and-return: writes stage
+  // in a pending table (same-key writes combined) and a dedicated flusher
+  // thread publishes them in batched waves through its own Attach'd handle
+  // and FarClient, so this thread never blocks on a publish round trip.
+  // Get/MultiGet consult the pending table first (read-your-writes). Call
+  // at most once, after the handle reached its final location. Handles
+  // owned by a ShardedMap must not enable this directly — the map runs one
+  // fleet-wide engine instead (ShardedMap::Options::write_behind).
+  Status EnableWriteBehind(const WriteBehindOptions& wb_options = {});
+  // Blocks until every enqueued write is published and surfaces the first
+  // asynchronous publish error. No-op when write-behind is off.
+  Status FlushBarrier();
+  // The engine, or nullptr when write-behind is off.
+  WriteBehindEngine* write_behind() { return wb_.get(); }
 
   // Exposed for tests: forces a split of the table owning `key`.
   Status SplitTableOf(uint64_t key);
@@ -369,6 +406,11 @@ class HtTree {
   SubId split_sub_ = kInvalidSubId;
   OpStats op_stats_;
 
+  // Write-behind engine (null when off). Declared after near_cache_: the
+  // flusher's refill stage touches that cache, so the engine must stop
+  // (members destroy in reverse order) before the cache goes away.
+  std::unique_ptr<WriteBehindEngine> wb_;
+
  public:
   // Resumable engine behind MultiGet: PostWave() enqueues the next wave of
   // far ops without flushing, AbsorbWave() consumes their completions.
@@ -419,13 +461,34 @@ class HtTree {
    public:
     BatchPut(HtTree* map, std::span<const uint64_t> keys,
              std::span<const uint64_t> values);
+    // Mixed store/remove wave with optional per-key outcome capture (the
+    // MultiWrite engine; tombstones may be empty, outcomes may be null).
+    BatchPut(HtTree* map, std::span<const uint64_t> keys,
+             std::span<const uint64_t> values,
+             std::span<const uint8_t> tombstones,
+             std::vector<WriteOutcome>* outcomes);
     size_t PostWave();
     void AbsorbWave(const CompletionMap& done);
-    // Runs sync-Put fallbacks and deferred splits; first error wins.
+    // Runs sync fallbacks (Put or Remove) and deferred splits; first error
+    // wins.
     Status Take();
 
    private:
-    enum class State : uint8_t { kInit, kPosted, kDone, kFallback };
+    // kInspect/kRelink are the wave-based CAS retry: a mispredicted op
+    // reads the observed head (kInspect -> kInspectPosted), validates it
+    // against the cached leaf version, then re-links and re-CASes in a
+    // later wave (kRelink). Only pending locks, retired tables, and
+    // exhausted retry budgets drop to the synchronous kFallback path, so
+    // cross-handle collisions stay pipelined instead of re-serializing.
+    enum class State : uint8_t {
+      kInit,
+      kPosted,
+      kInspect,
+      kInspectPosted,
+      kRelink,
+      kDone,
+      kFallback
+    };
     struct Op {
       uint64_t key = 0;
       uint64_t value = 0;
@@ -435,13 +498,21 @@ class HtTree {
       FarAddr slot = kNullFarAddr;
       FarAddr bucket = kNullFarAddr;
       FarAddr predicted = kNullFarAddr;
+      // Bucket word a failed CAS observed; inspected before adoption.
+      FarAddr observed = kNullFarAddr;
+      Item head{};
       FarClient::OpId write_op = 0;
       FarClient::OpId cas_op = 0;
+      FarClient::OpId read_op = 0;
+      int attempts = 0;
       State state = State::kInit;
+      bool tombstone = false;
       Status result;
     };
     HtTree* map_;
     std::vector<Op> ops_;
+    // Input-order outcome sink (null unless the caller asked).
+    std::vector<WriteOutcome>* outcomes_ = nullptr;
     // Tables that crossed the split threshold during the batch; split after
     // the waves so the batched fast path itself stays split-free.
     std::vector<std::pair<int32_t, uint64_t>> deferred_splits_;

@@ -2,6 +2,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/hash.h"
+#include "src/core/txn.h"
 #include "src/obs/recorder.h"
 
 namespace fmds {
@@ -13,6 +14,10 @@ namespace {
 constexpr uint64_t kShardSalt = 0x9e3779b97f4a7c15ull;
 
 constexpr uint32_t kMaxShards = 1u << 12;
+
+// Distinguishes the write-behind flusher's client id from its application
+// client's (same convention as ht_tree.cc).
+constexpr uint64_t kWbClientIdBit = 1ull << 62;
 }  // namespace
 
 uint32_t ShardedMap::ShardOf(uint64_t key) const {
@@ -24,11 +29,18 @@ NodeId ShardedMap::NodeOf(uint64_t key) const {
                              client_->fabric()->num_nodes());
 }
 
-HtTree::Options ShardedMap::ShardOptions(const Options& options, uint32_t i,
-                                         uint32_t num_nodes) {
+HtTree::Options ShardedMap::ShardOptions(
+    const Options& options, uint32_t i, uint32_t num_nodes,
+    const std::shared_ptr<CacheBudget>& budget) {
   HtTree::Options shard = options.shard;
   if (options.pin_shards) {
     shard.placement = AllocHint::OnNode(i % num_nodes);
+  }
+  if (budget != nullptr) {
+    // Fleet-wide budget: budget_bytes sizes each shard's ring, but all
+    // byte accounting and watermark checks run against the shared total.
+    shard.cache.budget_bytes = budget->limit;
+    shard.cache.shared_budget = budget;
   }
   return shard;
 }
@@ -43,13 +55,23 @@ Result<ShardedMap> ShardedMap::Create(FarClient* client, FarAllocator* alloc,
       FarAddr directory,
       alloc->Allocate((1 + options.num_shards) * kWordSize));
   ShardedMap map(client, directory);
+  map.alloc_ = alloc;
+  map.options_ = options;
+  if (options.global_cache_budget_bytes > 0) {
+    map.shared_budget_ = std::make_shared<CacheBudget>(
+        options.global_cache_budget_bytes,
+        options.shard.cache.high_watermark_bytes,
+        options.shard.cache.low_watermark_bytes);
+  }
   std::vector<uint64_t> dir(1 + options.num_shards, 0);
   dir[0] = options.num_shards;
   map.shards_.reserve(options.num_shards);
   for (uint32_t i = 0; i < options.num_shards; ++i) {
     FMDS_ASSIGN_OR_RETURN(
         HtTree shard,
-        HtTree::Create(client, alloc, ShardOptions(options, i, num_nodes)));
+        HtTree::Create(client, alloc,
+                       ShardOptions(options, i, num_nodes,
+                                    map.shared_budget_)));
     dir[1 + i] = shard.header();
     map.shards_.push_back(std::move(shard));
   }
@@ -75,12 +97,21 @@ Result<ShardedMap> ShardedMap::Attach(FarClient* client, FarAllocator* alloc,
       directory + kWordSize,
       std::as_writable_bytes(std::span<uint64_t>(headers))));
   ShardedMap map(client, directory);
+  map.alloc_ = alloc;
+  map.options_ = options;
+  if (options.global_cache_budget_bytes > 0) {
+    map.shared_budget_ = std::make_shared<CacheBudget>(
+        options.global_cache_budget_bytes,
+        options.shard.cache.high_watermark_bytes,
+        options.shard.cache.low_watermark_bytes);
+  }
   map.shards_.reserve(num_shards);
   for (uint32_t i = 0; i < num_shards; ++i) {
     FMDS_ASSIGN_OR_RETURN(
         HtTree shard,
         HtTree::Attach(client, alloc, headers[i],
-                       ShardOptions(options, i, num_nodes)));
+                       ShardOptions(options, i, num_nodes,
+                                    map.shared_budget_)));
     map.shards_.push_back(std::move(shard));
   }
   return map;
@@ -91,30 +122,65 @@ Result<uint64_t> ShardedMap::Get(uint64_t key) {
   // latency attribution.
   ScopedOpLabel label(&client_->recorder(), "sharded.get");
   client_->AccountNear(1);  // routing hash
+  // Fleet-wide write-behind read-your-writes: the shared pending table
+  // outranks every shard's cache and far state (see HtTree::Get).
+  if (wb_ != nullptr) {
+    uint64_t pending_value = 0;
+    bool pending_tombstone = false;
+    if (wb_->Lookup(key, &pending_value, &pending_tombstone)) {
+      if (pending_tombstone) {
+        return Status(StatusCode::kNotFound, "key removed");
+      }
+      return pending_value;
+    }
+  }
   return shards_[ShardOf(key)].Get(key);
 }
 
 Status ShardedMap::Put(uint64_t key, uint64_t value) {
   ScopedOpLabel label(&client_->recorder(), "sharded.put");
   client_->AccountNear(1);
+  if (wb_ != nullptr) {
+    wb_->Put(key, value);
+    return OkStatus();
+  }
   return shards_[ShardOf(key)].Put(key, value);
 }
 
 Status ShardedMap::Remove(uint64_t key) {
   ScopedOpLabel label(&client_->recorder(), "sharded.remove");
   client_->AccountNear(1);
+  if (wb_ != nullptr) {
+    wb_->Remove(key);
+    return OkStatus();
+  }
   return shards_[ShardOf(key)].Remove(key);
 }
 
 std::vector<Result<uint64_t>> ShardedMap::MultiGet(
     std::span<const uint64_t> keys) {
   ScopedOpLabel label(&client_->recorder(), "sharded.multiget");
-  // Partition keys by shard, remembering each key's input position.
+  std::vector<Result<uint64_t>> results(
+      keys.size(), Status(StatusCode::kInternal, "multiget unresolved"));
+  // Partition keys by shard, remembering each key's input position. Keys
+  // with a pending write-behind record resolve here (read-your-writes)
+  // and never reach a wave.
   const size_t n = shards_.size();
   std::vector<std::vector<uint64_t>> shard_keys(n);
   std::vector<std::vector<size_t>> shard_pos(n);
   for (size_t i = 0; i < keys.size(); ++i) {
     client_->AccountNear(1);
+    if (wb_ != nullptr) {
+      uint64_t pending_value = 0;
+      bool pending_tombstone = false;
+      if (wb_->Lookup(keys[i], &pending_value, &pending_tombstone)) {
+        results[i] = pending_tombstone
+                         ? Result<uint64_t>(
+                               Status(StatusCode::kNotFound, "key removed"))
+                         : Result<uint64_t>(pending_value);
+        continue;
+      }
+    }
     const uint32_t s = ShardOf(keys[i]);
     shard_keys[s].push_back(keys[i]);
     shard_pos[s].push_back(i);
@@ -143,8 +209,6 @@ std::vector<Result<uint64_t>> ShardedMap::MultiGet(
     }
   }
   // Scatter per-shard results back to input order.
-  std::vector<Result<uint64_t>> results(
-      keys.size(), Status(StatusCode::kInternal, "multiget unresolved"));
   for (size_t s = 0; s < n; ++s) {
     std::vector<Result<uint64_t>> shard_results = engines[s].Take();
     for (size_t j = 0; j < shard_results.size(); ++j) {
@@ -159,22 +223,61 @@ Status ShardedMap::MultiPut(std::span<const uint64_t> keys,
   if (keys.size() != values.size()) {
     return InvalidArgument("MultiPut keys/values length mismatch");
   }
+  // Write-behind wins over atomic_multiput: staged writes publish in the
+  // flusher's batches (MultiWrite handles the staging).
+  if (wb_ == nullptr && options_.atomic_multiput) {
+    return MultiPutAtomic(keys, values);
+  }
+  return MultiWrite(keys, values, {});
+}
+
+Status ShardedMap::MultiWrite(std::span<const uint64_t> keys,
+                              std::span<const uint64_t> values,
+                              std::span<const uint8_t> tombstones,
+                              std::vector<HtTree::WriteOutcome>* outcomes) {
+  if (keys.size() != values.size() ||
+      (!tombstones.empty() && tombstones.size() != keys.size())) {
+    return InvalidArgument("MultiWrite span length mismatch");
+  }
   ScopedOpLabel label(&client_->recorder(), "sharded.multiput");
+  if (wb_ != nullptr) {
+    // Stage instead of publishing (see HtTree::MultiWrite's rationale).
+    client_->AccountNear(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i < tombstones.size() && tombstones[i] != 0) {
+        wb_->Remove(keys[i]);
+      } else {
+        wb_->Put(keys[i], values[i]);
+      }
+    }
+    if (outcomes != nullptr) {
+      outcomes->assign(keys.size(), HtTree::WriteOutcome{});
+    }
+    return OkStatus();
+  }
   const size_t n = shards_.size();
   std::vector<std::vector<uint64_t>> shard_keys(n);
   std::vector<std::vector<uint64_t>> shard_values(n);
+  std::vector<std::vector<uint8_t>> shard_tombs(n);
+  std::vector<std::vector<size_t>> shard_pos(n);
   for (size_t i = 0; i < keys.size(); ++i) {
     client_->AccountNear(1);
     const uint32_t s = ShardOf(keys[i]);
     shard_keys[s].push_back(keys[i]);
     shard_values[s].push_back(values[i]);
+    shard_tombs[s].push_back(
+        i < tombstones.size() && tombstones[i] != 0 ? 1 : 0);
+    shard_pos[s].push_back(i);
   }
+  std::vector<std::vector<HtTree::WriteOutcome>> shard_outcomes(n);
   std::vector<HtTree::BatchPut> engines;
   engines.reserve(n);
   for (size_t s = 0; s < n; ++s) {
     engines.emplace_back(&shards_[s],
                          std::span<const uint64_t>(shard_keys[s]),
-                         std::span<const uint64_t>(shard_values[s]));
+                         std::span<const uint64_t>(shard_values[s]),
+                         std::span<const uint8_t>(shard_tombs[s]),
+                         outcomes != nullptr ? &shard_outcomes[s] : nullptr);
   }
   while (true) {
     size_t posted = 0;
@@ -197,6 +300,148 @@ Status ShardedMap::MultiPut(std::span<const uint64_t> keys,
     const Status status = engine.Take();
     if (first.ok() && !status.ok()) {
       first = status;
+    }
+  }
+  if (outcomes != nullptr) {
+    // Scatter the per-shard outcomes back to input order.
+    outcomes->assign(keys.size(), HtTree::WriteOutcome{});
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t j = 0; j < shard_pos[s].size(); ++j) {
+        (*outcomes)[shard_pos[s][j]] = shard_outcomes[s][j];
+      }
+    }
+  }
+  return first;
+}
+
+Status ShardedMap::MultiPutAtomic(std::span<const uint64_t> keys,
+                                  std::span<const uint64_t> values) {
+  if (keys.size() != values.size()) {
+    return InvalidArgument("MultiPut keys/values length mismatch");
+  }
+  if (keys.empty()) {
+    return OkStatus();
+  }
+  ScopedOpLabel label(&client_->recorder(), "sharded.multiput_atomic");
+  return RunTxn(this, TxnOptions{}, [&](Txn& txn) {
+    // Batch-pin: one doorbell of bucket probes records validated views for
+    // most keys, so the Puts below rarely pay a per-key pinning read and
+    // the whole operation stays at prepare/validate/commit + one probe
+    // wave.
+    (void)txn.MultiGet(keys);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      FMDS_RETURN_IF_ERROR(txn.Put(keys[i], values[i]));
+    }
+    return OkStatus();
+  });
+}
+
+namespace {
+// Fleet-wide flusher target: publishes through an Attach'd ShardedMap
+// handle so each drained batch still fans out across shards/nodes in
+// single doorbell waves, then refills the app handle's per-shard caches.
+class ShardedWbPublisher : public WriteBehindEngine::Publisher {
+ public:
+  ShardedWbPublisher(std::unique_ptr<FarClient> client, ShardedMap map,
+                     std::vector<NearCache*> app_caches)
+      : client_(std::move(client)),
+        map_(std::move(map)),
+        app_caches_(std::move(app_caches)) {}
+
+  FarClient* client() override { return client_.get(); }
+
+  Status Publish(const WriteBehindEngine::Batch& batch) override {
+    return map_.MultiWrite(batch.keys, batch.values, batch.tombstones,
+                           &outcomes_);
+  }
+
+  void RefillCaches(const WriteBehindEngine::Batch& batch) override {
+    for (size_t i = 0; i < batch.keys.size(); ++i) {
+      NearCache* cache = app_caches_[map_.ShardOf(batch.keys[i])];
+      if (cache == nullptr) {
+        continue;
+      }
+      if (batch.tombstones[i] != 0 || !outcomes_[i].refillable) {
+        cache->InvalidateExternal(batch.keys[i]);
+      } else {
+        cache->RefillExternal(batch.keys[i], AsConstBytes(batch.values[i]),
+                              outcomes_[i].bucket, kWordSize,
+                              outcomes_[i].head);
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<FarClient> client_;
+  ShardedMap map_;
+  std::vector<NearCache*> app_caches_;
+  std::vector<HtTree::WriteOutcome> outcomes_;
+};
+}  // namespace
+
+Status ShardedMap::EnableWriteBehind(const WriteBehindOptions& wb_options) {
+  if (wb_ != nullptr) {
+    return FailedPrecondition("write-behind already enabled");
+  }
+  for (HtTree& shard : shards_) {
+    if (shard.write_behind() != nullptr) {
+      return FailedPrecondition(
+          "per-shard write-behind already enabled; use one engine per map");
+    }
+  }
+  // Mirror HtTree::EnableWriteBehind: the flusher gets its own client and
+  // its own Attach'd handle (caches off — the app shards' caches are
+  // refilled via the External calls; no shared budget either, the flusher
+  // handle caches nothing).
+  auto flusher_client = std::make_unique<FarClient>(
+      client_->fabric(), client_->id() | kWbClientIdBit,
+      wb_options.flusher_client);
+  Options fopt = options_;
+  fopt.shard.cache = NearCacheOptions{};
+  fopt.global_cache_budget_bytes = 0;
+  FMDS_ASSIGN_OR_RETURN(
+      ShardedMap handle,
+      Attach(flusher_client.get(), alloc_, directory_, fopt));
+  std::vector<NearCache*> app_caches;
+  app_caches.reserve(shards_.size());
+  for (HtTree& shard : shards_) {
+    app_caches.push_back(shard.near_cache());
+  }
+  auto publisher = std::make_unique<ShardedWbPublisher>(
+      std::move(flusher_client), std::move(handle), std::move(app_caches));
+  wb_ = std::make_unique<WriteBehindEngine>(client_, std::move(publisher),
+                                            wb_options);
+  return OkStatus();
+}
+
+Status ShardedMap::FlushBarrier() {
+  Status first = OkStatus();
+  if (wb_ != nullptr) {
+    ScopedOpLabel label(&client_->recorder(), "sharded.flush_barrier");
+    first = wb_->FlushBarrier();
+  }
+  for (HtTree& shard : shards_) {
+    const Status status = shard.FlushBarrier();
+    if (first.ok() && !status.ok()) {
+      first = status;
+    }
+  }
+  return first;
+}
+
+Status ShardedMap::DrainWriteBehind() {
+  // Empty() is lock-free, so structures without write-behind (or with an
+  // idle engine) pay nothing on this per-operation hook.
+  Status first = OkStatus();
+  if (wb_ != nullptr && !wb_->Empty()) {
+    first = wb_->FlushBarrier();
+  }
+  for (HtTree& shard : shards_) {
+    if (shard.write_behind() != nullptr && !shard.write_behind()->Empty()) {
+      const Status status = shard.FlushBarrier();
+      if (first.ok() && !status.ok()) {
+        first = status;
+      }
     }
   }
   return first;

@@ -48,6 +48,18 @@ class ShardedMap {
     // placement round-robin per allocation — a measurable anti-pattern
     // (bench_e11): batches then touch every node per shard.
     bool pin_shards = true;
+    // Fleet-wide NearCache budget: one shared CacheBudget caps the summed
+    // bytes of ALL shards' rings (near_cache_bytes() == the shared total),
+    // so the client's footprint stays bounded as shard counts grow instead
+    // of multiplying per-shard budgets. Overrides shard.cache.budget_bytes
+    // when non-zero; shard.cache's watermark fields configure the shared
+    // watermarks (background eviction drains whichever shards hold bytes).
+    uint64_t global_cache_budget_bytes = 0;
+    // Route MultiPut through the transaction chainlet builder: all keys
+    // publish atomically (one prepare/validate/commit round) instead of
+    // the independent per-key waves. Ignored while write-behind is on
+    // (staged writes publish in flusher batches instead).
+    bool atomic_multiput = false;
   };
 
   static Result<ShardedMap> Create(FarClient* client, FarAllocator* alloc,
@@ -80,6 +92,36 @@ class ShardedMap {
   Status MultiPut(std::span<const uint64_t> keys,
                   std::span<const uint64_t> values);
 
+  // Batched mixed store/remove across shards (the write-behind flusher's
+  // publish primitive); see HtTree::MultiWrite. `outcomes`, when non-null,
+  // is filled in input order.
+  Status MultiWrite(std::span<const uint64_t> keys,
+                    std::span<const uint64_t> values,
+                    std::span<const uint8_t> tombstones,
+                    std::vector<HtTree::WriteOutcome>* outcomes = nullptr);
+
+  // Atomic MultiPut via the transaction engine: every key (any shard)
+  // publishes in one ≤3-doorbell prepare/validate/commit, all-or-nothing
+  // with respect to other transactions. Options::atomic_multiput routes
+  // MultiPut here.
+  Status MultiPutAtomic(std::span<const uint64_t> keys,
+                        std::span<const uint64_t> values);
+
+  // ---- Write-behind mode (DESIGN.md §11) ----
+  // One fleet-wide engine: Put/Remove/MultiPut stage into a shared pending
+  // table (same-key combining) and the flusher publishes through its own
+  // Attach'd ShardedMap handle, so batches still fan out across shards and
+  // nodes in single doorbell waves. Do not also enable per-shard
+  // write-behind on this map's HtTrees.
+  Status EnableWriteBehind(const WriteBehindOptions& wb_options = {});
+  // Blocks until every staged write (map-level and any per-shard engine)
+  // is published; surfaces the first asynchronous error.
+  Status FlushBarrier();
+  // Cheap per-operation drain hook (Txn entry points): barriers only when
+  // something is actually pending.
+  Status DrainWriteBehind();
+  WriteBehindEngine* write_behind() { return wb_.get(); }
+
   HtTree& shard(uint32_t i) { return shards_[i]; }
 
   // Sum of the shards' per-handle counters.
@@ -87,20 +129,34 @@ class ShardedMap {
   uint64_t cache_bytes() const;
   // Aggregated per-shard NearCache counters (zeros when caching is off).
   NearCacheStats near_cache_stats() const;
-  // Total bytes resident across the shards' NearCaches.
+  // Total bytes resident across the shards' NearCaches (== the shared
+  // budget's used total when global_cache_budget_bytes is set).
   uint64_t near_cache_bytes() const;
+  // The fleet-wide budget, or null when per-shard budgets are in use.
+  const std::shared_ptr<CacheBudget>& shared_cache_budget() const {
+    return shared_budget_;
+  }
 
  private:
   ShardedMap(FarClient* client, FarAddr directory)
       : client_(client), directory_(directory) {}
 
-  // Per-shard HtTree options for shard `i` under `options`.
+  // Per-shard HtTree options for shard `i` under `options`; `budget` is
+  // the fleet-wide CacheBudget (null for per-shard budgets).
   static HtTree::Options ShardOptions(const Options& options, uint32_t i,
-                                      uint32_t num_nodes);
+                                      uint32_t num_nodes,
+                                      const std::shared_ptr<CacheBudget>& budget);
 
   FarClient* client_;
+  FarAllocator* alloc_ = nullptr;
   FarAddr directory_;
+  Options options_;
+  std::shared_ptr<CacheBudget> shared_budget_;
   std::vector<HtTree> shards_;
+  // Fleet-wide write-behind engine (null when off). Declared after
+  // shards_: the flusher refills the shards' caches, so the engine must
+  // stop before they destruct.
+  std::unique_ptr<WriteBehindEngine> wb_;
 };
 
 }  // namespace fmds

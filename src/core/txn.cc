@@ -48,6 +48,10 @@ Result<uint64_t> Txn::Get(uint64_t key) {
   if (aborted_ || committed_) {
     return Aborted("txn handle is dead");
   }
+  // Write-behind interop: a staged-but-unpublished write is invisible to
+  // TxnRead's bucket probe, so drain the pending table first (no-op when
+  // write-behind is off or idle).
+  FMDS_RETURN_IF_ERROR(map_->DrainWriteBehind());
   if (auto w = writes_.find(key); w != writes_.end()) {
     // Read-your-writes from the buffer.
     if (w->second.tombstone) {
@@ -83,6 +87,12 @@ std::vector<Result<uint64_t>> Txn::MultiGet(std::span<const uint64_t> keys) {
   if (aborted_ || committed_) {
     for (auto& r : results) {
       r = Aborted("txn handle is dead");
+    }
+    return results;
+  }
+  if (const Status drained = map_->DrainWriteBehind(); !drained.ok()) {
+    for (auto& r : results) {
+      r = drained;
     }
     return results;
   }
@@ -260,6 +270,9 @@ Status Txn::BufferWrite(uint64_t key, uint64_t value, bool tombstone) {
   if (aborted_ || committed_) {
     return Aborted("txn handle is dead");
   }
+  // A staged async write to this key must publish before the txn pins the
+  // bucket, or the flusher's CAS could land between pin and commit.
+  FMDS_RETURN_IF_ERROR(map_->DrainWriteBehind());
   FMDS_ASSIGN_OR_RETURN(FarAddr bucket, EnsureWritableBucket(key));
   writes_[key] = WriteRec{value, tombstone, bucket};
   return OkStatus();
@@ -366,6 +379,9 @@ Status Txn::Commit() {
     return FailedPrecondition("txn already committed");
   }
   committed_ = true;
+  // Publish any staged async writes before validation reads the bucket
+  // words the commit round will certify.
+  FMDS_RETURN_IF_ERROR(map_->DrainWriteBehind());
   FarClient* c = client();
   ScopedOpLabel label(&c->recorder(), "txn.commit");
 

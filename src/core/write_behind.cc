@@ -1,0 +1,202 @@
+#include "src/core/write_behind.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/obs/recorder.h"
+
+namespace fmds {
+
+WriteBehindEngine::WriteBehindEngine(FarClient* app_client,
+                                     std::unique_ptr<Publisher> publisher,
+                                     WriteBehindOptions options)
+    : app_client_(app_client),
+      publisher_(std::move(publisher)),
+      options_(options) {
+  if (options_.max_batch == 0) {
+    options_.max_batch = 1;
+  }
+  if (options_.max_pending < options_.max_batch) {
+    options_.max_pending = options_.max_batch;
+  }
+  flusher_ = std::thread([this] { FlusherMain(); });
+}
+
+WriteBehindEngine::~WriteBehindEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  // FlusherMain drains every staged record before honoring stop_.
+  flusher_.join();
+}
+
+void WriteBehindEngine::Put(uint64_t key, uint64_t value) {
+  Enqueue(key, value, /*tombstone=*/false);
+}
+
+void WriteBehindEngine::Remove(uint64_t key) {
+  Enqueue(key, /*value=*/0, /*tombstone=*/true);
+}
+
+void WriteBehindEngine::Enqueue(uint64_t key, uint64_t value, bool tombstone) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (StagedLocked() >= options_.max_pending) {
+    work_cv_.notify_one();
+    drain_cv_.wait(lock,
+                   [&] { return StagedLocked() < options_.max_pending; });
+  }
+  const uint64_t seq = next_seq_++;
+  latest_[key] = Rec{value, tombstone, seq};
+  if (options_.combine) {
+    if (staged_keys_.insert(key).second) {
+      order_.push_back(key);
+      unpublished_.fetch_add(1, std::memory_order_release);
+    } else {
+      // Overwrote a staged record in place: the superseded write will never
+      // cost a doorbell. Charged to the app client — combining happens on
+      // the hot path.
+      ++app_client_->mutable_stats().writes_combined;
+    }
+  } else {
+    fifo_.push_back(FifoRec{key, value, tombstone, seq});
+    unpublished_.fetch_add(1, std::memory_order_release);
+  }
+  if (StagedLocked() >= options_.max_batch) {
+    work_cv_.notify_one();
+  }
+}
+
+bool WriteBehindEngine::Lookup(uint64_t key, uint64_t* value,
+                               bool* tombstone) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latest_.find(key);
+  if (it == latest_.end()) {
+    return false;
+  }
+  if (value != nullptr) {
+    *value = it->second.value;
+  }
+  if (tombstone != nullptr) {
+    *tombstone = it->second.tombstone;
+  }
+  return true;
+}
+
+Status WriteBehindEngine::FlushBarrier() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++barrier_waiters_;
+  work_cv_.notify_all();
+  drain_cv_.wait(lock, [&] { return StagedLocked() == 0 && !in_flight_; });
+  --barrier_waiters_;
+  Status s = first_error_;
+  first_error_ = OkStatus();
+  return s;
+}
+
+WriteBehindEngine::Batch WriteBehindEngine::TakeBatchLocked(
+    std::vector<uint64_t>* seqs) {
+  Batch batch;
+  if (options_.combine) {
+    const size_t n = std::min(order_.size(), options_.max_batch);
+    batch.keys.reserve(n);
+    batch.values.reserve(n);
+    batch.tombstones.reserve(n);
+    seqs->reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t key = order_.front();
+      order_.pop_front();
+      staged_keys_.erase(key);
+      const Rec& rec = latest_[key];
+      batch.keys.push_back(key);
+      batch.values.push_back(rec.value);
+      batch.tombstones.push_back(rec.tombstone ? 1 : 0);
+      seqs->push_back(rec.seq);
+    }
+  } else {
+    // Stop at the first same-key duplicate: two writes to one key must not
+    // ride one MultiWrite, whose same-batch duplicate order is unspecified.
+    std::unordered_set<uint64_t> in_batch;
+    while (!fifo_.empty() && batch.keys.size() < options_.max_batch) {
+      const FifoRec& rec = fifo_.front();
+      if (!in_batch.insert(rec.key).second) {
+        break;
+      }
+      batch.keys.push_back(rec.key);
+      batch.values.push_back(rec.value);
+      batch.tombstones.push_back(rec.tombstone ? 1 : 0);
+      seqs->push_back(rec.seq);
+      fifo_.pop_front();
+    }
+  }
+  return batch;
+}
+
+void WriteBehindEngine::FlusherMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.flush_interval_us), [&] {
+          return stop_ || StagedLocked() >= options_.max_batch ||
+                 (barrier_waiters_ > 0 && StagedLocked() > 0);
+        });
+    if (StagedLocked() == 0) {
+      if (stop_) {
+        break;
+      }
+      drain_cv_.notify_all();
+      continue;
+    }
+    std::vector<uint64_t> seqs;
+    Batch batch = TakeBatchLocked(&seqs);
+    in_flight_ = true;
+    drain_cv_.notify_all();  // staging space freed
+    lock.unlock();
+
+    FarClient* fc = publisher_->client();
+    {
+      // Stage 1 (coalesce): the merge itself happened at enqueue time under
+      // mu_; this accounts the near-side work of materializing the batch.
+      ScopedOpLabel label(&fc->recorder(), "wb.coalesce");
+      fc->AccountNear(batch.keys.size());
+      ++fc->mutable_stats().flush_stages;
+    }
+    Status s;
+    {
+      // Stages 2+3 (CAS-issue + completion-absorb): one counter bump per
+      // stage, one doorbell wave each inside the structure's batch engine.
+      ScopedOpLabel label(&fc->recorder(), "wb.flush");
+      fc->mutable_stats().flush_stages += 2;
+      s = publisher_->Publish(batch);
+    }
+    if (s.ok()) {
+      // Stage 4 (writer-side cache refill): push published values into the
+      // app handle's near cache so the writer's next read hits near memory.
+      ScopedOpLabel label(&fc->recorder(), "wb.flush");
+      ++fc->mutable_stats().flush_stages;
+      publisher_->RefillCaches(batch);
+    }
+
+    lock.lock();
+    // Erase AFTER publish (and refill): a pending-table miss therefore
+    // implies the far write — and the writer-side cache update — already
+    // happened, which is what makes the Get-side
+    // pending -> dispatch -> cache consult order read-your-writes safe.
+    for (size_t i = 0; i < batch.keys.size(); ++i) {
+      auto it = latest_.find(batch.keys[i]);
+      if (it != latest_.end() && it->second.seq == seqs[i]) {
+        latest_.erase(it);
+      }
+    }
+    unpublished_.fetch_sub(batch.keys.size(), std::memory_order_release);
+    in_flight_ = false;
+    if (!s.ok() && first_error_.ok()) {
+      first_error_ = s;
+    }
+    drain_cv_.notify_all();
+  }
+  drain_cv_.notify_all();
+}
+
+}  // namespace fmds

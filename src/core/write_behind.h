@@ -1,0 +1,182 @@
+// Write-behind dataplane (§3.1, DESIGN.md §11): the application thread
+// enqueues Put/Remove into a client-local pending-write table and returns
+// immediately; a dedicated flusher thread drains the table in pipelined
+// stages (coalesce -> CAS-issue -> completion-absorb -> writer-side cache
+// refill). Storm's observation (PAPERS.md) is that issue *rate*, not
+// single-op latency, bounds a loaded dataplane — decoupling the app thread
+// from the publish round trips is what lifts the synchronous-Put ceiling.
+//
+// Write combining: in combine mode (default) the pending table holds at
+// most one record per key — a newer Put/Remove to a staged key overwrites
+// it in place (ClientStats.writes_combined on the app client) and the
+// superseded value never costs a doorbell. A hot key being rewritten in a
+// loop costs one publish per flush interval, not one per write.
+//
+// Ordering guarantees (per key, last-writer-wins):
+//   - Read-your-writes: Lookup() consults the pending table (staged AND
+//     in-flight records), so the owning thread always observes its latest
+//     write. Structure integration checks the table BEFORE its near cache.
+//   - Per-key order: combine mode trivially (one record); FIFO mode stops
+//     a batch at the first same-key duplicate, so two writes to one key
+//     never ride one MultiWrite (whose same-batch duplicate order is
+//     unspecified).
+//   - NO cross-key ordering: writes to different keys may publish in any
+//     order. A reader needing a consistent multi-key cut must use
+//     FlushBarrier() or a transaction (Txn entry points drain the table).
+//   - FlushBarrier() blocks until every write enqueued before the call is
+//     published, and returns the first asynchronous publish error since
+//     the last barrier (a failed batch's records are dropped, not
+//     silently retried forever).
+//
+// Threading: Put/Remove/Lookup/FlushBarrier are called by the single
+// owning application thread; the flusher thread is internal. The flusher
+// publishes through a Publisher the structure supplies — it owns a
+// SEPARATE FarClient (and structure handle), so round trips, stats
+// (flush_stages) and labels ("wb.coalesce"/"wb.flush") land on the
+// flusher's clock, keeping the app client's counters an honest record of
+// hot-path work (the proof the hot path is allocation- and
+// reclamation-free).
+#ifndef FMDS_SRC_CORE_WRITE_BEHIND_H_
+#define FMDS_SRC_CORE_WRITE_BEHIND_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fabric/far_client.h"
+
+namespace fmds {
+
+struct WriteBehindOptions {
+  // Combine same-key writes in the pending table before the doorbell.
+  bool combine = true;
+  // Records drained per flush pass (one MultiWrite doorbell wave).
+  size_t max_batch = 256;
+  // Backpressure bound: Enqueue blocks while this many records are staged.
+  size_t max_pending = 4096;
+  // The flusher drains when a batch's worth is staged, a barrier is
+  // waiting, or this real-time interval elapses with work pending. Large
+  // intervals maximize combining; small ones minimize publish lag.
+  uint64_t flush_interval_us = 200;
+  // Options for the flusher's own FarClient (obs gate etc.).
+  ClientOptions flusher_client;
+};
+
+class WriteBehindEngine {
+ public:
+  // One drained batch, in pending-table order.
+  struct Batch {
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> values;
+    std::vector<uint8_t> tombstones;  // 1 = Remove
+  };
+
+  // The structure-side publish target, owned by the engine and driven only
+  // from the flusher thread. Implementations (HtTree/ShardedMap) hold a
+  // flusher-owned FarClient plus an Attach'd handle to the same far map.
+  class Publisher {
+   public:
+    virtual ~Publisher() = default;
+    // The flusher's client: stage stats and labels are charged here.
+    virtual FarClient* client() = 0;
+    // CAS-issue + completion-absorb: publish the whole batch far-side
+    // (one doorbell wave per stage via the structure's batch engine).
+    virtual Status Publish(const Batch& batch) = 0;
+    // Writer-side cache refill: push the published values into the
+    // application handle's NearCache (External variants — no owner-client
+    // accounting). Called only after a successful Publish.
+    virtual void RefillCaches(const Batch& batch) = 0;
+  };
+
+  WriteBehindEngine(FarClient* app_client,
+                    std::unique_ptr<Publisher> publisher,
+                    WriteBehindOptions options);
+  WriteBehindEngine(const WriteBehindEngine&) = delete;
+  WriteBehindEngine& operator=(const WriteBehindEngine&) = delete;
+  // Drains every staged write, then joins the flusher.
+  ~WriteBehindEngine();
+
+  // Enqueue (app thread, no round trip). Errors surface at FlushBarrier().
+  void Put(uint64_t key, uint64_t value);
+  void Remove(uint64_t key);
+
+  // Read-your-writes probe: true when `key` has an unpublished (staged or
+  // in-flight) write; *tombstone reports a pending Remove.
+  bool Lookup(uint64_t key, uint64_t* value, bool* tombstone) const;
+
+  // True when no staged or in-flight writes exist. Lock-free fast path for
+  // per-operation drain hooks.
+  bool Empty() const {
+    return unpublished_.load(std::memory_order_acquire) == 0;
+  }
+
+  // Blocks until every write enqueued before the call is published; returns
+  // (and clears) the first asynchronous publish error since the last
+  // barrier.
+  Status FlushBarrier();
+
+  uint64_t pending_count() const {
+    return unpublished_.load(std::memory_order_acquire);
+  }
+  const WriteBehindOptions& options() const { return options_; }
+  // The flusher's client (its stats carry flush_stages; its clock carries
+  // the publish latency). Safe to read after a FlushBarrier.
+  FarClient* flusher_client() { return publisher_->client(); }
+
+ private:
+  struct Rec {
+    uint64_t value = 0;
+    bool tombstone = false;
+    uint64_t seq = 0;
+  };
+  struct FifoRec {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    bool tombstone = false;
+    uint64_t seq = 0;
+  };
+
+  void Enqueue(uint64_t key, uint64_t value, bool tombstone);
+  size_t StagedLocked() const {
+    return options_.combine ? order_.size() : fifo_.size();
+  }
+  Batch TakeBatchLocked(std::vector<uint64_t>* seqs);
+  void FlusherMain();
+
+  FarClient* app_client_;
+  std::unique_ptr<Publisher> publisher_;
+  WriteBehindOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // app -> flusher (batch ready/stop)
+  std::condition_variable drain_cv_;  // flusher -> app (space/drained)
+  // Combine mode: at most one staged record per key, FIFO by first
+  // enqueue; the record body lives in latest_.
+  std::deque<uint64_t> order_;
+  std::unordered_set<uint64_t> staged_keys_;
+  // FIFO mode: every record staged in program order.
+  std::deque<FifoRec> fifo_;
+  // Read-your-writes view: key -> newest unpublished record (staged OR
+  // in-flight). Erased after publish iff the sequence still matches (a
+  // newer enqueue keeps the entry alive).
+  std::unordered_map<uint64_t, Rec> latest_;
+  uint64_t next_seq_ = 1;
+  size_t barrier_waiters_ = 0;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  Status first_error_;
+  std::atomic<uint64_t> unpublished_{0};
+  std::thread flusher_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_CORE_WRITE_BEHIND_H_

@@ -1,5 +1,6 @@
 #include "src/fabric/far_client.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <unordered_set>
@@ -923,6 +924,28 @@ Status FarClient::Unsubscribe(SubId id) {
   return OkStatus();
 }
 
+Status FarClient::UnsubscribeAt(FarAddr watch_addr, SubId id) {
+  FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(watch_addr));
+  fabric_->node(loc.node).Unsubscribe(id);
+  AccountRoundTrip(FarOpKind::kNotification, loc.node, kNullFarAddr, kWordSize,
+                   1, 0);
+  return OkStatus();
+}
+
+void FarClient::ForgetSubscription(SubId id) {
+  sub_homes_.erase(id);
+  sinks_.erase(id);
+  // Remember the id so events already queued for it are dropped at dispatch
+  // instead of accumulating in the poll-style park (where enough of them
+  // would overflow into a spurious loss warning). Bounded: an id aged out
+  // degrades to the park path, which is still correct.
+  constexpr size_t kForgottenCap = 256;
+  if (forgotten_subs_.size() >= kForgottenCap) {
+    forgotten_subs_.pop_front();
+  }
+  forgotten_subs_.push_back(id);
+}
+
 size_t FarClient::DispatchNotifications() {
   // Empty-channel check is free: the queue head is client-local state the
   // caller touches on every op anyway; charging here would tax every cached
@@ -962,6 +985,10 @@ size_t FarClient::DispatchNotifications() {
       }
       it->second->OnNotify(ev);
       ++routed;
+    } else if (!forgotten_subs_.empty() &&
+               std::find(forgotten_subs_.begin(), forgotten_subs_.end(),
+                         ev.sub_id) != forgotten_subs_.end()) {
+      // Late event for a background-retired subscription: drop it.
     } else {
       ParkEvent(std::move(ev));
     }

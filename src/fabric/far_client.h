@@ -179,6 +179,16 @@ class FarClient {
   Result<SubId> Subscribe(const NotifySpec& spec, NotificationSink* sink,
                           uint64_t* snapshot = nullptr);
   Status Unsubscribe(SubId id);
+  // Node-side unsubscribe by explicit watch address: pays the 1-RTT
+  // teardown on the node owning `watch_addr` without consulting this
+  // client's subscription maps. Built for background cache evictors: the
+  // evictor's own client retires a subscription that a *different* client
+  // registered (the owner later calls ForgetSubscription to drop its maps).
+  Status UnsubscribeAt(FarAddr watch_addr, SubId id);
+  // Owner-side bookkeeping drop for a subscription whose node-side half was
+  // already torn down elsewhere (UnsubscribeAt). No round trip. Late events
+  // already in flight for the id are discarded instead of parked.
+  void ForgetSubscription(SubId id);
   NotificationChannel& channel() { return channel_; }
   // Non-blocking; accounts one near access per poll and one notification
   // per delivered event.
@@ -329,6 +339,10 @@ class FarClient {
   // Dispatch routing for sink-registered subscriptions plus the overflow
   // park for poll-style events that DispatchNotifications() drained.
   std::unordered_map<SubId, NotificationSink*> sinks_;
+  // Subscriptions dropped via ForgetSubscription: events still in flight
+  // for these ids are discarded at dispatch instead of parked (bounded
+  // ring; an id aged out of it degrades to the normal park path).
+  std::deque<SubId> forgotten_subs_;
   std::deque<NotifyEvent> parked_events_;
   size_t channel_capacity_;
 

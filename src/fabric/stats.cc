@@ -5,13 +5,14 @@
 namespace fmds {
 
 std::string ClientStats::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "far_ops=%llu msgs=%llu rd=%lluB wr=%lluB near=%llu rpc=%llu "
                 "notif=%llu slow=%llu bg=%llu batches=%llu batched=%llu "
                 "rtts_saved=%llu fanout=%llu xnode_saved=%llu "
                 "cache_hit=%llu cache_miss=%llu cache_inval=%llu "
-                "txn_commit=%llu txn_abort=%llu txn_vfail=%llu txn_pfail=%llu",
+                "txn_commit=%llu txn_abort=%llu txn_vfail=%llu txn_pfail=%llu "
+                "wb_combined=%llu wb_stages=%llu bg_evict=%llu",
                 static_cast<unsigned long long>(far_ops),
                 static_cast<unsigned long long>(messages),
                 static_cast<unsigned long long>(bytes_read),
@@ -32,7 +33,10 @@ std::string ClientStats::ToString() const {
                 static_cast<unsigned long long>(txn_commits),
                 static_cast<unsigned long long>(txn_aborts),
                 static_cast<unsigned long long>(txn_validate_fails),
-                static_cast<unsigned long long>(txn_prepare_fails));
+                static_cast<unsigned long long>(txn_prepare_fails),
+                static_cast<unsigned long long>(writes_combined),
+                static_cast<unsigned long long>(flush_stages),
+                static_cast<unsigned long long>(bg_evictions));
   return buf;
 }
 

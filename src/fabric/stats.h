@@ -46,6 +46,16 @@ struct ClientStats {
   uint64_t txn_aborts = 0;
   uint64_t txn_validate_fails = 0;  // read-set word changed under the txn
   uint64_t txn_prepare_fails = 0;   // write-set bucket CAS mispredicted
+  // Write-behind dataplane (src/core/write_behind.*): the app thread
+  // enqueues; a flusher thread publishes. writes_combined counts pending
+  // writes absorbed by a newer write to the same key before any doorbell
+  // (app client); flush_stages counts pipeline stage executions by the
+  // flusher (coalesce / publish / refill passes, flusher client);
+  // bg_evictions counts cache entries reclaimed off the hot path by a
+  // background evictor (evictor client).
+  uint64_t writes_combined = 0;
+  uint64_t flush_stages = 0;
+  uint64_t bg_evictions = 0;
 
   ClientStats Delta(const ClientStats& earlier) const {
     ClientStats d;
@@ -72,6 +82,9 @@ struct ClientStats {
     d.txn_aborts = txn_aborts - earlier.txn_aborts;
     d.txn_validate_fails = txn_validate_fails - earlier.txn_validate_fails;
     d.txn_prepare_fails = txn_prepare_fails - earlier.txn_prepare_fails;
+    d.writes_combined = writes_combined - earlier.writes_combined;
+    d.flush_stages = flush_stages - earlier.flush_stages;
+    d.bg_evictions = bg_evictions - earlier.bg_evictions;
     return d;
   }
 
@@ -97,6 +110,9 @@ struct ClientStats {
     txn_aborts += other.txn_aborts;
     txn_validate_fails += other.txn_validate_fails;
     txn_prepare_fails += other.txn_prepare_fails;
+    writes_combined += other.writes_combined;
+    flush_stages += other.flush_stages;
+    bg_evictions += other.bg_evictions;
   }
 
   std::string ToString() const;

@@ -631,6 +631,12 @@ TEST(CacheCoherenceTest, ConcurrentWriterReaderInvalidationRace) {
                   handle->near_cache()->stats().misses,
               0u);
   });
+  // Gate on the reader's first read: under a sanitizer the reader's
+  // Attach can otherwise lose the whole race to the writer loop and the
+  // reads>0 assertion below turns into a flake.
+  while (reads.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
   for (uint64_t v = 101; v <= 1100; ++v) {
     ASSERT_TRUE(writer->Put(1, v).ok());
   }

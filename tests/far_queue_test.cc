@@ -227,5 +227,96 @@ TEST(FarQueueTest, PerClientFifoOrderPreserved) {
   producer.join();
 }
 
+TEST(FarQueueWatchTest, IdlePollCostsZeroFarAccesses) {
+  TestEnv env;
+  auto& producer_client = env.NewClient();
+  auto& consumer_client = env.NewClient();
+  FarQueue::Options options = SmallQueue(/*capacity=*/256);
+  options.watch_estimates = true;
+  auto producer = FarQueue::Create(&producer_client, &env.alloc(), options);
+  ASSERT_TRUE(producer.ok());
+  auto consumer =
+      FarQueue::Attach(&consumer_client, producer->header(), options);
+  ASSERT_TRUE(consumer.ok());
+
+  // Drain to a genuinely idle queue first.
+  EXPECT_EQ(consumer->Dequeue().status().code(), StatusCode::kNotFound);
+  const uint64_t before = consumer_client.stats().far_ops;
+  for (int poll = 0; poll < 100; ++poll) {
+    EXPECT_EQ(consumer->Dequeue().status().code(), StatusCode::kNotFound);
+  }
+  EXPECT_EQ(consumer_client.stats().far_ops - before, 0u)
+      << "watched pointers: idle polls never touch the fabric";
+
+  // A push wakes the watch (notification), not a poll loop of reads.
+  ASSERT_TRUE(producer->Enqueue(77).ok());
+  auto got = consumer->Dequeue();
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_EQ(*got, 77u);
+}
+
+TEST(FarQueueWatchTest, WatchedFifoThroughWraps) {
+  TestEnv env;
+  auto& client = env.NewClient();
+  FarQueue::Options options = SmallQueue(/*capacity=*/64);
+  options.watch_estimates = true;
+  auto queue = FarQueue::Create(&client, &env.alloc(), options);
+  ASSERT_TRUE(queue.ok());
+  // Several laps at steady ~30 occupancy: fixups force-write the
+  // pointers; the watch must track the lap subtractions without
+  // desyncing.
+  uint64_t next_out = 1;
+  for (uint64_t v = 1; v <= 400; ++v) {
+    ASSERT_TRUE(queue->Enqueue(v).ok()) << "at " << v;
+    if (v > 30) {
+      auto got = queue->Dequeue();
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      EXPECT_EQ(*got, next_out);
+      ++next_out;
+    }
+  }
+  while (next_out <= 400) {
+    auto got = queue->Dequeue();
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(*got, next_out);
+    ++next_out;
+  }
+  EXPECT_EQ(queue->Dequeue().status().code(), StatusCode::kNotFound);
+  EXPECT_GT(queue->op_stats().wraps, 0u);
+}
+
+TEST(FarQueueWatchTest, ProducerConsumerAcrossThreads) {
+  TestEnv env;
+  auto& producer_client = env.NewClient();
+  auto& consumer_client = env.NewClient();
+  FarQueue::Options options = SmallQueue(/*capacity=*/128, /*clients=*/2);
+  options.watch_estimates = true;
+  auto owner = FarQueue::Create(&producer_client, &env.alloc(), options);
+  ASSERT_TRUE(owner.ok());
+  auto consumer =
+      FarQueue::Attach(&consumer_client, owner->header(), options);
+  ASSERT_TRUE(consumer.ok());
+
+  constexpr uint64_t kTotal = 2000;
+  std::thread producer([&] {
+    for (uint64_t v = 1; v <= kTotal; ++v) {
+      while (!owner->Enqueue(v).ok()) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  uint64_t expected = 1;
+  while (expected <= kTotal) {
+    auto value = consumer->Dequeue();
+    if (value.ok()) {
+      ASSERT_EQ(*value, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+}
+
 }  // namespace
 }  // namespace fmds
