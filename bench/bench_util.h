@@ -204,6 +204,20 @@ inline double Median(std::vector<double> samples) {
   return (samples[mid - 1] + samples[mid]) / 2.0;
 }
 
+// The --telemetry=<path> argument (JSON-lines gauge snapshots written by a
+// TelemetrySnapshotter while the bench runs), or `default_path` when absent.
+// Pass "" as the default for benches where continuous export is opt-in.
+inline std::string TelemetryOutputPath(int argc, char** argv,
+                                       const std::string& default_path = "") {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--telemetry=", 0) == 0) {
+      return arg.substr(12);
+    }
+  }
+  return default_path;
+}
+
 // The --trace=<path> argument (Chrome trace-event JSON output), or "" when
 // tracing was not requested.
 inline std::string TraceOutputPath(int argc, char** argv) {

@@ -66,6 +66,44 @@ uint64_t BackgroundEvictor::passes() const {
   return passes_;
 }
 
+BackgroundEvictor::Health BackgroundEvictor::health() const {
+  std::vector<NearCache*> caches;
+  Health h;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    h.passes = passes_;
+    h.bg_evictions = stats_snapshot_.bg_evictions;
+    caches = caches_;
+  }
+  // Cache locks are taken OUTSIDE mu_ (the sweep path locks them with mu_
+  // released too, so no ordering is established either way — don't start).
+  h.watched_caches = caches.size();
+  for (const NearCache* cache : caches) {
+    const NearCache::Health ch = cache->health();
+    h.bytes_used += ch.bytes_used;
+    h.budget_headroom += ch.bytes_used >= ch.high_watermark
+                             ? 0
+                             : ch.high_watermark - ch.bytes_used;
+  }
+  return h;
+}
+
+void BackgroundEvictor::AddGauges(GaugeGroup* group,
+                                  const std::string& prefix) {
+  group->Add(prefix + ".passes",
+             [this] { return static_cast<double>(health().passes); });
+  group->Add(prefix + ".bg_evictions",
+             [this] { return static_cast<double>(health().bg_evictions); });
+  group->Add(prefix + ".watched_caches", [this] {
+    return static_cast<double>(health().watched_caches);
+  });
+  group->Add(prefix + ".bytes_used",
+             [this] { return static_cast<double>(health().bytes_used); });
+  group->Add(prefix + ".budget_headroom", [this] {
+    return static_cast<double>(health().budget_headroom);
+  });
+}
+
 void BackgroundEvictor::Main() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {

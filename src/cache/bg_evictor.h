@@ -57,6 +57,23 @@ class BackgroundEvictor {
   ClientStats stats() const;
   uint64_t passes() const;
 
+  // Live sweep health (any thread; locks). bytes_used / budget_headroom
+  // sum over every watched cache; headroom is distance below the high
+  // watermark (0 when a sweep is due). Do not destroy a watched cache while
+  // health readers (gauges) are live — Unwatch only fences the sweep pass.
+  struct Health {
+    uint64_t passes = 0;
+    uint64_t bg_evictions = 0;  // as of the last completed pass
+    uint64_t watched_caches = 0;
+    uint64_t bytes_used = 0;
+    uint64_t budget_headroom = 0;
+  };
+  Health health() const;
+
+  // Registers sweep gauges under `prefix` (e.g. "evictor"). The group must
+  // not outlive the evictor.
+  void AddGauges(GaugeGroup* group, const std::string& prefix);
+
  private:
   void Main();
 

@@ -18,7 +18,9 @@ NearCache::NearCache(FarClient* client, NearCacheOptions options)
     : client_(client),
       options_(options),
       ring_(MaxEntries(options.budget_bytes)),
-      filter_(options.filter_slots) {}
+      filter_(options.filter_slots),
+      win_hits_(WindowedOptions{}.window_ns, WindowedOptions{}.slots),
+      win_lookups_(WindowedOptions{}.window_ns, WindowedOptions{}.slots) {}
 
 NearCache::~NearCache() { Clear(); }
 
@@ -86,7 +88,12 @@ bool NearCache::LookupWatch(uint64_t key, std::span<std::byte> out,
   // One near access covers the whole probe — on a hit this is the entire
   // cost of the operation (that asymmetry is the point of the cache).
   client_->AccountNear(1);
+  // Owner thread: the clock read is safe here, and the timestamp feeds the
+  // rolling hit-ratio gauge under mu_ below.
+  const uint64_t now_ns = client_->clock().now_ns();
   std::lock_guard<std::mutex> lock(mu_);
+  win_now_ns_ = std::max(win_now_ns_, now_ns);
+  win_lookups_.Add(now_ns, 1);
   if (!retired_subs_.empty()) {
     DrainRetiredLocked();
   }
@@ -103,6 +110,7 @@ bool NearCache::LookupWatch(uint64_t key, std::span<std::byte> out,
         *watch_word = e.watch_word;
       }
       ++stats_.hits;
+      win_hits_.Add(now_ns, 1);
       ++client_->mutable_stats().cache_hits;
       client_->recorder().RecordCacheHit();
       return true;
@@ -479,6 +487,45 @@ size_t NearCache::entries() const {
 NearCacheStats NearCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+NearCache::Health NearCache::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Health h;
+  h.bytes_used = bytes_used_;
+  h.entries = ring_.size();
+  h.budget_limit = BudgetLimit();
+  h.high_watermark = HighWatermark();
+  h.low_watermark = LowWatermark();
+  h.sweep_needed = options_.background_eviction &&
+                   BudgetUsedLocked() >= HighWatermark() && h.entries > 0;
+  const uint64_t lookups = win_lookups_.RecentCount(win_now_ns_);
+  const uint64_t hits = win_hits_.RecentCount(win_now_ns_);
+  h.windowed_lookups = lookups;
+  h.windowed_hit_ratio =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  return h;
+}
+
+void NearCache::AddGauges(GaugeGroup* group, const std::string& prefix) {
+  group->Add(prefix + ".bytes_used", [this] {
+    return static_cast<double>(health().bytes_used);
+  });
+  group->Add(prefix + ".entries",
+             [this] { return static_cast<double>(health().entries); });
+  group->Add(prefix + ".budget_headroom_bytes", [this] {
+    const Health h = health();
+    return h.bytes_used >= h.high_watermark
+               ? 0.0
+               : static_cast<double>(h.high_watermark - h.bytes_used);
+  });
+  group->Add(prefix + ".sweep_needed",
+             [this] { return health().sweep_needed ? 1.0 : 0.0; });
+  group->Add(prefix + ".windowed_hit_ratio",
+             [this] { return health().windowed_hit_ratio; });
+  group->Add(prefix + ".windowed_lookups", [this] {
+    return static_cast<double>(health().windowed_lookups);
+  });
 }
 
 }  // namespace fmds

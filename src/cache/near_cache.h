@@ -65,6 +65,8 @@
 #include "src/cache/clock_ring.h"
 #include "src/fabric/far_client.h"
 #include "src/fabric/notification.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/windowed.h"
 
 namespace fmds {
 
@@ -273,6 +275,31 @@ class NearCache : public NotificationSink {
   NearCacheStats stats() const;
   const NearCacheOptions& options() const { return options_; }
 
+  // Budget geometry (shared budget when configured, else local).
+  uint64_t budget_limit() const { return BudgetLimit(); }
+  uint64_t high_watermark() const { return HighWatermark(); }
+  uint64_t low_watermark() const { return LowWatermark(); }
+
+  // Live health snapshot (any thread). windowed_hit_ratio covers only the
+  // last window of the owner's simulated time, unlike
+  // NearCacheStats::HitRatio() which is since-start — a cache that went
+  // cold after a working-set shift shows up here first.
+  struct Health {
+    uint64_t bytes_used = 0;
+    uint64_t entries = 0;
+    uint64_t budget_limit = 0;
+    uint64_t high_watermark = 0;
+    uint64_t low_watermark = 0;
+    bool sweep_needed = false;
+    double windowed_hit_ratio = 0.0;
+    uint64_t windowed_lookups = 0;
+  };
+  Health health() const;
+
+  // Registers this cache's health gauges under `prefix` (e.g. "cache").
+  // The group must not outlive the cache.
+  void AddGauges(GaugeGroup* group, const std::string& prefix);
+
  private:
   struct Entry {
     std::vector<std::byte> payload;
@@ -334,6 +361,11 @@ class NearCache : public NotificationSink {
   std::vector<SubId> retired_subs_;
   uint64_t bytes_used_ = 0;
   NearCacheStats stats_;
+  // Rolling hit ratio over the owner client's simulated time (timestamps
+  // are taken in Lookup on the owner thread; readers go through health()).
+  WindowedRate win_hits_;
+  WindowedRate win_lookups_;
+  uint64_t win_now_ns_ = 0;
 };
 
 }  // namespace fmds

@@ -12,18 +12,6 @@ LogHistogram::LogHistogram(int sub_bucket_bits)
   buckets_.assign(63 * sub_count_, 0);
 }
 
-size_t LogHistogram::BucketIndex(uint64_t value) const {
-  if (value < sub_count_) {
-    return static_cast<size_t>(value);
-  }
-  const int msb = 63 - std::countl_zero(value);
-  const int shift = msb - sub_bits_;
-  const uint64_t sub = (value >> shift) - sub_count_;  // in [0, sub_count_)
-  const size_t base = static_cast<size_t>(msb - sub_bits_ + 1) * sub_count_;
-  const size_t idx = base + static_cast<size_t>(sub);
-  return std::min(idx, buckets_.size() - 1);
-}
-
 uint64_t LogHistogram::BucketLowerBound(size_t index) const {
   if (index < sub_count_) {
     return index;
@@ -32,14 +20,6 @@ uint64_t LogHistogram::BucketLowerBound(size_t index) const {
   const uint64_t sub = index % sub_count_;
   const int shift = static_cast<int>(log) - 1;
   return (sub_count_ + sub) << shift;
-}
-
-void LogHistogram::Record(uint64_t value) {
-  buckets_[BucketIndex(value)]++;
-  ++count_;
-  sum_ += value;
-  min_ = std::min(min_, value);
-  max_ = std::max(max_, value);
 }
 
 void LogHistogram::Merge(const LogHistogram& other) {
@@ -53,8 +33,27 @@ void LogHistogram::Merge(const LogHistogram& other) {
     }
     return;
   }
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    buckets_[i] += other.buckets_[i];
+  AddBucketRange(other);
+}
+
+bool LogHistogram::MergeFrom(const LogHistogram& other) {
+  if (other.sub_bits_ != sub_bits_) {
+    return false;
+  }
+  AddBucketRange(other);
+  return true;
+}
+
+void LogHistogram::AddBucketRange(const LogHistogram& other) {
+  // Only the source's dirty span can hold nonzero buckets; an empty source
+  // (the common case when merging a ring of mostly-idle sub-windows) costs
+  // nothing at all.
+  if (other.dirty_lo_ <= other.dirty_hi_) {
+    for (size_t i = other.dirty_lo_; i <= other.dirty_hi_; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    dirty_lo_ = std::min(dirty_lo_, other.dirty_lo_);
+    dirty_hi_ = std::max(dirty_hi_, other.dirty_hi_);
   }
   count_ += other.count_;
   sum_ += other.sum_;
@@ -63,7 +62,12 @@ void LogHistogram::Merge(const LogHistogram& other) {
 }
 
 void LogHistogram::Reset() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
+  if (dirty_lo_ <= dirty_hi_) {
+    std::fill(buckets_.begin() + dirty_lo_, buckets_.begin() + dirty_hi_ + 1,
+              0);
+  }
+  dirty_lo_ = SIZE_MAX;
+  dirty_hi_ = 0;
   count_ = 0;
   sum_ = 0;
   min_ = UINT64_MAX;

@@ -5,6 +5,7 @@
 #define FMDS_SRC_COMMON_HISTOGRAM_H_
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -20,9 +21,69 @@ class LogHistogram {
  public:
   explicit LogHistogram(int sub_bucket_bits = 5);
 
-  void Record(uint64_t value);
+  // Inline: this sits on the windowed-signals drain path, where an
+  // out-of-line call per record dominated the E15 overhead budget.
+  void Record(uint64_t value) {
+    const size_t index = BucketIndex(value);
+    buckets_[index]++;
+    Touch(index);
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  // Batch-recorder interface (WindowedSignals): a caller that pre-buckets
+  // values with BucketIndexFor folds whole batches in — bucket deltas via
+  // AddBucketCount, then count/sum/min/max once via ApplyBatchSummary.
+  // The index MUST come from BucketIndexFor with this histogram's sub_bits
+  // and bucket_count().
+  void AddBucketCount(size_t index, uint64_t n) {
+    buckets_[index] += n;
+    Touch(index);
+  }
+  void ApplyBatchSummary(uint64_t n, uint64_t sum, uint64_t min_value,
+                         uint64_t max_value) {
+    count_ += n;
+    sum_ += sum;
+    min_ = std::min(min_, min_value);
+    max_ = std::max(max_, max_value);
+  }
+  size_t bucket_count() const { return buckets_.size(); }
+
+  // Bucket-array size for a given resolution — what bucket_count() returns
+  // on an instance built with the same sub_bits.
+  static size_t BucketCountFor(int sub_bits) {
+    return static_cast<size_t>(63) << sub_bits;
+  }
+
+  // The bucketing function, usable without an instance (hot paths bucket
+  // into their own compact staging before ever touching a histogram).
+  static size_t BucketIndexFor(uint64_t value, int sub_bits,
+                               size_t num_buckets) {
+    const uint64_t sub_count = 1ULL << sub_bits;
+    if (value < sub_count) {
+      return static_cast<size_t>(value);
+    }
+    const int msb = 63 - std::countl_zero(value);
+    const int shift = msb - sub_bits;
+    const uint64_t sub = (value >> shift) - sub_count;  // in [0, sub_count)
+    const size_t base = static_cast<size_t>(msb - sub_bits + 1)
+                        << sub_bits;
+    return std::min(base + static_cast<size_t>(sub), num_buckets - 1);
+  }
   void Merge(const LogHistogram& other);
   void Reset();
+  // Zeroes counts in place, keeping the bucket allocation — the window
+  // rotation path (WindowedHistogram) clears an expired sub-window on every
+  // epoch advance, so this must not free/reallocate.
+  void Clear() { Reset(); }
+
+  // In-place bucket-wise merge. Unlike Merge(), which degrades a
+  // resolution-mismatched source by re-recording bucket lower bounds, this
+  // REJECTS a cross-sub-bits merge: returns false and leaves this histogram
+  // untouched. Window rotation merges like-configured sub-windows only, and
+  // a silent lossy merge there would corrupt rolling percentiles.
+  bool MergeFrom(const LogHistogram& other);
 
   uint64_t count() const { return count_; }
   uint64_t sum() const { return sum_; }
@@ -43,8 +104,22 @@ class LogHistogram {
   std::string Summary() const;
 
  private:
-  size_t BucketIndex(uint64_t value) const;
+  size_t BucketIndex(uint64_t value) const {
+    return BucketIndexFor(value, sub_bits_, buckets_.size());
+  }
   uint64_t BucketLowerBound(size_t index) const;
+  // Dirty-range bookkeeping: every write into buckets_ goes through Touch,
+  // so [dirty_lo_, dirty_hi_] covers all nonzero buckets. Clear() then
+  // zeroes only that span (the window-rotation path clears a sub-window
+  // histogram every epoch advance — a full 4 KB memset there costs more
+  // than the records it erases), and MergeFrom walks only the source's
+  // span instead of the whole array.
+  void Touch(size_t index) {
+    dirty_lo_ = std::min(dirty_lo_, index);
+    dirty_hi_ = std::max(dirty_hi_, index);
+  }
+  // Bucket-wise add of `other` (same resolution) plus summary fold.
+  void AddBucketRange(const LogHistogram& other);
 
   int sub_bits_;
   uint64_t sub_count_;
@@ -53,6 +128,8 @@ class LogHistogram {
   uint64_t sum_ = 0;
   uint64_t min_ = UINT64_MAX;
   uint64_t max_ = 0;
+  size_t dirty_lo_ = SIZE_MAX;  // SIZE_MAX/0 = nothing dirty
+  size_t dirty_hi_ = 0;
 };
 
 // Mean/min/max/stddev accumulator for doubles.

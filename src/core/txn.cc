@@ -17,7 +17,10 @@ uint64_t VersionBits(uint64_t version) { return version & 0xffffffffull; }
 Status Txn::Abort(const char* why) {
   if (!aborted_) {
     aborted_ = true;
-    ++client()->mutable_stats().txn_aborts;
+    FarClient* c = client();
+    ++c->mutable_stats().txn_aborts;
+    c->recorder().RecordTxnOutcome(c->clock().now_ns(), /*committed=*/false,
+                                   validate_failed_);
   }
   return Aborted(why);
 }
@@ -402,11 +405,14 @@ Status Txn::Commit() {
       for (size_t i = 0; i < expected.size(); ++i) {
         if (done[i].word != expected[i]) {
           ++c->mutable_stats().txn_validate_fails;
+          validate_failed_ = true;
           return Abort("txn validation failed");
         }
       }
     }
     ++c->mutable_stats().txn_commits;
+    c->recorder().RecordTxnOutcome(c->clock().now_ns(), /*committed=*/true,
+                                   false);
     return OkStatus();
   }
 
@@ -436,6 +442,8 @@ Status Txn::Commit() {
     }
     FinalizeBucket(bc);
     ++c->mutable_stats().txn_commits;
+    c->recorder().RecordTxnOutcome(c->clock().now_ns(), /*committed=*/true,
+                                   false);
     return OkStatus();
   }
 
@@ -497,6 +505,7 @@ Status Txn::Commit() {
       if (vdone[i].word != checks[i].second) {
         FMDS_RETURN_IF_ERROR(RollbackPrepared(prepared));
         ++c->mutable_stats().txn_validate_fails;
+        validate_failed_ = true;
         return Abort("txn validation failed");
       }
     }
@@ -521,6 +530,8 @@ Status Txn::Commit() {
     FinalizeBucket(bc);
   }
   ++c->mutable_stats().txn_commits;
+  c->recorder().RecordTxnOutcome(c->clock().now_ns(), /*committed=*/true,
+                                 false);
   return OkStatus();
 }
 

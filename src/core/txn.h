@@ -149,6 +149,7 @@ class Txn {
   std::unordered_map<FarAddr, BucketView> buckets_;
   bool committed_ = false;
   bool aborted_ = false;
+  bool validate_failed_ = false;  // read-set validation lost (for telemetry)
 };
 
 // Retry loop: runs `body` against a fresh Txn, commits, and on kAborted

@@ -41,26 +41,34 @@ void WriteBehindEngine::Remove(uint64_t key) {
 }
 
 void WriteBehindEngine::Enqueue(uint64_t key, uint64_t value, bool tombstone) {
+  // App thread: the clock read anchors the staged record's age gauge.
+  const uint64_t now_ns = app_client_->clock().now_ns();
   std::unique_lock<std::mutex> lock(mu_);
   if (StagedLocked() >= options_.max_pending) {
     work_cv_.notify_one();
     drain_cv_.wait(lock,
                    [&] { return StagedLocked() < options_.max_pending; });
   }
+  last_app_now_ns_ = std::max(last_app_now_ns_, now_ns);
   const uint64_t seq = next_seq_++;
-  latest_[key] = Rec{value, tombstone, seq};
   if (options_.combine) {
     if (staged_keys_.insert(key).second) {
       order_.push_back(key);
+      latest_[key] = Rec{value, tombstone, seq, now_ns};
       unpublished_.fetch_add(1, std::memory_order_release);
     } else {
       // Overwrote a staged record in place: the superseded write will never
       // cost a doorbell. Charged to the app client — combining happens on
-      // the hot path.
+      // the hot path. The staging timestamp survives the overwrite so the
+      // age gauge reports how long the key has waited, not its last touch.
+      Rec& rec = latest_[key];
+      const uint64_t staged_ns = rec.enqueue_ns;
+      rec = Rec{value, tombstone, seq, staged_ns};
       ++app_client_->mutable_stats().writes_combined;
     }
   } else {
-    fifo_.push_back(FifoRec{key, value, tombstone, seq});
+    latest_[key] = Rec{value, tombstone, seq, now_ns};
+    fifo_.push_back(FifoRec{key, value, tombstone, seq, now_ns});
     unpublished_.fetch_add(1, std::memory_order_release);
   }
   if (StagedLocked() >= options_.max_batch) {
@@ -155,6 +163,7 @@ void WriteBehindEngine::FlusherMain() {
     lock.unlock();
 
     FarClient* fc = publisher_->client();
+    const uint64_t stage0_ns = fc->clock().now_ns();
     {
       // Stage 1 (coalesce): the merge itself happened at enqueue time under
       // mu_; this accounts the near-side work of materializing the batch.
@@ -162,6 +171,7 @@ void WriteBehindEngine::FlusherMain() {
       fc->AccountNear(batch.keys.size());
       ++fc->mutable_stats().flush_stages;
     }
+    const uint64_t stage1_ns = fc->clock().now_ns();
     Status s;
     {
       // Stages 2+3 (CAS-issue + completion-absorb): one counter bump per
@@ -170,6 +180,7 @@ void WriteBehindEngine::FlusherMain() {
       fc->mutable_stats().flush_stages += 2;
       s = publisher_->Publish(batch);
     }
+    const uint64_t stage2_ns = fc->clock().now_ns();
     if (s.ok()) {
       // Stage 4 (writer-side cache refill): push published values into the
       // app handle's near cache so the writer's next read hits near memory.
@@ -177,8 +188,19 @@ void WriteBehindEngine::FlusherMain() {
       ++fc->mutable_stats().flush_stages;
       publisher_->RefillCaches(batch);
     }
+    const uint64_t stage3_ns = fc->clock().now_ns();
 
     lock.lock();
+    // Drain-lag attribution on the flusher's clock, per pipeline stage.
+    stage_coalesce_ns_ += stage1_ns - stage0_ns;
+    stage_publish_ns_ += stage2_ns - stage1_ns;
+    stage_refill_ns_ += stage3_ns - stage2_ns;
+    ++batches_flushed_;
+    if (s.ok()) {
+      records_published_ += batch.keys.size();
+    } else {
+      ++deferred_errors_;
+    }
     // Erase AFTER publish (and refill): a pending-table miss therefore
     // implies the far write — and the writer-side cache update — already
     // happened, which is what makes the Get-side
@@ -197,6 +219,73 @@ void WriteBehindEngine::FlusherMain() {
     drain_cv_.notify_all();
   }
   drain_cv_.notify_all();
+}
+
+WriteBehindEngine::Health WriteBehindEngine::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Health h;
+  h.pending_entries = unpublished_.load(std::memory_order_acquire);
+  h.staged_entries = StagedLocked();
+  // Logical payload: 8-byte key + 8-byte value per unpublished record.
+  h.pending_bytes = h.pending_entries * 16;
+  uint64_t oldest_ns = 0;
+  bool have_oldest = false;
+  if (options_.combine) {
+    if (!order_.empty()) {
+      const auto it = latest_.find(order_.front());
+      if (it != latest_.end()) {
+        oldest_ns = it->second.enqueue_ns;
+        have_oldest = true;
+      }
+    }
+  } else if (!fifo_.empty()) {
+    oldest_ns = fifo_.front().enqueue_ns;
+    have_oldest = true;
+  }
+  if (have_oldest && last_app_now_ns_ > oldest_ns) {
+    h.oldest_staged_age_ns = last_app_now_ns_ - oldest_ns;
+  }
+  h.in_flight = in_flight_;
+  h.batches_flushed = batches_flushed_;
+  h.records_published = records_published_;
+  h.deferred_errors = deferred_errors_;
+  h.stage_coalesce_ns = stage_coalesce_ns_;
+  h.stage_publish_ns = stage_publish_ns_;
+  h.stage_refill_ns = stage_refill_ns_;
+  return h;
+}
+
+void WriteBehindEngine::AddGauges(GaugeGroup* group,
+                                  const std::string& prefix) {
+  group->Add(prefix + ".pending_entries", [this] {
+    return static_cast<double>(health().pending_entries);
+  });
+  group->Add(prefix + ".pending_bytes", [this] {
+    return static_cast<double>(health().pending_bytes);
+  });
+  group->Add(prefix + ".oldest_staged_age_ns", [this] {
+    return static_cast<double>(health().oldest_staged_age_ns);
+  });
+  group->Add(prefix + ".in_flight",
+             [this] { return health().in_flight ? 1.0 : 0.0; });
+  group->Add(prefix + ".batches_flushed", [this] {
+    return static_cast<double>(health().batches_flushed);
+  });
+  group->Add(prefix + ".records_published", [this] {
+    return static_cast<double>(health().records_published);
+  });
+  group->Add(prefix + ".deferred_errors", [this] {
+    return static_cast<double>(health().deferred_errors);
+  });
+  group->Add(prefix + ".stage_coalesce_ns", [this] {
+    return static_cast<double>(health().stage_coalesce_ns);
+  });
+  group->Add(prefix + ".stage_publish_ns", [this] {
+    return static_cast<double>(health().stage_publish_ns);
+  });
+  group->Add(prefix + ".stage_refill_ns", [this] {
+    return static_cast<double>(health().stage_refill_ns);
+  });
 }
 
 }  // namespace fmds

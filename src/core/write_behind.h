@@ -52,6 +52,7 @@
 
 #include "src/common/status.h"
 #include "src/fabric/far_client.h"
+#include "src/obs/telemetry.h"
 
 namespace fmds {
 
@@ -127,6 +128,30 @@ class WriteBehindEngine {
     return unpublished_.load(std::memory_order_acquire);
   }
   const WriteBehindOptions& options() const { return options_; }
+
+  // Live pipeline health (any thread; locks mu_). Ages are in the APP
+  // client's simulated time, measured against the newest enqueue the engine
+  // has seen (sim clocks are owner-local, so a cross-thread "now" does not
+  // exist); stage times are cumulative FLUSHER-clock ns per pipeline stage,
+  // so their ratios expose where drain time goes.
+  struct Health {
+    uint64_t pending_entries = 0;   // staged + in-flight (unpublished)
+    uint64_t staged_entries = 0;    // staged only (not yet taken)
+    uint64_t pending_bytes = 0;     // logical payload (key+value per record)
+    uint64_t oldest_staged_age_ns = 0;
+    bool in_flight = false;
+    uint64_t batches_flushed = 0;
+    uint64_t records_published = 0;
+    uint64_t deferred_errors = 0;   // failed publishes since construction
+    uint64_t stage_coalesce_ns = 0;
+    uint64_t stage_publish_ns = 0;
+    uint64_t stage_refill_ns = 0;
+  };
+  Health health() const;
+
+  // Registers pipeline gauges under `prefix` (e.g. "wb"). The group must
+  // not outlive the engine.
+  void AddGauges(GaugeGroup* group, const std::string& prefix);
   // The flusher's client (its stats carry flush_stages; its clock carries
   // the publish latency). Safe to read after a FlushBarrier.
   FarClient* flusher_client() { return publisher_->client(); }
@@ -136,12 +161,17 @@ class WriteBehindEngine {
     uint64_t value = 0;
     bool tombstone = false;
     uint64_t seq = 0;
+    // App-clock time the currently staged record FIRST entered the table
+    // (preserved across combine overwrites — age measures how long the key
+    // has been waiting, not how recently it was rewritten).
+    uint64_t enqueue_ns = 0;
   };
   struct FifoRec {
     uint64_t key = 0;
     uint64_t value = 0;
     bool tombstone = false;
     uint64_t seq = 0;
+    uint64_t enqueue_ns = 0;
   };
 
   void Enqueue(uint64_t key, uint64_t value, bool tombstone);
@@ -173,6 +203,15 @@ class WriteBehindEngine {
   bool in_flight_ = false;
   bool stop_ = false;
   Status first_error_;
+  // Health counters (under mu_). last_app_now_ns_ is the newest app-clock
+  // timestamp observed at Enqueue — the reference point for staged ages.
+  uint64_t last_app_now_ns_ = 0;
+  uint64_t batches_flushed_ = 0;
+  uint64_t records_published_ = 0;
+  uint64_t deferred_errors_ = 0;
+  uint64_t stage_coalesce_ns_ = 0;
+  uint64_t stage_publish_ns_ = 0;
+  uint64_t stage_refill_ns_ = 0;
   std::atomic<uint64_t> unpublished_{0};
   std::thread flusher_;
 };

@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <ostream>
+#include <string>
 
 #include "src/common/table.h"
+#include "src/obs/telemetry.h"
 
 namespace fmds {
 
@@ -104,6 +106,114 @@ void Fabric::DumpStats(std::ostream& os) const {
   }
   table.AddRow(std::move(total_cells));
   table.Print(os, "fabric: per-node service counters");
+}
+
+void Fabric::DumpClientStats(std::ostream& os,
+                             std::span<const ClientStats> clients) {
+  Table table({"client", "far_ops", "msgs", "rd_B", "wr_B", "near", "rpc",
+               "notif", "slow", "bg", "batches", "batched", "rtts_saved",
+               "fanout", "xnode_saved", "cache_hit", "cache_miss",
+               "cache_inval", "txn_commit", "txn_abort", "txn_vfail",
+               "txn_pfail", "wb_combined", "wb_stages", "bg_evict"});
+  ClientStats totals;
+  for (size_t i = 0; i < clients.size(); ++i) {
+    const ClientStats& s = clients[i];
+    totals.Add(s);
+    table.AddRow({Table::Cell(static_cast<uint64_t>(i)),
+                  Table::Cell(s.far_ops), Table::Cell(s.messages),
+                  Table::Cell(s.bytes_read), Table::Cell(s.bytes_written),
+                  Table::Cell(s.near_ops), Table::Cell(s.rpc_calls),
+                  Table::Cell(s.notifications), Table::Cell(s.slow_path_ops),
+                  Table::Cell(s.background_ops), Table::Cell(s.batches),
+                  Table::Cell(s.batched_ops),
+                  Table::Cell(s.overlapped_rtts_saved),
+                  Table::Cell(s.fanout_batches),
+                  Table::Cell(s.cross_node_rtts_saved),
+                  Table::Cell(s.cache_hits), Table::Cell(s.cache_misses),
+                  Table::Cell(s.cache_invalidations),
+                  Table::Cell(s.txn_commits), Table::Cell(s.txn_aborts),
+                  Table::Cell(s.txn_validate_fails),
+                  Table::Cell(s.txn_prepare_fails),
+                  Table::Cell(s.writes_combined), Table::Cell(s.flush_stages),
+                  Table::Cell(s.bg_evictions)});
+  }
+  table.AddRow({"(all)", Table::Cell(totals.far_ops),
+                Table::Cell(totals.messages), Table::Cell(totals.bytes_read),
+                Table::Cell(totals.bytes_written), Table::Cell(totals.near_ops),
+                Table::Cell(totals.rpc_calls), Table::Cell(totals.notifications),
+                Table::Cell(totals.slow_path_ops),
+                Table::Cell(totals.background_ops), Table::Cell(totals.batches),
+                Table::Cell(totals.batched_ops),
+                Table::Cell(totals.overlapped_rtts_saved),
+                Table::Cell(totals.fanout_batches),
+                Table::Cell(totals.cross_node_rtts_saved),
+                Table::Cell(totals.cache_hits), Table::Cell(totals.cache_misses),
+                Table::Cell(totals.cache_invalidations),
+                Table::Cell(totals.txn_commits), Table::Cell(totals.txn_aborts),
+                Table::Cell(totals.txn_validate_fails),
+                Table::Cell(totals.txn_prepare_fails),
+                Table::Cell(totals.writes_combined),
+                Table::Cell(totals.flush_stages),
+                Table::Cell(totals.bg_evictions)});
+  table.Print(os, "clients: per-client counters");
+}
+
+void Fabric::DumpHealth(std::ostream& os) const {
+  Table table({"node", "ops", "bytes_in", "bytes_out", "notif_fired",
+               "notif_dropped", "subs", "extra_service_ns"});
+  uint64_t totals[7] = {};
+  for (NodeId i = 0; i < options_.num_nodes; ++i) {
+    const MemoryNode& n = *nodes_[i];
+    const NodeStats& s = nodes_[i]->stats();
+    const uint64_t row[7] = {
+        s.ops_serviced.load(std::memory_order_relaxed),
+        s.bytes_in.load(std::memory_order_relaxed),
+        s.bytes_out.load(std::memory_order_relaxed),
+        s.notifications_fired.load(std::memory_order_relaxed),
+        s.notifications_dropped.load(std::memory_order_relaxed),
+        n.subscription_count(), n.extra_service_ns()};
+    std::vector<std::string> cells{Table::Cell(static_cast<uint64_t>(i))};
+    for (size_t c = 0; c < 7; ++c) {
+      cells.push_back(Table::Cell(row[c]));
+      totals[c] += row[c];
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::vector<std::string> total_cells{"(all)"};
+  for (size_t c = 0; c < 7; ++c) {
+    total_cells.push_back(Table::Cell(totals[c]));
+  }
+  table.AddRow(std::move(total_cells));
+  table.Print(os, "fabric: per-node health");
+}
+
+void Fabric::AddGauges(GaugeGroup* group, const std::string& prefix) const {
+  for (NodeId i = 0; i < options_.num_nodes; ++i) {
+    MemoryNode* n = nodes_[i].get();
+    const std::string node_prefix = prefix + ".node" + std::to_string(i);
+    group->Add(node_prefix + ".ops", [n] {
+      return static_cast<double>(
+          n->stats().ops_serviced.load(std::memory_order_relaxed));
+    });
+    group->Add(node_prefix + ".bytes_in", [n] {
+      return static_cast<double>(
+          n->stats().bytes_in.load(std::memory_order_relaxed));
+    });
+    group->Add(node_prefix + ".bytes_out", [n] {
+      return static_cast<double>(
+          n->stats().bytes_out.load(std::memory_order_relaxed));
+    });
+    group->Add(node_prefix + ".notifications", [n] {
+      return static_cast<double>(
+          n->stats().notifications_fired.load(std::memory_order_relaxed));
+    });
+    group->Add(node_prefix + ".subs", [n] {
+      return static_cast<double>(n->subscription_count());
+    });
+    group->Add(node_prefix + ".extra_service_ns", [n] {
+      return static_cast<double>(n->extra_service_ns());
+    });
+  }
 }
 
 }  // namespace fmds

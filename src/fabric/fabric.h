@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/status.h"
@@ -26,6 +27,8 @@
 #include "src/sim/latency_model.h"
 
 namespace fmds {
+
+class GaugeGroup;
 
 enum class IndirectionPolicy : uint8_t {
   kForward = 0,  // memory node forwards to the target node
@@ -78,6 +81,25 @@ class Fabric {
   // Fleet-wide per-node service counters as one table (plus a totals row):
   // the memory-side companion to the client-side flight recorder.
   void DumpStats(std::ostream& os) const;
+
+  // Client-side fleet table: one row per ClientStats with EVERY counter
+  // ClientStats::ToString reports — including the PR 7 pipeline counters
+  // (writes_combined, flush_stages, bg_evictions) — plus a totals row.
+  // Pass each thread's client->stats() snapshot (taken quiesced: ClientStats
+  // are single-owner and must not be read while the owner runs).
+  static void DumpClientStats(std::ostream& os,
+                              std::span<const ClientStats> clients);
+
+  // Live per-node health table: service counters plus the gauges DumpStats
+  // omits — active subscriptions and the injected per-op slowdown
+  // (set_extra_service_ns). Safe to call while clients run (all atomics).
+  void DumpHealth(std::ostream& os) const;
+
+  // Registers per-node traffic gauges (`prefix.node<i>.{ops,bytes_in,
+  // bytes_out,notifications,subs,extra_service_ns}`) with a TelemetryHub.
+  // Atomic reads only; safe while clients run. The group must not outlive
+  // the fabric.
+  void AddGauges(GaugeGroup* group, const std::string& prefix) const;
 
  private:
   FabricOptions options_;

@@ -41,11 +41,16 @@ void FarClient::AccountRoundTrip(FarOpKind kind, NodeId node, FarAddr addr,
                                  uint64_t extra_hops, bool ok) {
   ++stats_.far_ops;
   stats_.messages += messages;
-  const uint64_t latency_ns = latency_.FarRoundTripNs(payload_bytes) +
-                              extra_hops * latency_.node_hop_ns;
+  uint64_t latency_ns = latency_.FarRoundTripNs(payload_bytes) +
+                        extra_hops * latency_.node_hop_ns;
+  if (node != kObsNoNode) {
+    // Per-node slowdown knob (contention / degraded link injection): the
+    // serviced node's extra service time rides on every round trip to it.
+    latency_ns += fabric_->node(node).extra_service_ns();
+  }
   const uint64_t start_ns = clock_.now_ns();
   clock_.Advance(latency_ns);
-  if (obs_.enabled()) {
+  if (obs_.recording()) {
     obs_.RecordOp(kind, node, addr, payload_bytes, start_ns, latency_ns, ok);
   }
 }
@@ -774,7 +779,7 @@ Status FarClient::Flush() {
   uint64_t fabric_ops = 0;   // logical round trips the sync path would pay
   uint64_t serial_ns = 0;    // dependent second accesses (kError policy)
   uint64_t serial_rtts = 0;
-  const bool observing = obs_.enabled();
+  const bool observing = obs_.recording();
   std::vector<BatchOpObs> op_obs;
   if (observing) {
     op_obs.resize(batch.size());
@@ -801,7 +806,9 @@ Status FarClient::Flush() {
     const uint64_t cost =
         latency_.far_base_ns + static_cast<uint64_t>(group.wire_ns) +
         (group.contribs - 1) * latency_.batch_op_ns +
-        group.hops * latency_.node_hop_ns;
+        group.hops * latency_.node_hop_ns +
+        // A slowed node services each of its sub-batch ops slower.
+        group.contribs * fabric_->node(node).extra_service_ns();
     batch_ns = std::max(batch_ns, cost);
   }
   ++stats_.batches;
@@ -979,7 +986,7 @@ size_t FarClient::DispatchNotifications() {
     auto it = sinks_.find(ev.sub_id);
     if (it != sinks_.end()) {
       ++stats_.notifications;
-      if (obs_.enabled()) {
+      if (obs_.recording()) {
         obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev.addr, ev.len,
                       clock_.now_ns(), 0, true);
       }
@@ -1018,7 +1025,7 @@ std::optional<NotifyEvent> FarClient::PollNotification() {
     NotifyEvent ev = std::move(parked_events_.front());
     parked_events_.pop_front();
     ++stats_.notifications;
-    if (obs_.enabled()) {
+    if (obs_.recording()) {
       obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev.addr, ev.len,
                     clock_.now_ns(), 0, true);
     }
@@ -1027,7 +1034,7 @@ std::optional<NotifyEvent> FarClient::PollNotification() {
   auto ev = channel_.Poll();
   if (ev.has_value()) {
     ++stats_.notifications;
-    if (obs_.enabled()) {
+    if (obs_.recording()) {
       // Delivery already happened on the node side; a poll that drains the
       // channel costs the client only the near access charged above.
       obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev->addr, ev->len,
@@ -1057,7 +1064,7 @@ Result<NotifyEvent> FarClient::WaitNotification(uint64_t timeout_ms) {
       AccountNear(1);
       const uint64_t start_ns = clock_.now_ns();
       clock_.Advance(latency_.notify_delay_ns);
-      if (obs_.enabled()) {
+      if (obs_.recording()) {
         obs_.RecordOp(FarOpKind::kNotification, kObsNoNode, ev->addr, ev->len,
                       start_ns, latency_.notify_delay_ns, true);
       }
@@ -1097,7 +1104,7 @@ Status FarClient::PostWriteBackground(FarAddr addr,
   ++stats_.background_ops;
   stats_.messages += std::max<size_t>(segs.size(), 1);
   stats_.bytes_written += data.size();
-  if (obs_.enabled()) {
+  if (obs_.recording()) {
     // Fire-and-forget: the client clock does not wait, so latency is 0.
     obs_.RecordOp(FarOpKind::kBackground,
                   segs.empty() ? kObsNoNode : segs.front().node, addr,
@@ -1120,7 +1127,7 @@ Result<uint64_t> FarClient::ReadWordBackground(FarAddr addr) {
   ++stats_.background_ops;
   ++stats_.messages;
   stats_.bytes_read += kWordSize;
-  if (obs_.enabled()) {
+  if (obs_.recording()) {
     obs_.RecordOp(FarOpKind::kBackground, loc.node, addr, kWordSize,
                   clock_.now_ns(), 0, true);
   }

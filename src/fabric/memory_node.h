@@ -65,6 +65,18 @@ class MemoryNode {
 
   NodeStats& stats() { return stats_; }
 
+  // --- Fault/contention injection (E15 load-shift scenario). ---
+  // Extra service time charged per round trip (and per batched sub-op)
+  // serviced by this node. Models a hot or degraded node so rolling
+  // telemetry (RecentP99, NodeLoadEwma) has a real signal to track. Settable
+  // from any thread; clients read it when they account a round trip.
+  void set_extra_service_ns(uint64_t ns) {
+    extra_service_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t extra_service_ns() const {
+    return extra_service_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic_ref<uint64_t> WordRef(uint64_t offset) {
     return std::atomic_ref<uint64_t>(words_[offset / kWordSize]);
@@ -80,6 +92,7 @@ class MemoryNode {
   std::mutex sub_mu_;
   SubscriptionTable subs_;
   std::atomic<size_t> subs_active_{0};
+  std::atomic<uint64_t> extra_service_ns_{0};
   NodeStats stats_;
 };
 

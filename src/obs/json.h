@@ -1,0 +1,44 @@
+// Minimal JSON string escaping for the observability exporters. The bench
+// harness's BenchJson quotes only '"' and '\\'; exporter-facing strings
+// (gauge names, op labels like "httree.get") may in principle carry control
+// characters or unicode-free arbitrary bytes, and a committed BENCH_*.json
+// must stay parseable regardless.
+#ifndef FMDS_SRC_OBS_JSON_H_
+#define FMDS_SRC_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace fmds {
+
+// Returns `s` with JSON string escapes applied (no surrounding quotes).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_OBS_JSON_H_

@@ -1,9 +1,12 @@
 #include "src/obs/metrics_registry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
+#include <utility>
 
 #include "src/common/table.h"
+#include "src/obs/json.h"
 
 namespace fmds {
 
@@ -129,21 +132,26 @@ std::string HistStatsJson(const LogHistogram& hist) {
 }  // namespace
 
 std::string MetricsRegistry::OpLatencyJsonObject() const {
+  // Keys come out sorted by name (not enum order) so the fragment is byte-
+  // stable across runs and diffs cleanly between bench JSON files.
+  std::vector<std::pair<std::string, size_t>> kinds;
+  for (size_t i = 0; i < kFarOpKindCount; ++i) {
+    if (kind_hists_[i].count() != 0) {
+      kinds.emplace_back(FarOpKindName(static_cast<FarOpKind>(i)), i);
+    }
+  }
+  std::sort(kinds.begin(), kinds.end());
   std::string out = "{";
   bool first = true;
-  for (size_t i = 0; i < kFarOpKindCount; ++i) {
-    const LogHistogram& hist = kind_hists_[i];
-    if (hist.count() == 0) {
-      continue;
-    }
+  for (const auto& [name, i] : kinds) {
     if (!first) {
       out += ", ";
     }
     first = false;
     out += "\"";
-    out += FarOpKindName(static_cast<FarOpKind>(i));
+    out += JsonEscape(name);
     out += "\": {";
-    out += HistStatsJson(hist);
+    out += HistStatsJson(kind_hists_[i]);
     out += "}";
   }
   out += "}";
@@ -175,7 +183,10 @@ std::string MetricsRegistry::LabelJsonObject() const {
     }
     first = false;
     out += "\"";
-    out += name.empty() ? "(unlabeled)" : name;
+    // Labels are user-supplied strings; escape them so a quote or backslash
+    // in a label cannot corrupt the fragment. labels_ is an ordered map, so
+    // keys are already emitted in stable sorted order.
+    out += JsonEscape(name.empty() ? "(unlabeled)" : name);
     out += "\": {";
     char buf[192];
     std::snprintf(buf, sizeof(buf), "\"ops\": %llu, \"bytes\": %llu, ",

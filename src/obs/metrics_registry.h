@@ -66,6 +66,8 @@ class MetricsRegistry {
   void PrintHeatmap(std::ostream& os, const std::string& title) const;
 
   // ---- JSON fragments (for BenchJson::Raw) ----
+  // Both object fragments emit keys in stable sorted order and JSON-escape
+  // key strings, so the output is valid JSON byte-stable across runs.
   // {"read": {"count":N,"p50_ns":..,"p99_ns":..,"max_ns":..,"mean_ns":..},..}
   std::string OpLatencyJsonObject() const;
   // [{"node":0,"ops":N,"bytes":B}, ...] summed over clients.

@@ -1,5 +1,7 @@
 #include "src/obs/recorder.h"
 
+#include "src/obs/telemetry.h"
+
 namespace fmds {
 
 OpRecorder::OpRecorder(uint64_t client_id) : client_id_(client_id) {
@@ -21,6 +23,16 @@ void OpRecorder::set_options(const ObsOptions& options) {
       options.histogram_sub_bits != options_.histogram_sub_bits;
   options_ = options;
   enabled_ = options_.latency_histograms || options_.trace;
+  // A parked instance never survives an options change (its geometry may
+  // no longer match).
+  parked_windowed_.reset();
+  if (options_.windowed) {
+    // Rebuild rather than carry over: window geometry may have changed and
+    // a fresh ring is cheap next to the since-start histogram rebuild below.
+    windowed_ = std::make_unique<WindowedSignals>(options_.windowed_opts);
+  } else {
+    windowed_.reset();
+  }
   if (resolution_changed) {
     kind_hists_.clear();
     for (size_t i = 0; i < kFarOpKindCount; ++i) {
@@ -67,12 +79,10 @@ std::string_view OpRecorder::current_label() const {
                               : label_names_[label_stack_.back()];
 }
 
-void OpRecorder::RecordOp(FarOpKind kind, NodeId node, FarAddr addr,
-                          uint64_t bytes, uint64_t start_ns,
-                          uint64_t latency_ns, bool ok, uint64_t batch_id) {
-  if (!enabled_) {
-    return;
-  }
+void OpRecorder::RecordOpSinceStart(FarOpKind kind, NodeId node, FarAddr addr,
+                                    uint64_t bytes, uint64_t start_ns,
+                                    uint64_t latency_ns, bool ok,
+                                    uint64_t batch_id) {
   const uint32_t label =
       label_stack_.empty() ? 0 : label_stack_.back();
   // The batch span is a roll-up over ops attributed individually; keep it
@@ -109,6 +119,13 @@ void OpRecorder::RecordOp(FarOpKind kind, NodeId node, FarAddr addr,
   }
 }
 
+void OpRecorder::RecordTxnOutcome(uint64_t now_ns, bool committed,
+                                  bool validate_fail) {
+  if (windowed_ != nullptr) {
+    windowed_->RecordTxn(now_ns, committed, validate_fail);
+  }
+}
+
 void OpRecorder::RecordCacheHit() {
   if (enabled_) {
     ++label_cache_[label_stack_.empty() ? 0 : label_stack_.back()].hits;
@@ -128,6 +145,40 @@ void OpRecorder::RecordCacheInvalidation() {
   }
 }
 
+void OpRecorder::AddGauges(GaugeGroup* group, const std::string& prefix,
+                           uint32_t num_nodes) const {
+  const WindowedSignals* w = windowed_.get();
+  if (w == nullptr) {
+    return;
+  }
+  group->Add(prefix + ".p99_ns", [w] {
+    return static_cast<double>(w->RecentP99All());
+  });
+  group->Add(prefix + ".ops", [w] {
+    return static_cast<double>(w->RecentCountAll());
+  });
+  for (size_t i = 0; i < kFarOpKindCount; ++i) {
+    const FarOpKind kind = static_cast<FarOpKind>(i);
+    group->Add(prefix + ".p99_ns." + FarOpKindName(kind), [w, kind] {
+      return static_cast<double>(w->RecentP99(kind));
+    });
+  }
+  group->Add(prefix + ".txn_abort_rate",
+             [w] { return w->RecentTxnAbortRate(); });
+  group->Add(prefix + ".txn_validate_fail_rate",
+             [w] { return w->RecentTxnValidateFailRate(); });
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    const std::string node_prefix =
+        prefix + ".node" + std::to_string(node);
+    group->Add(node_prefix + ".ops_per_sec",
+               [w, node] { return w->RecentOpsPerSec(node); });
+    group->Add(node_prefix + ".bytes_per_sec",
+               [w, node] { return w->RecentBytesPerSec(node); });
+    group->Add(node_prefix + ".load_ewma",
+               [w, node] { return w->NodeLoadEwma(node); });
+  }
+}
+
 void OpRecorder::Reset() {
   for (auto& hist : kind_hists_) {
     hist.Reset();
@@ -143,6 +194,10 @@ void OpRecorder::Reset() {
   }
   node_traffic_.clear();
   trace_.Clear();
+  parked_windowed_.reset();
+  if (windowed_ != nullptr) {
+    windowed_ = std::make_unique<WindowedSignals>(options_.windowed_opts);
+  }
 }
 
 }  // namespace fmds

@@ -13,6 +13,7 @@
 #define FMDS_SRC_OBS_RECORDER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,8 +22,11 @@
 #include "src/common/histogram.h"
 #include "src/obs/op_kind.h"
 #include "src/obs/trace_ring.h"
+#include "src/obs/windowed.h"
 
 namespace fmds {
+
+class GaugeGroup;
 
 // Runtime gate for the observability layer. Everything defaults OFF so the
 // fabric hot path stays a branch + the existing counter increments.
@@ -31,17 +35,31 @@ struct ObsOptions {
   bool trace = false;               // record ops into the TraceRing
   size_t trace_capacity = 65536;    // ring slots (flight-recorder window)
   int histogram_sub_bits = 3;       // LogHistogram resolution
+  // Rolling signals (RecentP99 / RecentOpsPerSec / NodeLoadEwma) over the
+  // last windowed_opts.window_ns of simulated time. Independent of the
+  // since-start machinery above: windowed-only mode keeps `enabled()` false,
+  // so labels, label interning and the trace ring stay untouched — this is
+  // the always-on configuration the E15 <5% overhead bound covers.
+  bool windowed = false;
+  WindowedOptions windowed_opts;
 
   static ObsOptions All(size_t trace_capacity = 65536) {
     ObsOptions o;
     o.latency_histograms = true;
     o.trace = true;
     o.trace_capacity = trace_capacity;
+    o.windowed = true;
     return o;
   }
   static ObsOptions HistogramsOnly() {
     ObsOptions o;
     o.latency_histograms = true;
+    return o;
+  }
+  // The always-on production shape: rolling signals, nothing since-start.
+  static ObsOptions WindowedOnly() {
+    ObsOptions o;
+    o.windowed = true;
     return o;
   }
 };
@@ -67,7 +85,13 @@ class OpRecorder {
   const ObsOptions& options() const { return options_; }
   bool histograms_enabled() const { return options_.latency_histograms; }
   bool trace_enabled() const { return options_.trace; }
+  // True when the since-start machinery (labels, histograms, trace) is on.
+  // Windowed-only mode leaves this false so ScopedOpLabel and the label
+  // tables stay off the hot path.
   bool enabled() const { return enabled_; }
+  // True when ANY recording is on — the gate RecordOp callers must use.
+  bool recording() const { return enabled_ || windowed_ != nullptr; }
+  bool windowed_enabled() const { return windowed_ != nullptr; }
   uint64_t client_id() const { return client_id_; }
 
   // ---- Scoped op-label stack (see ScopedOpLabel) ----
@@ -88,16 +112,52 @@ class OpRecorder {
   // flushed in one doorbell (0 = synchronous).
   void RecordOp(FarOpKind kind, NodeId node, FarAddr addr, uint64_t bytes,
                 uint64_t start_ns, uint64_t latency_ns, bool ok,
-                uint64_t batch_id = 0);
+                uint64_t batch_id = 0) {
+    if (windowed_ != nullptr) {
+      // Attribute to the op's completion time: windows answer "what happened
+      // in the last W ns", and an op belongs to the instant it finished.
+      windowed_->RecordOp(kind, node, bytes, start_ns + latency_ns,
+                          latency_ns);
+    }
+    if (enabled_) {
+      RecordOpSinceStart(kind, node, addr, bytes, start_ns, latency_ns, ok,
+                         batch_id);
+    }
+  }
 
   // Monotonic id for one Flush() doorbell (its span + its ops).
   uint64_t NextBatchId() { return ++batch_seq_; }
+
+  // Pause / resume the windowed signals WITHOUT destroying window state:
+  // parking moves the instance aside, so recording() and the RecordOp gate
+  // see exactly the windowed-off shape (a null pointer), and resuming moves
+  // it back — one pointer swap either way, no allocation, no zeroing.
+  // Registered gauges keep working while parked (they hold the instance
+  // pointer, which parking does not invalidate). set_options() drops a
+  // parked instance just as it would a live one. The E15 overhead bench
+  // toggles modes at sub-millisecond grain through this: rebuilding the
+  // ~half-MB ring allocation per toggle would trash the cache and charge
+  // the windowed mode for the refill.
+  void PauseWindowed() {
+    if (windowed_ != nullptr) {
+      parked_windowed_ = std::move(windowed_);
+    }
+  }
+  void ResumeWindowed() {
+    if (parked_windowed_ != nullptr) {
+      windowed_ = std::move(parked_windowed_);
+    }
+  }
 
   // NearCache hooks: attribute a cache event to the current label so the
   // hit-ratio column in MetricsRegistry breaks down by code path.
   void RecordCacheHit();
   void RecordCacheMiss();
   void RecordCacheInvalidation();
+
+  // Transaction outcome hook (called by Txn at commit/abort) — feeds the
+  // windowed abort / validate-fail rate gauges. No-op unless windowed.
+  void RecordTxnOutcome(uint64_t now_ns, bool committed, bool validate_fail);
 
   // ---- Read side ----
   const LogHistogram& kind_histogram(FarOpKind kind) const {
@@ -116,10 +176,45 @@ class OpRecorder {
   const std::vector<Traffic>& node_traffic() const { return node_traffic_; }
   const TraceRing& trace() const { return trace_; }
 
+  // ---- Rolling signals (nullptr unless options.windowed) ----
+  // WindowedSignals is internally synchronized: any thread may call its
+  // Recent* readers while the owning client thread keeps recording. The
+  // owner should call windowed()->Drain() before reading its own signals.
+  WindowedSignals* windowed() { return windowed_.get(); }
+  const WindowedSignals* windowed() const { return windowed_.get(); }
+  // Convenience forwarders answering 0 when windowed signals are off.
+  uint64_t RecentP99(FarOpKind kind) const {
+    return windowed_ ? windowed_->RecentP99(kind) : 0;
+  }
+  uint64_t RecentP99All() const {
+    return windowed_ ? windowed_->RecentP99All() : 0;
+  }
+  double RecentOpsPerSec(NodeId node) const {
+    return windowed_ ? windowed_->RecentOpsPerSec(node) : 0.0;
+  }
+  double NodeLoadEwma(NodeId node) const {
+    return windowed_ ? windowed_->NodeLoadEwma(node) : 0.0;
+  }
+
+  // Registers the rolling signals with a TelemetryHub under `prefix`:
+  // p99/count per op kind and overall, txn rates, and — for nodes
+  // [0, num_nodes) — per-node ops/s, bytes/s, and load EWMA. No-op unless
+  // windowed signals are on. The gauges capture the current WindowedSignals,
+  // which set_options() and Reset() replace: release the group before
+  // either, and never let it outlive this recorder.
+  void AddGauges(GaugeGroup* group, const std::string& prefix,
+                 uint32_t num_nodes) const;
+
   void Reset();
 
  private:
   uint32_t InternLabel(std::string_view label);
+  // Since-start attribution (labels, traffic rows, histograms, trace ring).
+  // Out of line so the inline RecordOp head stays small; only reached when
+  // `enabled_` is true.
+  void RecordOpSinceStart(FarOpKind kind, NodeId node, FarAddr addr,
+                          uint64_t bytes, uint64_t start_ns,
+                          uint64_t latency_ns, bool ok, uint64_t batch_id);
 
   uint64_t client_id_;
   ObsOptions options_;
@@ -135,6 +230,8 @@ class OpRecorder {
   std::vector<Traffic> node_traffic_;      // NodeId -> ops/bytes
   TraceRing trace_;
   uint64_t batch_seq_ = 0;
+  std::unique_ptr<WindowedSignals> windowed_;  // set iff options_.windowed
+  std::unique_ptr<WindowedSignals> parked_windowed_;  // see PauseWindowed()
 };
 
 // RAII op label. Construct on entry to a data-structure operation; every

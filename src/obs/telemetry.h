@@ -1,0 +1,158 @@
+// Live telemetry: a gauge registry (TelemetryHub), RAII registration
+// (GaugeGroup), and a continuous exporter (TelemetrySnapshotter).
+//
+// The flight recorder answers "what happened" after a run; the hub answers
+// "what is happening" during one. Components expose their health as named
+// gauges — cheap double-valued callbacks registered with a hub — and the
+// snapshotter thread samples every gauge on a wall-clock cadence into a
+// JSON-lines time series (one object per tick), the format
+// `bench_util --telemetry=<path>` consumes. `ExportPromText()` renders the
+// same snapshot once in Prometheus text exposition format.
+//
+// Threading: TelemetryHub is fully synchronized; gauges may be registered,
+// removed, and sampled from any thread. A gauge callback must be safe to
+// invoke from the snapshotter thread (read an atomic, lock the component's
+// own mutex, call a WindowedSignals reader — never touch single-owner state
+// like ClientStats). Callbacks must not call back into the hub.
+//
+// Lifetime: a GaugeGroup unregisters its gauges on destruction. Destroy the
+// group (or the hub) BEFORE the component its callbacks capture; the hub
+// never outlives a sample mid-call (removal blocks on the hub mutex).
+#ifndef FMDS_SRC_OBS_TELEMETRY_H_
+#define FMDS_SRC_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace fmds {
+
+class TelemetryHub {
+ public:
+  using GaugeFn = std::function<double()>;
+
+  struct Sample {
+    std::string name;
+    double value = 0.0;
+  };
+
+  // Registers (or replaces) the gauge `name`. Names are dotted paths
+  // ("wb.pending_entries", "node0.ops_per_sec"); exporters rely on the
+  // map's sorted iteration for deterministic output.
+  void AddGauge(const std::string& name, GaugeFn fn);
+  void RemoveGauge(const std::string& name);
+  size_t gauge_count() const;
+
+  // Evaluates every gauge under the hub lock; sorted by name. Non-finite
+  // values are clamped to 0 (JSON has no NaN/Inf).
+  std::vector<Sample> Snapshot() const;
+
+  // One-shot Prometheus text exposition: names are sanitized to the metric
+  // charset ([a-zA-Z0-9_:]) and prefixed "fmds_".
+  std::string ExportPromText() const;
+
+  // Writes `{"name":value,...}` (sorted, escaped) — the "gauges" object of
+  // one snapshotter tick.
+  void WriteJsonObject(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, GaugeFn> gauges_;
+};
+
+// RAII batch of gauge registrations: everything Add()ed through the group
+// is removed from the hub when the group dies. Components provide
+// `AddGauges(GaugeGroup*, prefix)` helpers; the code wiring a scenario owns
+// the groups and drops them before the components they sample.
+class GaugeGroup {
+ public:
+  GaugeGroup() = default;
+  explicit GaugeGroup(TelemetryHub* hub) : hub_(hub) {}
+  GaugeGroup(const GaugeGroup&) = delete;
+  GaugeGroup& operator=(const GaugeGroup&) = delete;
+  GaugeGroup(GaugeGroup&& other) noexcept
+      : hub_(other.hub_), names_(std::move(other.names_)) {
+    other.hub_ = nullptr;
+    other.names_.clear();
+  }
+  ~GaugeGroup() { Release(); }
+
+  void Add(std::string name, TelemetryHub::GaugeFn fn);
+  // Unregisters everything now (idempotent; also run by the destructor).
+  void Release();
+
+  TelemetryHub* hub() const { return hub_; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  TelemetryHub* hub_ = nullptr;
+  std::vector<std::string> names_;
+};
+
+struct SnapshotterOptions {
+  // JSON-lines output file; empty writes nothing (ticks still count, and
+  // TickNow() still samples — useful for overhead runs and tests that only
+  // assert lifecycle behavior).
+  std::string path;
+  // Wall-clock cadence between ticks.
+  uint64_t interval_ms = 50;
+};
+
+// Background exporter: every interval_ms, evaluates the hub and appends one
+// JSON object line: {"tick":N,"wall_ms":M,"gauges":{...}} where wall_ms is
+// milliseconds since Start(). Start/Stop are idempotent and the destructor
+// stops; a final tick is taken on Stop() so short runs always emit at least
+// one line.
+class TelemetrySnapshotter {
+ public:
+  TelemetrySnapshotter(TelemetryHub* hub, SnapshotterOptions options);
+  TelemetrySnapshotter(const TelemetrySnapshotter&) = delete;
+  TelemetrySnapshotter& operator=(const TelemetrySnapshotter&) = delete;
+  ~TelemetrySnapshotter();
+
+  // Launches the sampling thread. Second Start without a Stop is a no-op;
+  // Start after Stop relaunches (the output file is appended to). Fails if
+  // the output path cannot be opened.
+  Status Start();
+  // Joins the thread (taking one final tick). No-op when not running.
+  void Stop();
+
+  // Takes one synchronous tick from the calling thread (works whether or
+  // not the thread is running; serialized with it).
+  void TickNow();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint64_t ticks() const { return ticks_.load(std::memory_order_acquire); }
+  const SnapshotterOptions& options() const { return options_; }
+
+ private:
+  void Main();
+  void EmitTickLocked();
+
+  TelemetryHub* hub_;
+  SnapshotterOptions options_;
+
+  std::mutex mu_;  // guards out_, start time, stop flag, cv
+  std::condition_variable stop_cv_;
+  std::ofstream out_;
+  bool out_open_ = false;
+  bool stop_ = false;
+  std::chrono::steady_clock::time_point started_at_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> ticks_{0};
+  std::thread thread_;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_OBS_TELEMETRY_H_

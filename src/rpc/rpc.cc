@@ -46,7 +46,7 @@ Status RpcClient::Call(uint32_t method, std::span<const std::byte> request,
   const uint64_t start_ns = client_->clock().now_ns();
   client_->clock().Advance(rpc_ns);
   auto& recorder = client_->recorder();
-  if (recorder.enabled()) {
+  if (recorder.recording()) {
     recorder.RecordOp(FarOpKind::kRpc, kObsNoNode, kNullFarAddr,
                       request.size() + response.size(), start_ns, rpc_ns,
                       status.ok());
