@@ -396,6 +396,43 @@ Result<uint64_t> HtTree::Get(uint64_t key) {
   if (CacheLookupValue(key, &cached_value)) {
     return cached_value;
   }
+  // Routing decision only after every near-only fast path missed: the
+  // router prices far work, and a key the cache answers costs neither path
+  // anything.
+  if (route_decider_ != nullptr) {
+    const uint64_t t0 = client_->clock().now_ns();
+    if (route_decider_->Decide(RoutedOp::kGet, home_node_, lookup_units_,
+                               1) == DataplaneRoute::kRpc) {
+      auto view = remote_path_->Get(header_, key);
+      if (view.ok()) {
+        NoteLookupUnits(1.0 + static_cast<double>(view->chain_hops));
+        if (view->found && view->cacheable) {
+          CacheAdmitValue(key, view->value, view->bucket, view->head_word);
+        }
+        route_decider_->Observe(RoutedOp::kGet, home_node_,
+                                DataplaneRoute::kRpc,
+                                client_->clock().now_ns() - t0, lookup_units_,
+                                1);
+        if (!view->found) {
+          return Status(StatusCode::kNotFound, "key absent");
+        }
+        return view->value;
+      }
+      // Agent unreachable or aborted: the one-sided walk below is the
+      // safety valve; observe the path actually taken.
+    }
+    const uint64_t hops0 = op_stats_.chain_hops;
+    Result<uint64_t> result = GetOneSided(key);
+    NoteLookupUnits(1.0 + static_cast<double>(op_stats_.chain_hops - hops0));
+    route_decider_->Observe(RoutedOp::kGet, home_node_,
+                            DataplaneRoute::kOneSided,
+                            client_->clock().now_ns() - t0, lookup_units_, 1);
+    return result;
+  }
+  return GetOneSided(key);
+}
+
+Result<uint64_t> HtTree::GetOneSided(uint64_t key) {
   const uint64_t hash = Mix64(key);
   for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
     const int32_t li = DescendCached(hash);
@@ -589,11 +626,20 @@ HtTree::CompletionMap HtTree::ToCompletionMap(
 // ---------------------------- BatchGet engine ----------------------------
 
 HtTree::BatchGet::BatchGet(HtTree* map, std::span<const uint64_t> keys)
+    : BatchGet(map, keys, /*txn_mode=*/false) {}
+
+HtTree::BatchGet::BatchGet(HtTree* map, std::span<const uint64_t> keys,
+                           bool txn_mode)
     : map_(map),
       results_(keys.size(),
-               Status(StatusCode::kInternal, "multiget unresolved")) {
+               Status(StatusCode::kInternal, "multiget unresolved")),
+      txn_mode_(txn_mode) {
   map_->op_stats_.gets += keys.size();
   map_->DispatchCacheInvalidations();
+  if (txn_mode_) {
+    txn_state_.assign(keys.size(), 0);  // kFallback until a view resolves
+    views_.resize(keys.size());
+  }
   probes_.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     Probe probe;
@@ -602,7 +648,9 @@ HtTree::BatchGet::BatchGet(HtTree* map, std::span<const uint64_t> keys)
     // Pending-table consult first (read-your-writes, see Get), then the
     // NearCache: either hit resolves the probe before any wave posts —
     // hot keys drop out of the doorbell entirely, without even a descent.
-    if (map_->wb_ != nullptr) {
+    // Txn mode skips both: the caller already resolved cache hits with
+    // watch words, and a value without one is useless to validation.
+    if (!txn_mode_ && map_->wb_ != nullptr) {
       uint64_t pending_value = 0;
       bool pending_tombstone = false;
       if (map_->wb_->Lookup(probe.key, &pending_value, &pending_tombstone)) {
@@ -617,7 +665,7 @@ HtTree::BatchGet::BatchGet(HtTree* map, std::span<const uint64_t> keys)
       }
     }
     uint64_t cached_value = 0;
-    if (map_->CacheLookupValue(probe.key, &cached_value)) {
+    if (!txn_mode_ && map_->CacheLookupValue(probe.key, &cached_value)) {
       results_[i] = cached_value;
       probe.stage = Stage::kDone;
       probes_.push_back(probe);
@@ -676,6 +724,9 @@ void HtTree::BatchGet::AbsorbWave(const CompletionMap& done) {
     }
     if (!it->second.status.ok()) {
       results_[probe.idx] = it->second.status;
+      if (txn_mode_) {
+        txn_state_[probe.idx] = static_cast<uint8_t>(TxnOutcome::kError);
+      }
       probe.stage = Stage::kDone;
       continue;
     }
@@ -696,6 +747,14 @@ void HtTree::BatchGet::AbsorbWave(const CompletionMap& done) {
           break;
         }
         if ((probe.item.meta & kFlagPending) != 0) {
+          if (txn_mode_) {
+            // A txn read must not resolve the pre-transaction view (the
+            // lock record's word would certify a read the in-flight commit
+            // overwrites — write skew). Fall back to TxnRead's wait-out
+            // discipline for this key only.
+            probe.stage = Stage::kStale;
+            break;
+          }
           // Transaction lock record at the head: the pre-transaction chain
           // hangs off its `next`; resolve that view via the walk stage and
           // keep it out of the cache (see Get).
@@ -718,6 +777,32 @@ void HtTree::BatchGet::AbsorbWave(const CompletionMap& done) {
 void HtTree::BatchGet::Classify(Probe& probe) {
   // No proactive splits on this read-only path (unlike Get).
   const Item& item = probe.item;
+  if (txn_mode_) {
+    // Classify only sees version-checked clean heads (kStale/pending gates
+    // upstream), so a terminal outcome is a validatable view keyed by the
+    // bucket word the probe wave observed. A miss (sentinel or chain end)
+    // is a successful negative view — same as the sync TxnRead.
+    const bool sentinel = (item.meta & kFlagSentinel) != 0;
+    const bool match = !sentinel && item.key == probe.key;
+    if (sentinel || match || item.next == kNullFarAddr) {
+      TxnReadView& view = views_[probe.idx];
+      view.bucket = probe.bucket;
+      view.head_word = probe.head;
+      view.version = probe.leaf.version;
+      view.versioned = true;
+      if (match && (item.meta & kFlagTombstone) == 0) {
+        view.found = true;
+        view.value = item.value;
+        map_->CacheAdmitValue(probe.key, item.value, probe.bucket,
+                              probe.head);
+      }
+      txn_state_[probe.idx] = static_cast<uint8_t>(TxnOutcome::kView);
+      probe.stage = Stage::kDone;
+    } else {
+      probe.stage = Stage::kWalk;
+    }
+    return;
+  }
   if ((item.meta & kFlagSentinel) != 0) {
     results_[probe.idx] = Status(StatusCode::kNotFound, "key absent");
     probe.stage = Stage::kDone;
@@ -759,13 +844,140 @@ std::vector<Result<uint64_t>> HtTree::BatchGet::Take() {
 std::vector<Result<uint64_t>> HtTree::MultiGet(
     std::span<const uint64_t> keys) {
   ScopedOpLabel label(&client_->recorder(), "httree.multiget");
+  std::vector<Result<uint64_t>> routed;
+  if (TryRouteMultiGet(keys, &routed)) {
+    return routed;
+  }
+  const uint64_t t0 = client_->clock().now_ns();
+  const uint64_t hops0 = op_stats_.chain_hops;
   BatchGet engine(this, keys);
   while (engine.PostWave() > 0) {
     std::vector<FarClient::Completion> done;
     (void)client_->WaitAll(&done);
     engine.AbsorbWave(ToCompletionMap(std::move(done)));
   }
-  return engine.Take();
+  std::vector<Result<uint64_t>> results = engine.Take();
+  if (!keys.empty()) {
+    // Feed chain-depth units from the one-sided path too; if only the RPC
+    // path reported units, the per-unit one-sided estimate would be scaled
+    // by units it never observed, biasing Decide() toward RPC.
+    NoteLookupUnits(1.0 + static_cast<double>(op_stats_.chain_hops - hops0) /
+                              static_cast<double>(keys.size()));
+    if (route_decider_ != nullptr) {
+      route_decider_->Observe(RoutedOp::kMultiGet, home_node_,
+                              DataplaneRoute::kOneSided,
+                              client_->clock().now_ns() - t0, lookup_units_,
+                              keys.size());
+    }
+  }
+  return results;
+}
+
+Status HtTree::EnableRouting(RouteDecider* decider, RemoteMapPath* remote) {
+  if (decider == nullptr || remote == nullptr) {
+    return InvalidArgument("routing needs a decider and a remote path");
+  }
+  // The map's home node hosts every table/item this handle allocates, so
+  // one node id keys all of this handle's route state.
+  FMDS_ASSIGN_OR_RETURN(auto loc, client_->fabric()->Translate(header_));
+  home_node_ = loc.node;
+  route_decider_ = decider;
+  remote_path_ = remote;
+  return OkStatus();
+}
+
+void HtTree::ApplyRemoteWrite(uint64_t key, uint64_t value, bool tombstone,
+                              const RemoteMapPath::WriteOutcome& outcome) {
+  // Mirror the one-sided CAS exit: the agent's CAS left the bucket word
+  // equal to `outcome.head`, so the hint and (for a Put) the writer-side
+  // refill are exactly as fresh as they would be had this client swung the
+  // word itself. Word-versioned coherence covers the race with later
+  // writers: their events carry a different word and kill the entry, and
+  // none of their queued events can have been dispatched between the agent's
+  // publish and this refill (no DispatchCacheInvalidations in between).
+  if (options_.use_head_hints && outcome.bucket != kNullFarAddr) {
+    head_hints_.Upsert(outcome.bucket, outcome.head);
+  }
+  if (near_cache_ == nullptr) {
+    return;
+  }
+  if (!tombstone && outcome.refillable && outcome.bucket != kNullFarAddr) {
+    near_cache_->Refill(key, AsConstBytes(value), outcome.bucket, kWordSize,
+                        outcome.head);
+  } else {
+    near_cache_->Invalidate(key);
+  }
+}
+
+bool HtTree::TryRouteMultiGet(std::span<const uint64_t> keys,
+                              std::vector<Result<uint64_t>>* results) {
+  if (route_decider_ == nullptr || keys.empty()) {
+    return false;
+  }
+  const uint64_t t0 = client_->clock().now_ns();
+  // Decide before the near-path sweep: a kOneSided verdict returns false
+  // immediately, so the engine's own consults are not double-charged.
+  if (route_decider_->Decide(RoutedOp::kMultiGet, home_node_, lookup_units_,
+                             keys.size()) != DataplaneRoute::kRpc) {
+    return false;
+  }
+  op_stats_.gets += keys.size();
+  DispatchCacheInvalidations();
+  results->assign(keys.size(), Result<uint64_t>(Status(
+                                   StatusCode::kInternal, "unresolved")));
+  // Same near-first discipline as the BatchGet engine: pending-table and
+  // cache hits resolve locally; only the residue ships to the agent.
+  std::vector<uint64_t> residue;
+  std::vector<size_t> residue_pos;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (wb_ != nullptr) {
+      uint64_t pending_value = 0;
+      bool pending_tombstone = false;
+      if (wb_->Lookup(keys[i], &pending_value, &pending_tombstone)) {
+        client_->AccountNear(1);
+        (*results)[i] = pending_tombstone
+                            ? Result<uint64_t>(Status(StatusCode::kNotFound,
+                                                      "key removed"))
+                            : Result<uint64_t>(pending_value);
+        continue;
+      }
+    }
+    uint64_t cached_value = 0;
+    if (CacheLookupValue(keys[i], &cached_value)) {
+      (*results)[i] = cached_value;
+      continue;
+    }
+    residue.push_back(keys[i]);
+    residue_pos.push_back(i);
+  }
+  if (residue.empty()) {
+    return true;  // nothing far to observe — all keys answered near
+  }
+  std::vector<RemoteMapPath::ReadView> views;
+  const Status shipped = remote_path_->MultiGet(header_, residue, &views);
+  if (!shipped.ok()) {
+    // Fall back whole-batch: the engine re-bumps the op counters.
+    op_stats_.gets -= keys.size();
+    return false;
+  }
+  double hops = 0.0;
+  for (size_t j = 0; j < residue.size(); ++j) {
+    const RemoteMapPath::ReadView& view = views[j];
+    hops += static_cast<double>(view.chain_hops);
+    if (view.found && view.cacheable) {
+      CacheAdmitValue(residue[j], view.value, view.bucket, view.head_word);
+    }
+    (*results)[residue_pos[j]] =
+        view.found ? Result<uint64_t>(view.value)
+                   : Result<uint64_t>(
+                         Status(StatusCode::kNotFound, "key absent"));
+  }
+  NoteLookupUnits(1.0 + hops / static_cast<double>(residue.size()));
+  route_decider_->Observe(RoutedOp::kMultiGet, home_node_,
+                          DataplaneRoute::kRpc,
+                          client_->clock().now_ns() - t0, lookup_units_,
+                          residue.size());
+  return true;
 }
 
 Status HtTree::Put(uint64_t key, uint64_t value) {
@@ -779,9 +991,36 @@ Status HtTree::Put(uint64_t key, uint64_t value) {
     wb_->Put(key, value);
     return OkStatus();
   }
-  const uint64_t hash = Mix64(key);
   ++op_stats_.puts;
   DispatchCacheInvalidations();
+  if (route_decider_ != nullptr) {
+    const uint64_t t0 = client_->clock().now_ns();
+    if (route_decider_->Decide(RoutedOp::kPut, home_node_, store_units_,
+                               1) == DataplaneRoute::kRpc) {
+      auto outcome = remote_path_->Put(header_, key, value);
+      if (outcome.ok()) {
+        ApplyRemoteWrite(key, value, /*tombstone=*/false, *outcome);
+        route_decider_->Observe(RoutedOp::kPut, home_node_,
+                                DataplaneRoute::kRpc,
+                                client_->clock().now_ns() - t0, store_units_,
+                                1);
+        return OkStatus();
+      }
+    }
+    const uint64_t retries0 = op_stats_.cas_retries;
+    const Status status = PutOneSided(key, value);
+    NoteStoreUnits(2.0 +
+                   static_cast<double>(op_stats_.cas_retries - retries0));
+    route_decider_->Observe(RoutedOp::kPut, home_node_,
+                            DataplaneRoute::kOneSided,
+                            client_->clock().now_ns() - t0, store_units_, 1);
+    return status;
+  }
+  return PutOneSided(key, value);
+}
+
+Status HtTree::PutOneSided(uint64_t key, uint64_t value) {
+  const uint64_t hash = Mix64(key);
   FMDS_ASSIGN_OR_RETURN(FarAddr slot, AllocItemSlot());
   int32_t li = DescendCached(hash);
   CachedNode leaf = nodes_[li];
@@ -1185,9 +1424,36 @@ Status HtTree::Remove(uint64_t key) {
     wb_->Remove(key);
     return OkStatus();
   }
-  const uint64_t hash = Mix64(key);
   ++op_stats_.removes;
   DispatchCacheInvalidations();
+  if (route_decider_ != nullptr) {
+    const uint64_t t0 = client_->clock().now_ns();
+    if (route_decider_->Decide(RoutedOp::kRemove, home_node_, store_units_,
+                               1) == DataplaneRoute::kRpc) {
+      auto outcome = remote_path_->Remove(header_, key);
+      if (outcome.ok()) {
+        ApplyRemoteWrite(key, 0, /*tombstone=*/true, *outcome);
+        route_decider_->Observe(RoutedOp::kRemove, home_node_,
+                                DataplaneRoute::kRpc,
+                                client_->clock().now_ns() - t0, store_units_,
+                                1);
+        return OkStatus();
+      }
+    }
+    const uint64_t retries0 = op_stats_.cas_retries;
+    const Status status = RemoveOneSided(key);
+    NoteStoreUnits(2.0 +
+                   static_cast<double>(op_stats_.cas_retries - retries0));
+    route_decider_->Observe(RoutedOp::kRemove, home_node_,
+                            DataplaneRoute::kOneSided,
+                            client_->clock().now_ns() - t0, store_units_, 1);
+    return status;
+  }
+  return RemoveOneSided(key);
+}
+
+Status HtTree::RemoveOneSided(uint64_t key) {
+  const uint64_t hash = Mix64(key);
   FMDS_ASSIGN_OR_RETURN(FarAddr slot, AllocItemSlot());
   int32_t li = DescendCached(hash);
   CachedNode leaf = nodes_[li];

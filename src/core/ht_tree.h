@@ -41,6 +41,7 @@
 #include "src/cache/clock_ring.h"
 #include "src/cache/near_cache.h"
 #include "src/common/hash.h"
+#include "src/core/dataplane.h"
 #include "src/core/write_behind.h"
 #include "src/fabric/far_client.h"
 
@@ -197,6 +198,36 @@ class HtTree {
   // The engine, or nullptr when write-behind is off.
   WriteBehindEngine* write_behind() { return wb_.get(); }
 
+  // ---- Adaptive hybrid dataplane (DESIGN.md §13) ----
+  // Arms per-op routing between the one-sided path and shipping the op to
+  // the near-memory RPC agent of this map's home node (where the header
+  // lives — under ShardedMap pinning, the node owning the whole shard).
+  // Decisions are made AFTER the near-only fast paths (pending-table,
+  // NearCache) miss: near hits never reach either dataplane. Both pointers
+  // must outlive the handle; pass them to every handle of one client so
+  // estimates accumulate. Routed mutations stay cache-coherent: the RPC
+  // agent publishes through the bucket-head CAS (watch notifications fire)
+  // and this handle refills/invalidates its own NearCache from the returned
+  // outcome, exactly like the one-sided exit paths.
+  Status EnableRouting(RouteDecider* decider, RemoteMapPath* remote);
+  RouteDecider* route_decider() { return route_decider_; }
+  // The node owning this map's header (kObsNoNode before EnableRouting).
+  NodeId home_node() const { return home_node_; }
+  // Smoothed serial-RTT estimate for one lookup (1 + expected chain hops);
+  // the complexity signal routed decisions price one-sided cost with.
+  double lookup_units() const { return lookup_units_; }
+
+  // Routed front end for batched lookups, shared by MultiGet and
+  // ShardedMap's per-shard fan-out. No-op (returns false) when routing is
+  // off. Otherwise resolves near-served keys (pending writes, NearCache),
+  // and if the router ships the residue to the RPC agent — and the remote
+  // call succeeds — fills `results` completely and returns true. A false
+  // return leaves `results` untouched: every key still needs the one-sided
+  // BatchGet engine (which re-consults the near paths at near-only cost),
+  // and the caller must Observe() the engine's cost for the router.
+  bool TryRouteMultiGet(std::span<const uint64_t> keys,
+                        std::vector<Result<uint64_t>>* results);
+
   // Exposed for tests: forces a split of the table owning `key`.
   Status SplitTableOf(uint64_t key);
 
@@ -205,6 +236,11 @@ class HtTree {
   // map's private machinery: validated bucket words, item slots, the
   // pending lock-record protocol, and the per-shard NearCache.
   friend class Txn;
+  friend class ShardedMap;
+  // The near-memory RPC agent (src/route/rpc_dataplane.*) executes routed
+  // ops through a server-side handle: TxnRead gives it clean validatable
+  // views to return for caller-side cache admission.
+  friend class MapRpcService;
 
   // ---- Far layout constants ----
   // Map header words.
@@ -406,6 +442,36 @@ class HtTree {
   SubId split_sub_ = kInvalidSubId;
   OpStats op_stats_;
 
+  // One-sided bodies of the routed point ops: everything after the
+  // near-only fast paths (write-behind table, NearCache) and the routing
+  // decision.
+  Result<uint64_t> GetOneSided(uint64_t key);
+  Status PutOneSided(uint64_t key, uint64_t value);
+  Status RemoveOneSided(uint64_t key);
+
+  // ---- Routing state (EnableRouting; DESIGN.md §13) ----
+  RouteDecider* route_decider_ = nullptr;
+  RemoteMapPath* remote_path_ = nullptr;
+  NodeId home_node_ = kObsNoNode;
+  // Smoothed complexity estimates in serial one-sided round trips per op:
+  // lookups start at the head-hit cost (1), stores at item write + CAS (2).
+  // Fed by the one-sided walks/retries AND by the RPC agent's chain-hop
+  // feedback, so the signal stays fresh whichever path is preferred.
+  double lookup_units_ = 1.0;
+  double store_units_ = 2.0;
+  static constexpr double kUnitsAlpha = 0.1;
+  void NoteLookupUnits(double units) {
+    lookup_units_ += kUnitsAlpha * (units - lookup_units_);
+  }
+  void NoteStoreUnits(double units) {
+    store_units_ += kUnitsAlpha * (units - store_units_);
+  }
+  // Routed mutation exit: mirrors the one-sided success path's cache
+  // maintenance (writer-side refill / tombstone invalidate) and head-hint
+  // update from the agent's publish outcome.
+  void ApplyRemoteWrite(uint64_t key, uint64_t value, bool tombstone,
+                        const RemoteMapPath::WriteOutcome& outcome);
+
   // Write-behind engine (null when off). Declared after near_cache_: the
   // flusher's refill stage touches that cache, so the engine must stop
   // (members destroy in reverse order) before the cache goes away.
@@ -421,6 +487,23 @@ class HtTree {
   class BatchGet {
    public:
     BatchGet(HtTree* map, std::span<const uint64_t> keys);
+    // Txn mode (the batched walk stage of Txn::MultiGet): skips the
+    // pending-table and value-cache consults (the txn resolved those with
+    // watch words before calling), treats pending heads as fallbacks
+    // instead of resolving the pre-transaction view, and records a
+    // validatable TxnReadView per resolved key — so a deep-chain read set
+    // costs O(chain) doorbells total instead of O(keys × chain) sequential
+    // round trips. Keys needing the sync path's backoff/refresh discipline
+    // (pending or stale heads) are left at kFallback for the caller's
+    // TxnRead; the caller reads views via txn_outcome()/txn_view() and
+    // must NOT call Take().
+    BatchGet(HtTree* map, std::span<const uint64_t> keys, bool txn_mode);
+    enum class TxnOutcome : uint8_t { kFallback = 0, kView = 1, kError = 2 };
+    TxnOutcome txn_outcome(size_t i) const {
+      return static_cast<TxnOutcome>(txn_state_[i]);
+    }
+    const TxnReadView& txn_view(size_t i) const { return views_[i]; }
+    Status txn_error(size_t i) const { return results_[i].status(); }
     // Posts this engine's next wave into the client's issue queue (no
     // fabric traffic yet); returns the number of ops posted.
     size_t PostWave();
@@ -453,6 +536,10 @@ class HtTree {
     HtTree* map_;
     std::vector<Probe> probes_;
     std::vector<Result<uint64_t>> results_;
+    // Txn mode only: per-key outcome (TxnOutcome values) and resolved views.
+    bool txn_mode_ = false;
+    std::vector<uint8_t> txn_state_;
+    std::vector<TxnReadView> views_;
   };
 
   // Resumable engine behind MultiPut (see BatchGet for the wave protocol

@@ -185,12 +185,33 @@ std::vector<Result<uint64_t>> ShardedMap::MultiGet(
     shard_keys[s].push_back(keys[i]);
     shard_pos[s].push_back(i);
   }
-  // One engine per shard; each wave flushes EVERY shard's posted ops in a
-  // single doorbell, so sub-batches bound for different nodes overlap.
+  // Per-shard routing first: an RPC-priced shard ships its whole
+  // sub-batch to that node's agent and drops out of the wave loop; the
+  // rest run the one-sided engines below. Because route state is keyed by
+  // node, a skewed fleet splits — busy nodes walk one-sided, idle nodes
+  // answer by RPC — within a single MultiGet.
   std::vector<HtTree::BatchGet> engines;
+  std::vector<size_t> engine_shard;
   engines.reserve(n);
   for (size_t s = 0; s < n; ++s) {
+    if (!shard_keys[s].empty()) {
+      std::vector<Result<uint64_t>> routed;
+      if (shards_[s].TryRouteMultiGet(shard_keys[s], &routed)) {
+        for (size_t j = 0; j < routed.size(); ++j) {
+          results[shard_pos[s][j]] = std::move(routed[j]);
+        }
+        continue;
+      }
+    }
+    engine_shard.push_back(s);
     engines.emplace_back(&shards_[s], std::span<const uint64_t>(shard_keys[s]));
+  }
+  // Each wave flushes EVERY remaining shard's posted ops in a single
+  // doorbell, so sub-batches bound for different nodes overlap.
+  const uint64_t wave_start_ns = client_->clock().now_ns();
+  std::vector<uint64_t> hops_before(engine_shard.size());
+  for (size_t e = 0; e < engine_shard.size(); ++e) {
+    hops_before[e] = shards_[engine_shard[e]].op_stats().chain_hops;
   }
   while (true) {
     size_t posted = 0;
@@ -208,14 +229,47 @@ std::vector<Result<uint64_t>> ShardedMap::MultiGet(
       engine.AbsorbWave(completions);
     }
   }
-  // Scatter per-shard results back to input order.
-  for (size_t s = 0; s < n; ++s) {
-    std::vector<Result<uint64_t>> shard_results = engines[s].Take();
+  // Scatter per-shard results back to input order; feed the router each
+  // shard's PROPORTIONAL share of the wave-loop cost. Waves overlap
+  // across shards, so charging every shard the full joint latency would
+  // double-count it and bias every shard's one-sided estimate upward.
+  const uint64_t wave_ns = client_->clock().now_ns() - wave_start_ns;
+  size_t engine_key_total = 0;
+  for (size_t e = 0; e < engines.size(); ++e) {
+    engine_key_total += shard_keys[engine_shard[e]].size();
+  }
+  for (size_t e = 0; e < engines.size(); ++e) {
+    const size_t s = engine_shard[e];
+    std::vector<Result<uint64_t>> shard_results = engines[e].Take();
     for (size_t j = 0; j < shard_results.size(); ++j) {
       results[shard_pos[s][j]] = std::move(shard_results[j]);
     }
+    if (!shard_keys[s].empty()) {
+      // Mirror the RPC path's units feedback: without it, chain-depth units
+      // would only ever grow from agent observations, inflating the
+      // one-sided cost estimate for deep-chain shards.
+      const uint64_t hops = shards_[s].op_stats().chain_hops - hops_before[e];
+      shards_[s].NoteLookupUnits(1.0 + static_cast<double>(hops) /
+                                           static_cast<double>(
+                                               shard_keys[s].size()));
+      if (shards_[s].route_decider() != nullptr) {
+        const uint64_t attributed_ns =
+            wave_ns * shard_keys[s].size() / std::max<size_t>(engine_key_total, 1);
+        shards_[s].route_decider()->Observe(
+            RoutedOp::kMultiGet, shards_[s].home_node(),
+            DataplaneRoute::kOneSided, attributed_ns,
+            shards_[s].lookup_units(), shard_keys[s].size());
+      }
+    }
   }
   return results;
+}
+
+Status ShardedMap::EnableRouting(RouteDecider* decider, RemoteMapPath* remote) {
+  for (HtTree& shard : shards_) {
+    FMDS_RETURN_IF_ERROR(shard.EnableRouting(decider, remote));
+  }
+  return OkStatus();
 }
 
 Status ShardedMap::MultiPut(std::span<const uint64_t> keys,

@@ -124,6 +124,14 @@ class ShardedMap {
 
   HtTree& shard(uint32_t i) { return shards_[i]; }
 
+  // ---- Adaptive routing (DESIGN.md §13) ----
+  // Enables per-op one-sided vs RPC routing on every shard. One decider
+  // serves the fleet, but its state is keyed by (op, node), so shards
+  // pinned to different nodes are priced independently — a busy node's
+  // shard can route one-sided while an idle node's shard ships RPCs, in
+  // the same MultiGet.
+  Status EnableRouting(RouteDecider* decider, RemoteMapPath* remote);
+
   // Sum of the shards' per-handle counters.
   HtTree::OpStats op_stats() const;
   uint64_t cache_bytes() const;

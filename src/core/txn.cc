@@ -104,18 +104,9 @@ std::vector<Result<uint64_t>> Txn::MultiGet(std::span<const uint64_t> keys) {
   (void)c->DispatchNotifications();
 
   // Resolve what never needs the fabric: write buffer, read memo, caches.
-  struct Probe {
-    size_t idx = 0;
-    uint64_t key = 0;
-    uint32_t shard_idx = 0;
-    HtTree* shard = nullptr;
-    FarAddr bucket = kNullFarAddr;
-    uint64_t version = 0;
-    HtTree::Item item{};
-    FarClient::OpId op = 0;
-  };
-  std::vector<Probe> probes;
-  probes.reserve(keys.size());
+  const size_t num_shards = map_->num_shards();
+  std::vector<std::vector<uint64_t>> shard_keys(num_shards);
+  std::vector<std::vector<size_t>> shard_pos(num_shards);
   for (size_t i = 0; i < keys.size(); ++i) {
     const uint64_t key = keys[i];
     if (auto w = writes_.find(key); w != writes_.end()) {
@@ -130,12 +121,8 @@ std::vector<Result<uint64_t>> Txn::MultiGet(std::span<const uint64_t> keys) {
                        : Result<uint64_t>(NotFound("txn: key absent"));
       continue;
     }
-    Probe probe;
-    probe.idx = i;
-    probe.key = key;
-    probe.shard_idx = map_->ShardOf(key);
-    probe.shard = &map_->shard(probe.shard_idx);
-    NearCache* cache = probe.shard->near_cache();
+    const uint32_t shard_idx = map_->ShardOf(key);
+    NearCache* cache = map_->shard(shard_idx).near_cache();
     if (cache != nullptr) {
       uint64_t cached_value = 0;
       FarAddr watch = kNullFarAddr;
@@ -147,19 +134,14 @@ std::vector<Result<uint64_t>> Txn::MultiGet(std::span<const uint64_t> keys) {
         view.value = cached_value;
         view.bucket = watch;
         view.head_word = watch_word;
-        Status rec = RecordView(key, probe.shard_idx, view, true);
+        Status rec = RecordView(key, shard_idx, view, true);
         results[i] = rec.ok() ? Result<uint64_t>(cached_value)
                               : Result<uint64_t>(rec);
         continue;
       }
     }
-    const uint64_t hash = Mix64(key);
-    HtTree* shard = probe.shard;
-    const HtTree::CachedNode leaf =
-        shard->nodes_[shard->DescendCached(hash)];
-    probe.bucket = shard->BucketAddr(leaf.table, shard->BucketIndex(hash));
-    probe.version = leaf.version;
-    probes.push_back(probe);
+    shard_keys[shard_idx].push_back(key);
+    shard_pos[shard_idx].push_back(i);
   }
   if (aborted_) {
     for (auto& r : results) {
@@ -170,75 +152,79 @@ std::vector<Result<uint64_t>> Txn::MultiGet(std::span<const uint64_t> keys) {
     return results;
   }
 
-  // One doorbell of bucket probes across all shards (the §7 fan-out: one
-  // wave, per-node sub-batches overlap).
-  for (Probe& probe : probes) {
-    probe.op = c->PostLoad0(probe.bucket, AsBytes(probe.item));
-    ++probe.shard->op_stats_.gets;
+  // Batched chain walks: one txn-mode wave engine per shard, every wave
+  // flushed through a single doorbell across ALL shards (the §7 fan-out).
+  // A read set over depth-d chains costs O(d) doorbells total, where the
+  // old per-key TxnRead fallback paid O(keys × d) sequential round trips.
+  // Keys the engine cannot resolve wait-free (pending or stale heads)
+  // fall back to the sync path's retry/backoff discipline below.
+  std::vector<HtTree::BatchGet> engines;
+  std::vector<uint32_t> engine_shard;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (shard_keys[s].empty()) {
+      continue;
+    }
+    engines.emplace_back(&map_->shard(s),
+                         std::span<const uint64_t>(shard_keys[s]),
+                         /*txn_mode=*/true);
+    engine_shard.push_back(s);
   }
-  std::vector<FarClient::Completion> done;
-  Status wait = c->WaitAll(&done);
-  const auto completions = HtTree::ToCompletionMap(std::move(done));
-  for (Probe& probe : probes) {
-    if (aborted_) {
-      results[probe.idx] = Aborted("txn aborted during multiget");
-      continue;
+  while (true) {
+    size_t posted = 0;
+    for (HtTree::BatchGet& engine : engines) {
+      posted += engine.PostWave();
     }
-    const auto it = completions.find(probe.op);
-    if (it == completions.end() || !it->second.status.ok()) {
-      results[probe.idx] =
-          it == completions.end()
-              ? (wait.ok() ? Status(StatusCode::kInternal, "probe lost")
-                           : wait)
-              : it->second.status;
-      continue;
+    if (posted == 0) {
+      break;
     }
-    const FarAddr head = it->second.word;
-    const HtTree::Item& item = probe.item;
-    const bool clean_head_hit =
-        (item.meta & HtTree::kFlagPending) == 0 &&
-        (item.meta & HtTree::kFlagRetired) == 0 &&
-        VersionBits(item.meta) == VersionBits(probe.version);
-    HtTree::TxnReadView view;
-    bool resolved = false;
-    if (clean_head_hit) {
-      view.bucket = probe.bucket;
-      view.head_word = head;
-      view.version = probe.version;
-      view.versioned = true;
-      if ((item.meta & HtTree::kFlagSentinel) != 0) {
-        resolved = true;  // empty bucket: definitive miss
-      } else if (item.key == probe.key) {
-        resolved = true;
-        if ((item.meta & HtTree::kFlagTombstone) == 0) {
-          view.found = true;
-          view.value = item.value;
-        }
-      }
-      // Anything deeper in the chain falls back to the sync walk.
+    std::vector<FarClient::Completion> done;
+    (void)c->WaitAll(&done);
+    const auto completions = HtTree::ToCompletionMap(std::move(done));
+    for (HtTree::BatchGet& engine : engines) {
+      engine.AbsorbWave(completions);
     }
-    if (!resolved) {
-      // Pending head, stale view, or a chain: the synchronous path owns
-      // the retry/backoff discipline.
-      auto fallback = probe.shard->TxnRead(probe.key, /*allow_cache=*/false);
-      --probe.shard->op_stats_.gets;  // TxnRead bumps it again
-      if (!fallback.ok()) {
-        results[probe.idx] =
-            fallback.status().code() == StatusCode::kAborted
-                ? Abort("txn read outwaited a pending bucket")
-                : fallback.status();
+  }
+  for (size_t e = 0; e < engines.size(); ++e) {
+    const uint32_t s = engine_shard[e];
+    HtTree* shard = &map_->shard(s);
+    for (size_t j = 0; j < shard_keys[s].size(); ++j) {
+      const size_t idx = shard_pos[s][j];
+      const uint64_t key = shard_keys[s][j];
+      if (aborted_) {
+        results[idx] = Aborted("txn aborted during multiget");
         continue;
       }
-      view = *fallback;
+      HtTree::TxnReadView view;
+      switch (engines[e].txn_outcome(j)) {
+        case HtTree::BatchGet::TxnOutcome::kError:
+          results[idx] = engines[e].txn_error(j);
+          continue;
+        case HtTree::BatchGet::TxnOutcome::kView:
+          view = engines[e].txn_view(j);
+          break;
+        case HtTree::BatchGet::TxnOutcome::kFallback: {
+          auto fallback = shard->TxnRead(key, /*allow_cache=*/false);
+          --shard->op_stats_.gets;  // the engine already counted this key
+          if (!fallback.ok()) {
+            results[idx] =
+                fallback.status().code() == StatusCode::kAborted
+                    ? Abort("txn read outwaited a pending bucket")
+                    : fallback.status();
+            continue;
+          }
+          view = *fallback;
+          break;
+        }
+      }
+      Status rec = RecordView(key, s, view, true);
+      if (!rec.ok()) {
+        results[idx] = rec;
+        continue;
+      }
+      results[idx] = view.found
+                         ? Result<uint64_t>(view.value)
+                         : Result<uint64_t>(NotFound("txn: key absent"));
     }
-    Status rec = RecordView(probe.key, probe.shard_idx, view, true);
-    if (!rec.ok()) {
-      results[probe.idx] = rec;
-      continue;
-    }
-    results[probe.idx] = view.found
-                             ? Result<uint64_t>(view.value)
-                             : Result<uint64_t>(NotFound("txn: key absent"));
   }
   return results;
 }

@@ -114,7 +114,8 @@ void Fabric::DumpClientStats(std::ostream& os,
                "notif", "slow", "bg", "batches", "batched", "rtts_saved",
                "fanout", "xnode_saved", "cache_hit", "cache_miss",
                "cache_inval", "txn_commit", "txn_abort", "txn_vfail",
-               "txn_pfail", "wb_combined", "wb_stages", "bg_evict"});
+               "txn_pfail", "wb_combined", "wb_stages", "bg_evict",
+               "route_1s", "route_rpc", "route_probe", "route_flip"});
   ClientStats totals;
   for (size_t i = 0; i < clients.size(); ++i) {
     const ClientStats& s = clients[i];
@@ -135,7 +136,9 @@ void Fabric::DumpClientStats(std::ostream& os,
                   Table::Cell(s.txn_validate_fails),
                   Table::Cell(s.txn_prepare_fails),
                   Table::Cell(s.writes_combined), Table::Cell(s.flush_stages),
-                  Table::Cell(s.bg_evictions)});
+                  Table::Cell(s.bg_evictions), Table::Cell(s.route_one_sided),
+                  Table::Cell(s.route_rpc), Table::Cell(s.route_probes),
+                  Table::Cell(s.route_flips)});
   }
   table.AddRow({"(all)", Table::Cell(totals.far_ops),
                 Table::Cell(totals.messages), Table::Cell(totals.bytes_read),
@@ -154,7 +157,10 @@ void Fabric::DumpClientStats(std::ostream& os,
                 Table::Cell(totals.txn_prepare_fails),
                 Table::Cell(totals.writes_combined),
                 Table::Cell(totals.flush_stages),
-                Table::Cell(totals.bg_evictions)});
+                Table::Cell(totals.bg_evictions),
+                Table::Cell(totals.route_one_sided),
+                Table::Cell(totals.route_rpc), Table::Cell(totals.route_probes),
+                Table::Cell(totals.route_flips)});
   table.Print(os, "clients: per-client counters");
 }
 

@@ -30,6 +30,8 @@ FarClient::FarClient(Fabric* fabric, uint64_t client_id, ClientOptions options)
     : fabric_(fabric),
       client_id_(client_id),
       latency_(fabric->options().latency),
+      home_node_(options.home_node),
+      local_latency_(options.local_latency),
       obs_(client_id),
       channel_(options.channel_capacity),
       channel_capacity_(options.channel_capacity) {
@@ -41,7 +43,7 @@ void FarClient::AccountRoundTrip(FarOpKind kind, NodeId node, FarAddr addr,
                                  uint64_t extra_hops, bool ok) {
   ++stats_.far_ops;
   stats_.messages += messages;
-  uint64_t latency_ns = latency_.FarRoundTripNs(payload_bytes) +
+  uint64_t latency_ns = ModelFor(node).FarRoundTripNs(payload_bytes) +
                         extra_hops * latency_.node_hop_ns;
   if (node != kObsNoNode) {
     // Per-node slowdown knob (contention / degraded link injection): the
@@ -574,7 +576,7 @@ Status FarClient::ExecuteBatchedOp(
     BatchGroup& group = groups[node];
     ++group.contribs;
     group.wire_ns +=
-        latency_.per_byte_ns * static_cast<double>(payload_bytes);
+        ModelFor(node).per_byte_ns * static_cast<double>(payload_bytes);
     group.hops += hops;
     *messages += msgs;
     if (obs != nullptr && obs->node == kObsNoNode) {
@@ -803,9 +805,10 @@ Status FarClient::Flush() {
   // the slowest, then for any serialized dependent accesses.
   uint64_t batch_ns = 0;
   for (const auto& [node, group] : groups) {
+    const LatencyModel& model = ModelFor(node);
     const uint64_t cost =
-        latency_.far_base_ns + static_cast<uint64_t>(group.wire_ns) +
-        (group.contribs - 1) * latency_.batch_op_ns +
+        model.far_base_ns + static_cast<uint64_t>(group.wire_ns) +
+        (group.contribs - 1) * model.batch_op_ns +
         group.hops * latency_.node_hop_ns +
         // A slowed node services each of its sub-batch ops slower.
         group.contribs * fabric_->node(node).extra_service_ns();

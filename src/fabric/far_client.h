@@ -46,6 +46,15 @@ struct ClientOptions {
   // Flight-recorder gate (histograms / trace ring); defaults fully off so
   // the accounting hot path stays a branch + counter increments.
   ObsOptions obs;
+  // Near-memory agent mode (§3.1): this client's compute sits next to
+  // `home_node`'s memory — the shape of the RPC dataplane's per-node agents
+  // (src/route/). Round trips serviced by the home node are charged
+  // `local_latency` (memory-controller access) instead of fabric RTTs;
+  // accesses to every other node still pay the full fabric model, and a
+  // node's injected extra_service_ns applies on both (it models the
+  // memory/controller side, which an on-node agent crosses too).
+  std::optional<NodeId> home_node;
+  LatencyModel local_latency = LocalAgentLatency();
 };
 
 class FarClient {
@@ -328,9 +337,19 @@ class FarClient {
                           uint64_t* serial_ns, uint64_t* serial_rtts,
                           BatchOpObs* obs);
 
+  // Latency model for round trips serviced by `node` — the local model when
+  // this client is a near-memory agent on that node, the fabric model
+  // otherwise (kObsNoNode always resolves to the fabric model).
+  const LatencyModel& ModelFor(NodeId node) const {
+    return (home_node_.has_value() && node == *home_node_) ? local_latency_
+                                                           : latency_;
+  }
+
   Fabric* fabric_;
   uint64_t client_id_;
   LatencyModel latency_;
+  std::optional<NodeId> home_node_;
+  LatencyModel local_latency_;
   SimClock clock_;
   ClientStats stats_;
   OpRecorder obs_;

@@ -5,14 +5,16 @@
 namespace fmds {
 
 std::string ClientStats::ToString() const {
-  char buf[640];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "far_ops=%llu msgs=%llu rd=%lluB wr=%lluB near=%llu rpc=%llu "
                 "notif=%llu slow=%llu bg=%llu batches=%llu batched=%llu "
                 "rtts_saved=%llu fanout=%llu xnode_saved=%llu "
                 "cache_hit=%llu cache_miss=%llu cache_inval=%llu "
                 "txn_commit=%llu txn_abort=%llu txn_vfail=%llu txn_pfail=%llu "
-                "wb_combined=%llu wb_stages=%llu bg_evict=%llu",
+                "wb_combined=%llu wb_stages=%llu bg_evict=%llu "
+                "route_1s=%llu route_rpc=%llu route_probe=%llu "
+                "route_flip=%llu",
                 static_cast<unsigned long long>(far_ops),
                 static_cast<unsigned long long>(messages),
                 static_cast<unsigned long long>(bytes_read),
@@ -36,7 +38,11 @@ std::string ClientStats::ToString() const {
                 static_cast<unsigned long long>(txn_prepare_fails),
                 static_cast<unsigned long long>(writes_combined),
                 static_cast<unsigned long long>(flush_stages),
-                static_cast<unsigned long long>(bg_evictions));
+                static_cast<unsigned long long>(bg_evictions),
+                static_cast<unsigned long long>(route_one_sided),
+                static_cast<unsigned long long>(route_rpc),
+                static_cast<unsigned long long>(route_probes),
+                static_cast<unsigned long long>(route_flips));
   return buf;
 }
 

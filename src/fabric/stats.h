@@ -56,6 +56,15 @@ struct ClientStats {
   uint64_t writes_combined = 0;
   uint64_t flush_stages = 0;
   uint64_t bg_evictions = 0;
+  // Adaptive dataplane routing (src/route/): per-op decisions between the
+  // one-sided fabric path and shipping the op to the node's near-memory RPC
+  // agent. Probes are decisions deliberately sent down the currently
+  // non-preferred path to keep its estimate fresh; flips count changes of
+  // the preferred path (a crossover crossing that beat the hysteresis band).
+  uint64_t route_one_sided = 0;
+  uint64_t route_rpc = 0;
+  uint64_t route_probes = 0;
+  uint64_t route_flips = 0;
 
   ClientStats Delta(const ClientStats& earlier) const {
     ClientStats d;
@@ -85,6 +94,10 @@ struct ClientStats {
     d.writes_combined = writes_combined - earlier.writes_combined;
     d.flush_stages = flush_stages - earlier.flush_stages;
     d.bg_evictions = bg_evictions - earlier.bg_evictions;
+    d.route_one_sided = route_one_sided - earlier.route_one_sided;
+    d.route_rpc = route_rpc - earlier.route_rpc;
+    d.route_probes = route_probes - earlier.route_probes;
+    d.route_flips = route_flips - earlier.route_flips;
     return d;
   }
 
@@ -113,6 +126,10 @@ struct ClientStats {
     writes_combined += other.writes_combined;
     flush_stages += other.flush_stages;
     bg_evictions += other.bg_evictions;
+    route_one_sided += other.route_one_sided;
+    route_rpc += other.route_rpc;
+    route_probes += other.route_probes;
+    route_flips += other.route_flips;
   }
 
   std::string ToString() const;

@@ -50,6 +50,7 @@ KvService::KvService(RpcServer* server) {
 }
 
 Result<uint64_t> KvStub::Get(uint64_t key) {
+  ScopedOpLabel label(&rpc_.client()->recorder(), "rpc.kv.get");
   MsgWriter writer;
   writer.U64(key);
   std::vector<std::byte> resp;
@@ -64,6 +65,7 @@ Result<uint64_t> KvStub::Get(uint64_t key) {
 }
 
 Status KvStub::Put(uint64_t key, uint64_t value) {
+  ScopedOpLabel label(&rpc_.client()->recorder(), "rpc.kv.put");
   MsgWriter writer;
   writer.U64(key);
   writer.U64(value);
@@ -72,6 +74,7 @@ Status KvStub::Put(uint64_t key, uint64_t value) {
 }
 
 Status KvStub::Delete(uint64_t key) {
+  ScopedOpLabel label(&rpc_.client()->recorder(), "rpc.kv.delete");
   MsgWriter writer;
   writer.U64(key);
   std::vector<std::byte> resp;
@@ -85,6 +88,7 @@ Status KvStub::Delete(uint64_t key) {
 }
 
 Result<uint64_t> KvStub::Size() {
+  ScopedOpLabel label(&rpc_.client()->recorder(), "rpc.kv.size");
   MsgWriter writer;
   std::vector<std::byte> resp;
   FMDS_RETURN_IF_ERROR(rpc_.Call(KvService::kSize, writer.view(), resp));

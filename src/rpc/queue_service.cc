@@ -42,6 +42,7 @@ QueueService::QueueService(RpcServer* server) {
 }
 
 Status QueueStub::Enqueue(uint64_t value) {
+  ScopedOpLabel label(&rpc_.client()->recorder(), "rpc.queue.enqueue");
   MsgWriter writer;
   writer.U64(value);
   std::vector<std::byte> resp;
@@ -49,6 +50,7 @@ Status QueueStub::Enqueue(uint64_t value) {
 }
 
 Result<uint64_t> QueueStub::Dequeue() {
+  ScopedOpLabel label(&rpc_.client()->recorder(), "rpc.queue.dequeue");
   MsgWriter writer;
   std::vector<std::byte> resp;
   FMDS_RETURN_IF_ERROR(rpc_.Call(QueueService::kDequeue, writer.view(), resp));
@@ -62,6 +64,7 @@ Result<uint64_t> QueueStub::Dequeue() {
 }
 
 Result<uint64_t> QueueStub::Len() {
+  ScopedOpLabel label(&rpc_.client()->recorder(), "rpc.queue.len");
   MsgWriter writer;
   std::vector<std::byte> resp;
   FMDS_RETURN_IF_ERROR(rpc_.Call(QueueService::kLen, writer.view(), resp));

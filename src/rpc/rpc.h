@@ -45,6 +45,30 @@ class RpcServer {
   Status Dispatch(uint32_t method, std::span<const std::byte> request,
                   std::vector<std::byte>& response, uint64_t* service_ns);
 
+  // Memory node this server is colocated with; kObsNoNode for free-floating
+  // servers. RpcClient attributes calls (recorder node column + the node's
+  // injected extra_service_ns) to it.
+  void set_node(NodeId node) { node_.store(node, std::memory_order_relaxed); }
+  NodeId node() const { return node_.load(std::memory_order_relaxed); }
+
+  // CPU occupancy of the colocated processor from work OUTSIDE this
+  // dispatch queue (the server also runs the application, §3.1). Modelled as
+  // the M/M/1 waiting factor: every call's service time is inflated by
+  // rho / (1 - rho) of queueing delay. This is the knob that moves the
+  // one-sided vs RPC crossover — one-sided accesses bypass the server CPU
+  // and never see it. Clamped to [0, 0.95].
+  void set_load_factor(double rho);
+  double load_factor() const {
+    return load_factor_.load(std::memory_order_relaxed);
+  }
+
+  // Handlers that run far-structure operations through a server-side
+  // FarClient report the simulated nanoseconds that client consumed; the
+  // charge rides on the current call's service time (and therefore on the
+  // caller's clock and the occupancy inflation). Valid only from inside a
+  // handler invoked by Dispatch.
+  void ChargeService(uint64_t ns) { handler_charge_ += ns; }
+
   uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
   uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
   const RpcServerOptions& options() const { return options_; }
@@ -53,6 +77,9 @@ class RpcServer {
   RpcServerOptions options_;
   std::mutex mu_;
   std::unordered_map<uint32_t, RpcHandler> handlers_;
+  uint64_t handler_charge_ = 0;  // guarded by mu_ (set during dispatch)
+  std::atomic<NodeId> node_{kObsNoNode};
+  std::atomic<double> load_factor_{0.0};
   std::atomic<uint64_t> calls_{0};
   std::atomic<uint64_t> busy_ns_{0};
 };

@@ -64,6 +64,19 @@ struct LatencyModel {
   }
 };
 
+// Cost model for a near-memory agent (§3.1's "processor close to the
+// memory"): accesses to the agent's own node cross a memory controller, not
+// the fabric, so the base access sits near DRAM latency and bytes are close
+// to free. FarClients created with ClientOptions::home_node use this model
+// for home-node round trips; everything else still pays the fabric model.
+inline LatencyModel LocalAgentLatency() {
+  LatencyModel m;
+  m.far_base_ns = 140;   // controller + DRAM, no NIC/fabric traversal
+  m.per_byte_ns = 0.02;  // memory bandwidth, not link serialization
+  m.batch_op_ns = 20;    // back-to-back controller issue
+  return m;
+}
+
 }  // namespace fmds
 
 #endif  // FMDS_SRC_SIM_LATENCY_MODEL_H_
