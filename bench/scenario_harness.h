@@ -1,0 +1,204 @@
+// Overload scenario harness (EXPERIMENTS.md E17, DESIGN.md §14): shared
+// plumbing for the congestion scenarios in bench_e17_overload. The harness
+// programs against the abstract FarMap interface — workers hold their map
+// handles behind FarMap*, so a scenario runs unchanged over HtTree,
+// ShardedMap, or a baseline table behind FarMapRef.
+//
+// Concurrency model: workers are round-robin closed-loop clients. Each
+// worker owns a FarClient (private SimClock) and an Attach'd map handle;
+// RunRounds issues one logical op per worker per round, so the workers'
+// clocks advance in near-lockstep — exactly the offered-load shape N
+// concurrent application threads present to a node's congestion front end
+// (ServiceQueue keys admission off its virtual clock, the max arrival time
+// across clients). Single real thread: runs are deterministic.
+#ifndef FMDS_BENCH_SCENARIO_HARNESS_H_
+#define FMDS_BENCH_SCENARIO_HARNESS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/far_map.h"
+#include "src/core/ht_tree.h"
+
+namespace fmds {
+
+// q-th percentile (by rank) of raw latency samples; 0 for an empty set.
+inline uint64_t PercentileNs(std::vector<uint64_t> samples, double q) {
+  if (samples.empty()) {
+    return 0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(samples.size())));
+  return samples[rank];
+}
+
+// One closed-loop worker: a client plus its FarMap handle on the shared
+// structure. `latencies` collects one sample per completed round.
+struct ScenarioWorker {
+  FarClient* client = nullptr;
+  std::unique_ptr<FarMap> map;
+  std::vector<uint64_t> latencies;
+  uint64_t ok_ops = 0;
+  uint64_t failed_ops = 0;
+  uint64_t overloaded_ops = 0;
+};
+
+// A fleet of workers attached to one shared HT-tree. The tree is created by
+// worker 0 and Attach'd by the rest, so all handles see the same far state.
+class ScenarioFleet {
+ public:
+  // `retry` applies to every worker; `obs` (windowed signals for admission
+  // feedback) is armed on worker 0 only — one observer is enough to feed a
+  // fleet-shared AdmissionController and keeps the other workers on the
+  // zero-overhead path.
+  ScenarioFleet(BenchEnv* env, size_t workers, const HtTree::Options& options,
+                const RetryPolicy& retry, const ObsOptions* obs = nullptr) {
+    workers_.resize(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      ScenarioWorker& worker = workers_[i];
+      worker.client = &env->NewClient();
+      worker.client->set_retry_policy(retry);
+      if (obs != nullptr && i == 0) {
+        worker.client->EnableObs(*obs);
+      }
+      if (i == 0) {
+        auto tree = CheckOk(
+            HtTree::Create(worker.client, &env->alloc(), options),
+            "scenario fleet create");
+        root_ = tree.header();
+        worker.map = std::make_unique<HtTree>(std::move(tree));
+      } else {
+        worker.map = std::make_unique<HtTree>(
+            CheckOk(HtTree::Attach(worker.client, &env->alloc(), root_,
+                                   options),
+                    "scenario fleet attach"));
+      }
+    }
+  }
+
+  size_t size() const { return workers_.size(); }
+  ScenarioWorker& worker(size_t i) { return workers_[i]; }
+  FarMap& map(size_t i) { return *workers_[i].map; }
+  FarClient& client(size_t i) { return *workers_[i].client; }
+  FarAddr root() const { return root_; }
+
+  // Round-robin closed loop: `rounds` rounds, one op per worker per round.
+  // `op` runs one logical operation (any FarMap calls) and returns its
+  // Status; the harness records the worker's clock delta as the round's
+  // latency sample and buckets the outcome (ok / overloaded / failed).
+  template <typename Fn>
+  void RunRounds(size_t rounds, Fn&& op) {
+    for (size_t round = 0; round < rounds; ++round) {
+      for (size_t i = 0; i < workers_.size(); ++i) {
+        ScenarioWorker& worker = workers_[i];
+        const uint64_t t0 = worker.client->clock().now_ns();
+        const Status status = op(*worker.map, *worker.client, i, round);
+        worker.latencies.push_back(worker.client->clock().now_ns() - t0);
+        if (status.ok()) {
+          ++worker.ok_ops;
+        } else if (status.code() == StatusCode::kOverloaded) {
+          ++worker.overloaded_ops;
+        } else {
+          ++worker.failed_ops;
+        }
+      }
+    }
+  }
+
+  // Pooled latency samples across the fleet (cleared by ResetSamples).
+  std::vector<uint64_t> AllLatencies() const {
+    std::vector<uint64_t> all;
+    for (const ScenarioWorker& worker : workers_) {
+      all.insert(all.end(), worker.latencies.begin(), worker.latencies.end());
+    }
+    return all;
+  }
+  void ResetSamples() {
+    for (ScenarioWorker& worker : workers_) {
+      worker.latencies.clear();
+      worker.ok_ops = worker.failed_ops = worker.overloaded_ops = 0;
+    }
+  }
+
+  uint64_t TotalOk() const {
+    uint64_t n = 0;
+    for (const ScenarioWorker& worker : workers_) {
+      n += worker.ok_ops;
+    }
+    return n;
+  }
+  uint64_t TotalOverloaded() const {
+    uint64_t n = 0;
+    for (const ScenarioWorker& worker : workers_) {
+      n += worker.overloaded_ops;
+    }
+    return n;
+  }
+  // Clock barrier: advances every worker to the fleet max, like threads
+  // released together at a phase boundary. Call before a measured phase so
+  // no worker "arrives from the past" of the node's virtual clock.
+  void AlignClocks() {
+    const uint64_t now = MaxClockNs();
+    for (ScenarioWorker& worker : workers_) {
+      SimClock& clock = worker.client->clock();
+      if (clock.now_ns() < now) {
+        clock.Advance(now - clock.now_ns());
+      }
+    }
+  }
+  // Max simulated clock across the fleet — the wall the slowest worker saw.
+  uint64_t MaxClockNs() const {
+    uint64_t now = 0;
+    for (const ScenarioWorker& worker : workers_) {
+      now = std::max(now, worker.client->clock().now_ns());
+    }
+    return now;
+  }
+  // Fleet-summed client stats (quiesced read: call between rounds only).
+  ClientStats SumStats() const {
+    ClientStats sum;
+    for (const ScenarioWorker& worker : workers_) {
+      sum.Add(worker.client->stats());
+    }
+    return sum;
+  }
+
+ private:
+  FarAddr root_;
+  std::vector<ScenarioWorker> workers_;
+};
+
+// Exit-code gate bookkeeping: every scenario Check()s its gates; main exits
+// nonzero if any failed. Also mirrors each gate into the JSON report.
+class GateSet {
+ public:
+  void Check(const std::string& name, bool ok, const std::string& detail) {
+    gates_.push_back({name, ok});
+    std::printf("gate %-38s %s  (%s)\n", name.c_str(), ok ? "OK  " : "FAIL",
+                detail.c_str());
+    all_ok_ = all_ok_ && ok;
+  }
+  bool all_ok() const { return all_ok_; }
+  void Report(BenchJson* json) const {
+    json->Begin("gates");
+    for (const auto& [name, ok] : gates_) {
+      json->Int(name, ok ? 1 : 0);
+    }
+    json->Int("all_ok", all_ok_ ? 1 : 0);
+  }
+
+ private:
+  std::vector<std::pair<std::string, bool>> gates_;
+  bool all_ok_ = true;
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_BENCH_SCENARIO_HARNESS_H_

@@ -19,8 +19,9 @@ JOBS="${JOBS:-$(nproc)}"
 SANITIZER_TARGETS=(fabric_test fabric_edge_test async_client_test
   notification_test sharded_map_test obs_test cache_test txn_test
   txn_serializability_test write_behind_test far_queue_test
-  windowed_test telemetry_test route_test route_equivalence_test)
-SANITIZER_FILTER='Fabric|AsyncClient|Notif|ShardedMap|Obs|Trace|OpLabel|NearCache|ClockRing|Cache|Txn|Serializ|WriteBehind|FarQueueWatch|Telemetry|Windowed|Snapshotter|GaugeGroup|Ewma|LogHistogramWindow|RecorderWindowed|Route|RpcPath'
+  windowed_test telemetry_test route_test route_equivalence_test
+  congestion_test admission_test far_map_test)
+SANITIZER_FILTER='Fabric|AsyncClient|Notif|ShardedMap|Obs|Trace|OpLabel|NearCache|ClockRing|Cache|Txn|Serializ|WriteBehind|FarQueueWatch|Telemetry|Windowed|Snapshotter|GaugeGroup|Ewma|LogHistogramWindow|RecorderWindowed|Route|RpcPath|ServiceQueue|Congestion|Admission|FarMap|MapOptions'
 
 echo "==> normal build"
 cmake -B build -S . >/dev/null

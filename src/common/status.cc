@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,10 @@ enum class StatusCode : uint8_t {
   kAborted,
   kInternal,
   kUnimplemented,
+  // A memory node's congestion front end shed the operation (bounded
+  // service queue overflow, DESIGN.md §14). Retryable: backoff lets the
+  // node drain; see ClientOptions::retry.
+  kOverloaded,
 };
 
 // Human-readable name for a status code ("OK", "NOT_FOUND", ...).
@@ -87,6 +91,9 @@ inline Status Internal(std::string msg) {
 }
 inline Status Unimplemented(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Overloaded(std::string msg) {
+  return Status(StatusCode::kOverloaded, std::move(msg));
 }
 
 // Result<T>: either a value of type T or an error Status. Accessing value()

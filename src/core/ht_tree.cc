@@ -144,6 +144,10 @@ Result<HtTree> HtTree::Create(FarClient* client, FarAllocator* alloc,
       header, std::as_bytes(std::span<const uint64_t>(hdr))));
 
   FMDS_RETURN_IF_ERROR(map.RefreshCache());
+  if (options.route.enabled()) {
+    FMDS_RETURN_IF_ERROR(
+        map.EnableRouting(options.route.decider, options.route.remote));
+  }
   return map;
 }
 
@@ -156,6 +160,10 @@ Result<HtTree> HtTree::Attach(FarClient* client, FarAllocator* alloc,
                               FarAddr header, Options options) {
   HtTree map(client, alloc, header, options);
   FMDS_RETURN_IF_ERROR(map.RefreshCache());
+  if (options.route.enabled()) {
+    FMDS_RETURN_IF_ERROR(
+        map.EnableRouting(options.route.decider, options.route.remote));
+  }
   return map;
 }
 

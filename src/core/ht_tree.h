@@ -42,12 +42,14 @@
 #include "src/cache/near_cache.h"
 #include "src/common/hash.h"
 #include "src/core/dataplane.h"
+#include "src/core/far_map.h"
+#include "src/core/map_options.h"
 #include "src/core/write_behind.h"
 #include "src/fabric/far_client.h"
 
 namespace fmds {
 
-class HtTree {
+class HtTree : public FarMap {
  public:
   struct Options {
     uint64_t buckets_per_table = 1024;
@@ -72,7 +74,18 @@ class HtTree {
     // NearCache of bucket heads (budget_bytes = 0 keeps it off): a hit
     // serves the whole lookup from near memory — zero far accesses —
     // with coherence via per-bucket write notifications (DESIGN.md §9).
-    NearCacheOptions cache;
+    // The composable block (src/core/map_options.h); assigning a bare
+    // NearCacheOptions still compiles. HtTree ignores the fleet-wide
+    // global_budget_bytes field (single cache).
+    CacheOptions cache;
+    // Stored write-behind defaults: the no-arg EnableWriteBehind() overload
+    // enables the engine with this block. The defaulting rule
+    // (map_options.h): an explicit EnableWriteBehind(options) argument wins.
+    WriteBehindOptions write_behind;
+    // Adaptive dataplane block: when enabled() (both pointers set),
+    // Create/Attach arm routing on the fresh handle — equivalent to
+    // calling EnableRouting() immediately after.
+    RouteOptions route;
   };
 
   // Per-handle counters for the experiments.
@@ -102,9 +115,9 @@ class HtTree {
   FarAddr header() const { return header_; }
 
   // Point operations. Get returns kNotFound for absent/tombstoned keys.
-  Result<uint64_t> Get(uint64_t key);
-  Status Put(uint64_t key, uint64_t value);
-  Status Remove(uint64_t key);
+  Result<uint64_t> Get(uint64_t key) override;
+  Status Put(uint64_t key, uint64_t value) override;
+  Status Remove(uint64_t key) override;
 
   // Batched multi-key lookup over the async pipeline: every key's bucket
   // probe rides one doorbell (one client round trip for the whole batch
@@ -113,7 +126,8 @@ class HtTree {
   // out stale fall back to the synchronous path. Unlike Get this never
   // triggers proactive splits (it is a read-only fast path). Requires no
   // other async ops pending on the client.
-  std::vector<Result<uint64_t>> MultiGet(std::span<const uint64_t> keys);
+  std::vector<Result<uint64_t>> MultiGet(
+      std::span<const uint64_t> keys) override;
 
   // Batched multi-key store: each key's item-body write and bucket CAS ride
   // one shared doorbell (k stores ≈ 1 waited round trip instead of 2 each).
@@ -126,7 +140,7 @@ class HtTree {
   // does) for hardware-faithful batching. Requires no other async ops
   // pending on the client. Returns the first per-key error, if any.
   Status MultiPut(std::span<const uint64_t> keys,
-                  std::span<const uint64_t> values);
+                  std::span<const uint64_t> values) override;
 
   // Per-key publish location from MultiWrite, for the write-behind
   // flusher's writer-side cache refill. Only the batched fast path is
@@ -177,6 +191,14 @@ class HtTree {
   uint64_t cached_tables() const;
 
   const OpStats& op_stats() const { return op_stats_; }
+  // FarMap surface: portable counters and the structure name.
+  FarMapStats map_stats() const override {
+    return {op_stats_.gets,          op_stats_.puts,
+            op_stats_.removes,       op_stats_.chain_hops,
+            op_stats_.stale_refreshes, op_stats_.cas_retries,
+            op_stats_.splits};
+  }
+  const char* kind() const override { return "ht_tree"; }
   FarClient* client() { return client_; }
   // The bucket-head NearCache, or nullptr when Options::cache is off.
   NearCache* near_cache() { return near_cache_.get(); }
@@ -191,10 +213,13 @@ class HtTree {
   // at most once, after the handle reached its final location. Handles
   // owned by a ShardedMap must not enable this directly — the map runs one
   // fleet-wide engine instead (ShardedMap::Options::write_behind).
-  Status EnableWriteBehind(const WriteBehindOptions& wb_options = {});
+  Status EnableWriteBehind(const WriteBehindOptions& wb_options);
+  // No-arg overload: enables with the stored Options::write_behind block
+  // (the map_options.h defaulting rule — an explicit argument wins).
+  Status EnableWriteBehind() { return EnableWriteBehind(options_.write_behind); }
   // Blocks until every enqueued write is published and surfaces the first
   // asynchronous publish error. No-op when write-behind is off.
-  Status FlushBarrier();
+  Status FlushBarrier() override;
   // The engine, or nullptr when write-behind is off.
   WriteBehindEngine* write_behind() { return wb_.get(); }
 

@@ -18,6 +18,15 @@ constexpr uint32_t kMaxShards = 1u << 12;
 // Distinguishes the write-behind flusher's client id from its application
 // client's (same convention as ht_tree.cc).
 constexpr uint64_t kWbClientIdBit = 1ull << 62;
+
+// The map_options.h defaulting rule for the fleet-wide cache budget: the
+// composable block (shard.cache.global_budget_bytes) wins when set;
+// otherwise the deprecated flat field seeds it.
+uint64_t EffectiveGlobalBudget(const ShardedMap::Options& options) {
+  return options.shard.cache.global_budget_bytes != 0
+             ? options.shard.cache.global_budget_bytes
+             : options.global_cache_budget_bytes;
+}
 }  // namespace
 
 uint32_t ShardedMap::ShardOf(uint64_t key) const {
@@ -57,10 +66,10 @@ Result<ShardedMap> ShardedMap::Create(FarClient* client, FarAllocator* alloc,
   ShardedMap map(client, directory);
   map.alloc_ = alloc;
   map.options_ = options;
-  if (options.global_cache_budget_bytes > 0) {
+  if (const uint64_t global_budget = EffectiveGlobalBudget(options);
+      global_budget > 0) {
     map.shared_budget_ = std::make_shared<CacheBudget>(
-        options.global_cache_budget_bytes,
-        options.shard.cache.high_watermark_bytes,
+        global_budget, options.shard.cache.high_watermark_bytes,
         options.shard.cache.low_watermark_bytes);
   }
   std::vector<uint64_t> dir(1 + options.num_shards, 0);
@@ -99,10 +108,10 @@ Result<ShardedMap> ShardedMap::Attach(FarClient* client, FarAllocator* alloc,
   ShardedMap map(client, directory);
   map.alloc_ = alloc;
   map.options_ = options;
-  if (options.global_cache_budget_bytes > 0) {
+  if (const uint64_t global_budget = EffectiveGlobalBudget(options);
+      global_budget > 0) {
     map.shared_budget_ = std::make_shared<CacheBudget>(
-        options.global_cache_budget_bytes,
-        options.shard.cache.high_watermark_bytes,
+        global_budget, options.shard.cache.high_watermark_bytes,
         options.shard.cache.low_watermark_bytes);
   }
   map.shards_.reserve(num_shards);

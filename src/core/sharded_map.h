@@ -33,7 +33,7 @@
 
 namespace fmds {
 
-class ShardedMap {
+class ShardedMap : public FarMap {
  public:
   struct Options {
     uint32_t num_shards = 8;
@@ -48,10 +48,14 @@ class ShardedMap {
     // placement round-robin per allocation — a measurable anti-pattern
     // (bench_e11): batches then touch every node per shard.
     bool pin_shards = true;
-    // Fleet-wide NearCache budget: one shared CacheBudget caps the summed
-    // bytes of ALL shards' rings (near_cache_bytes() == the shared total),
-    // so the client's footprint stays bounded as shard counts grow instead
-    // of multiplying per-shard budgets. Overrides shard.cache.budget_bytes
+    // DEPRECATED flat alias for `shard.cache.global_budget_bytes` (the
+    // composable CacheOptions block, src/core/map_options.h). The
+    // defaulting rule: a non-zero block value wins; otherwise this field
+    // seeds it, so old code compiles and behaves unchanged. Fleet-wide
+    // NearCache budget: one shared CacheBudget caps the summed bytes of
+    // ALL shards' rings (near_cache_bytes() == the shared total), so the
+    // client's footprint stays bounded as shard counts grow instead of
+    // multiplying per-shard budgets. Overrides shard.cache.budget_bytes
     // when non-zero; shard.cache's watermark fields configure the shared
     // watermarks (background eviction drains whichever shards hold bytes).
     uint64_t global_cache_budget_bytes = 0;
@@ -80,17 +84,18 @@ class ShardedMap {
 
   // Point operations: route + delegate; exactly one shard (one node) is
   // touched, so costs match an unsharded HT-tree.
-  Result<uint64_t> Get(uint64_t key);
-  Status Put(uint64_t key, uint64_t value);
-  Status Remove(uint64_t key);
+  Result<uint64_t> Get(uint64_t key) override;
+  Status Put(uint64_t key, uint64_t value) override;
+  Status Remove(uint64_t key) override;
 
   // Batched operations: one wave engine per shard, one doorbell per wave
   // across ALL shards (the §7 fan-out). Per-key semantics match the
   // per-shard HtTree::MultiGet/MultiPut. Requires no other async ops
   // pending on the client.
-  std::vector<Result<uint64_t>> MultiGet(std::span<const uint64_t> keys);
+  std::vector<Result<uint64_t>> MultiGet(
+      std::span<const uint64_t> keys) override;
   Status MultiPut(std::span<const uint64_t> keys,
-                  std::span<const uint64_t> values);
+                  std::span<const uint64_t> values) override;
 
   // Batched mixed store/remove across shards (the write-behind flusher's
   // publish primitive); see HtTree::MultiWrite. `outcomes`, when non-null,
@@ -113,10 +118,15 @@ class ShardedMap {
   // Attach'd ShardedMap handle, so batches still fan out across shards and
   // nodes in single doorbell waves. Do not also enable per-shard
   // write-behind on this map's HtTrees.
-  Status EnableWriteBehind(const WriteBehindOptions& wb_options = {});
+  Status EnableWriteBehind(const WriteBehindOptions& wb_options);
+  // No-arg overload: enables with the stored shard.write_behind block (the
+  // map_options.h defaulting rule — an explicit argument wins).
+  Status EnableWriteBehind() {
+    return EnableWriteBehind(options_.shard.write_behind);
+  }
   // Blocks until every staged write (map-level and any per-shard engine)
   // is published; surfaces the first asynchronous error.
-  Status FlushBarrier();
+  Status FlushBarrier() override;
   // Cheap per-operation drain hook (Txn entry points): barriers only when
   // something is actually pending.
   Status DrainWriteBehind();
@@ -134,6 +144,13 @@ class ShardedMap {
 
   // Sum of the shards' per-handle counters.
   HtTree::OpStats op_stats() const;
+  // FarMap surface: portable counters and the structure name.
+  FarMapStats map_stats() const override {
+    const HtTree::OpStats s = op_stats();
+    return {s.gets,       s.puts,        s.removes, s.chain_hops,
+            s.stale_refreshes, s.cas_retries, s.splits};
+  }
+  const char* kind() const override { return "sharded_map"; }
   uint64_t cache_bytes() const;
   // Aggregated per-shard NearCache counters (zeros when caching is off).
   NearCacheStats near_cache_stats() const;

@@ -1,0 +1,59 @@
+#include "src/fabric/admission.h"
+
+#include <algorithm>
+
+namespace fmds {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+AdmissionController::Bucket& AdmissionController::BucketFor(NodeId node,
+                                                            uint64_t now_ns) {
+  auto [it, inserted] = buckets_.try_emplace(
+      node, Bucket{options_.burst_ops, options_.initial_rate_ops_per_sec,
+                   now_ns});
+  Bucket& bucket = it->second;
+  if (!inserted && now_ns > bucket.clock_ns) {
+    // Refill on the shared max-clock: per-thread SimClocks advance
+    // independently, so time only ever moves forward here.
+    const double elapsed_s =
+        static_cast<double>(now_ns - bucket.clock_ns) * 1e-9;
+    bucket.tokens =
+        std::min(options_.burst_ops, bucket.tokens + elapsed_s * bucket.rate);
+    bucket.clock_ns = now_ns;
+  }
+  return bucket;
+}
+
+bool AdmissionController::Admit(NodeId node, uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = BucketFor(node, now_ns);
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  deferred_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void AdmissionController::ReportP99(NodeId node, uint64_t p99_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = BucketFor(node, /*now_ns=*/0);
+  if (p99_ns > options_.p99_bound_ns) {
+    bucket.rate = std::max(options_.min_rate_ops_per_sec,
+                           bucket.rate * options_.decrease_factor);
+  } else {
+    bucket.rate = std::min(options_.max_rate_ops_per_sec,
+                           bucket.rate + options_.increase_ops_per_sec);
+  }
+}
+
+double AdmissionController::RateFor(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(node);
+  return it == buckets_.end() ? options_.initial_rate_ops_per_sec
+                              : it->second.rate;
+}
+
+}  // namespace fmds

@@ -1,0 +1,92 @@
+// Client-side admission control for a congested fabric (DESIGN.md §14).
+//
+// The congestion front end (ServiceQueue) tells a client it is overloading a
+// node only *after* the fact — a shed costs a wasted round trip, and under a
+// naive retry storm the rejects themselves consume node capacity (reject_ns
+// of front-end time each). AdmissionController moves the decision to the
+// client: a per-node token bucket, refilled in simulated time at an adaptive
+// rate, gates ops BEFORE they are offered to the node. The rate adapts AIMD:
+// the harness (or an application loop) periodically feeds it the node's
+// recent p99 from WindowedSignals::RecentP99 — when the tail crosses the
+// configured bound the rate is cut multiplicatively (the queue is building),
+// otherwise it creeps back up additively, probing for the knee of the
+// latency/throughput curve.
+//
+// The controller is deliberately client-local and advisory: Admit() refusing
+// an op means "defer or shed it at the client, for free" — nothing was sent.
+// It is thread-safe (one controller may be shared by the threads of a
+// scenario arm; the TSan-stressed admission_test exercises exactly that).
+#ifndef FMDS_SRC_FABRIC_ADMISSION_H_
+#define FMDS_SRC_FABRIC_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/fabric/far_addr.h"
+
+namespace fmds {
+
+struct AdmissionOptions {
+  // Starting per-node admission rate, in ops per simulated second. The
+  // AIMD loop moves it inside [min_rate, max_rate] from here.
+  double initial_rate_ops_per_sec = 2e6;
+  double min_rate_ops_per_sec = 5e4;
+  double max_rate_ops_per_sec = 1e8;
+  // Bucket depth: how much short-term burstiness rides through untouched.
+  double burst_ops = 32.0;
+  // Tail bound the AIMD loop defends: ReportP99 above this cuts the rate.
+  uint64_t p99_bound_ns = 20'000;
+  // Multiplicative decrease factor applied when the bound is exceeded.
+  double decrease_factor = 0.6;
+  // Additive increase (ops/sec) applied per in-bound report.
+  double increase_ops_per_sec = 1e5;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options = {});
+
+  // Consumes one token for `node` if available. True => send the op now;
+  // false => the caller should defer (back off and retry Admit later) or
+  // shed the op client-side. `now_ns` is the caller's simulated clock and
+  // must be monotone per caller; refill uses the max clock seen so far.
+  bool Admit(NodeId node, uint64_t now_ns);
+
+  // AIMD update from a fresh tail measurement (e.g. WindowedSignals::
+  // RecentP99 over the ops that landed on `node`). Feed it once per
+  // telemetry window, not per op.
+  void ReportP99(NodeId node, uint64_t p99_ns);
+
+  // Current admission rate for `node` (ops per simulated second).
+  double RateFor(NodeId node) const;
+
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t deferred() const {
+    return deferred_.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    double tokens;
+    double rate;        // ops per simulated second
+    uint64_t clock_ns;  // refill high-water mark
+  };
+
+  Bucket& BucketFor(NodeId node, uint64_t now_ns);  // mu_ held
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, Bucket> buckets_;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> deferred_{0};
+};
+
+}  // namespace fmds
+
+#endif  // FMDS_SRC_FABRIC_ADMISSION_H_

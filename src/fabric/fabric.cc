@@ -20,7 +20,8 @@ Fabric::Fabric(FabricOptions options) : options_(options) {
       static_cast<uint64_t>(options_.num_nodes) * options_.node_capacity;
   nodes_.reserve(options_.num_nodes);
   for (NodeId i = 0; i < options_.num_nodes; ++i) {
-    nodes_.push_back(std::make_unique<MemoryNode>(i, options_.node_capacity));
+    nodes_.push_back(std::make_unique<MemoryNode>(i, options_.node_capacity,
+                                                  options_.congestion));
   }
 }
 
@@ -166,27 +167,29 @@ void Fabric::DumpClientStats(std::ostream& os,
 
 void Fabric::DumpHealth(std::ostream& os) const {
   Table table({"node", "ops", "bytes_in", "bytes_out", "notif_fired",
-               "notif_dropped", "subs", "extra_service_ns"});
-  uint64_t totals[7] = {};
+               "notif_dropped", "subs", "extra_service_ns", "queue_depth",
+               "sheds"});
+  uint64_t totals[9] = {};
   for (NodeId i = 0; i < options_.num_nodes; ++i) {
     const MemoryNode& n = *nodes_[i];
     const NodeStats& s = nodes_[i]->stats();
-    const uint64_t row[7] = {
+    const uint64_t row[9] = {
         s.ops_serviced.load(std::memory_order_relaxed),
         s.bytes_in.load(std::memory_order_relaxed),
         s.bytes_out.load(std::memory_order_relaxed),
         s.notifications_fired.load(std::memory_order_relaxed),
         s.notifications_dropped.load(std::memory_order_relaxed),
-        n.subscription_count(), n.extra_service_ns()};
+        n.subscription_count(), n.extra_service_ns(), n.queue_depth_ops(),
+        s.ops_shed.load(std::memory_order_relaxed)};
     std::vector<std::string> cells{Table::Cell(static_cast<uint64_t>(i))};
-    for (size_t c = 0; c < 7; ++c) {
+    for (size_t c = 0; c < 9; ++c) {
       cells.push_back(Table::Cell(row[c]));
       totals[c] += row[c];
     }
     table.AddRow(std::move(cells));
   }
   std::vector<std::string> total_cells{"(all)"};
-  for (size_t c = 0; c < 7; ++c) {
+  for (size_t c = 0; c < 9; ++c) {
     total_cells.push_back(Table::Cell(totals[c]));
   }
   table.AddRow(std::move(total_cells));
@@ -218,6 +221,23 @@ void Fabric::AddGauges(GaugeGroup* group, const std::string& prefix) const {
     });
     group->Add(node_prefix + ".extra_service_ns", [n] {
       return static_cast<double>(n->extra_service_ns());
+    });
+    // Congestion front end (DESIGN.md §14): live queue depth, cumulative
+    // sheds, and the shed fraction of offered load. All zero while
+    // congestion is disabled.
+    group->Add(node_prefix + ".queue_depth", [n] {
+      return static_cast<double>(n->queue_depth_ops());
+    });
+    group->Add(node_prefix + ".sheds", [n] {
+      return static_cast<double>(
+          n->stats().ops_shed.load(std::memory_order_relaxed));
+    });
+    group->Add(node_prefix + ".shed_rate", [n] {
+      const double shed = static_cast<double>(
+          n->stats().ops_shed.load(std::memory_order_relaxed));
+      const double serviced = static_cast<double>(
+          n->stats().ops_serviced.load(std::memory_order_relaxed));
+      return shed + serviced > 0.0 ? shed / (shed + serviced) : 0.0;
     });
   }
 }

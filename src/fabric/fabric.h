@@ -41,6 +41,12 @@ struct FabricOptions {
   uint64_t stripe_bytes = 0;             // 0 => contiguous partitions
   IndirectionPolicy indirection = IndirectionPolicy::kForward;
   LatencyModel latency;
+  // Per-node congestion front end (DESIGN.md §14): bounded service queue
+  // with a configurable service rate, link bandwidth share, and shed
+  // bound. Off by default — the fabric then behaves bit-identically to the
+  // fixed-RTT model. Every node starts with this config; per-node runtime
+  // changes go through MemoryNode::SetCongestion.
+  CongestionOptions congestion;
 };
 
 class Fabric {
@@ -91,14 +97,15 @@ class Fabric {
                               std::span<const ClientStats> clients);
 
   // Live per-node health table: service counters plus the gauges DumpStats
-  // omits — active subscriptions and the injected per-op slowdown
-  // (set_extra_service_ns). Safe to call while clients run (all atomics).
+  // omits — active subscriptions, the injected per-op slowdown
+  // (set_extra_service_ns), and the congestion front end's queue depth and
+  // cumulative sheds. Safe to call while clients run (all atomics).
   void DumpHealth(std::ostream& os) const;
 
   // Registers per-node traffic gauges (`prefix.node<i>.{ops,bytes_in,
-  // bytes_out,notifications,subs,extra_service_ns}`) with a TelemetryHub.
-  // Atomic reads only; safe while clients run. The group must not outlive
-  // the fabric.
+  // bytes_out,notifications,subs,extra_service_ns,queue_depth,sheds,
+  // shed_rate}`) with a TelemetryHub. Atomic reads only; safe while
+  // clients run. The group must not outlive the fabric.
   void AddGauges(GaugeGroup* group, const std::string& prefix) const;
 
  private:

@@ -30,6 +30,8 @@ FarClient::FarClient(Fabric* fabric, uint64_t client_id, ClientOptions options)
     : fabric_(fabric),
       client_id_(client_id),
       latency_(fabric->options().latency),
+      retry_(options.retry),
+      jitter_state_(client_id * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull),
       home_node_(options.home_node),
       local_latency_(options.local_latency),
       obs_(client_id),
@@ -40,11 +42,12 @@ FarClient::FarClient(Fabric* fabric, uint64_t client_id, ClientOptions options)
 
 void FarClient::AccountRoundTrip(FarOpKind kind, NodeId node, FarAddr addr,
                                  uint64_t payload_bytes, uint64_t messages,
-                                 uint64_t extra_hops, bool ok) {
+                                 uint64_t extra_hops, bool ok,
+                                 uint64_t queue_ns) {
   ++stats_.far_ops;
   stats_.messages += messages;
   uint64_t latency_ns = ModelFor(node).FarRoundTripNs(payload_bytes) +
-                        extra_hops * latency_.node_hop_ns;
+                        extra_hops * latency_.node_hop_ns + queue_ns;
   if (node != kObsNoNode) {
     // Per-node slowdown knob (contention / degraded link injection): the
     // serviced node's extra service time rides on every round trip to it.
@@ -57,11 +60,102 @@ void FarClient::AccountRoundTrip(FarOpKind kind, NodeId node, FarAddr addr,
   }
 }
 
+// --------------------- Congestion admission (§14) ---------------------
+
+uint64_t FarClient::NextJitter() {
+  // xorshift64*: deterministic per client, free of global state.
+  uint64_t x = jitter_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  jitter_state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+Result<uint64_t> FarClient::OfferOnce(NodeId node, uint64_t ops,
+                                      uint64_t bytes) {
+  if (node == kObsNoNode) {
+    return uint64_t{0};
+  }
+  if (home_node_.has_value() && node == *home_node_) {
+    // The near-memory agent reaches its own memory through the controller,
+    // not through the node's NIC front end; its local work never queues
+    // there. (This is what lets an RPC agent keep servicing shipped ops
+    // while the one-sided front end is saturated.)
+    return uint64_t{0};
+  }
+  MemoryNode& n = fabric_->node(node);
+  if (!n.congestion_enabled()) {
+    return uint64_t{0};
+  }
+  AdmissionOutcome outcome = n.OfferLoad(clock_.now_ns(), ops, bytes);
+  if (outcome.admitted) {
+    return outcome.queue_ns;
+  }
+  stats_.overload_sheds += ops;
+  ++stats_.overload_failures;
+  return Overloaded("node " + std::to_string(node) +
+                    " shed op: service queue full");
+}
+
+Result<uint64_t> FarClient::AdmitCongestion(FarOpKind kind, NodeId node,
+                                            FarAddr addr, uint64_t ops,
+                                            uint64_t bytes) {
+  if (node == kObsNoNode) {
+    return uint64_t{0};
+  }
+  if (home_node_.has_value() && node == *home_node_) {
+    // See OfferOnce: home-node (agent) accesses bypass the NIC front end.
+    return uint64_t{0};
+  }
+  MemoryNode& n = fabric_->node(node);
+  if (!n.congestion_enabled()) {
+    return uint64_t{0};
+  }
+  const uint64_t op_start_ns = clock_.now_ns();
+  for (uint32_t attempt = 1;; ++attempt) {
+    AdmissionOutcome outcome = n.OfferLoad(clock_.now_ns(), ops, bytes);
+    if (outcome.admitted) {
+      return outcome.queue_ns;
+    }
+    stats_.overload_sheds += ops;
+    // The bounce is a completed (failed) round trip: the client learns of
+    // the shed from the node's reject reply.
+    AccountRoundTrip(kind, node, addr, 0, 1, 0, /*ok=*/false);
+    if (attempt >= retry_.max_attempts) {
+      break;
+    }
+    uint64_t backoff = retry_.backoff_base_ns
+                       << std::min<uint32_t>(attempt - 1, 20);
+    backoff = std::min(std::max<uint64_t>(backoff, 1), retry_.backoff_max_ns);
+    if (retry_.jitter) {
+      backoff = backoff / 2 + NextJitter() % std::max<uint64_t>(backoff / 2, 1);
+    }
+    if (retry_.deadline_ns != 0 &&
+        clock_.now_ns() - op_start_ns + backoff > retry_.deadline_ns) {
+      // Out of deadline budget: failing now beats sleeping past it.
+      break;
+    }
+    ++stats_.overload_retries;
+    clock_.Advance(backoff);
+  }
+  ++stats_.overload_failures;
+  return Overloaded("node " + std::to_string(node) +
+                    " shed op: retry budget exhausted");
+}
+
 // ------------------------------ Base verbs ------------------------------
 
 Status FarClient::Read(FarAddr addr, std::span<std::byte> out) {
   std::vector<Fabric::Segment> segs;
   FMDS_RETURN_IF_ERROR(fabric_->Segments(addr, out.size(), segs));
+  // Admission precedes memory effects everywhere: a shed op never touches
+  // far memory. The op (all its segments) queues at its primary node.
+  FMDS_ASSIGN_OR_RETURN(
+      const uint64_t queue_ns,
+      AdmitCongestion(FarOpKind::kRead,
+                      segs.empty() ? kObsNoNode : segs.front().node, addr,
+                      std::max<size_t>(segs.size(), 1), out.size()));
   size_t produced = 0;
   for (const auto& seg : segs) {
     fabric_->node(seg.node).ReadRange(
@@ -71,13 +165,19 @@ Status FarClient::Read(FarAddr addr, std::span<std::byte> out) {
   stats_.bytes_read += out.size();
   AccountRoundTrip(FarOpKind::kRead,
                    segs.empty() ? kObsNoNode : segs.front().node, addr,
-                   out.size(), std::max<size_t>(segs.size(), 1), 0);
+                   out.size(), std::max<size_t>(segs.size(), 1), 0,
+                   /*ok=*/true, queue_ns);
   return OkStatus();
 }
 
 Status FarClient::Write(FarAddr addr, std::span<const std::byte> data) {
   std::vector<Fabric::Segment> segs;
   FMDS_RETURN_IF_ERROR(fabric_->Segments(addr, data.size(), segs));
+  FMDS_ASSIGN_OR_RETURN(
+      const uint64_t queue_ns,
+      AdmitCongestion(FarOpKind::kWrite,
+                      segs.empty() ? kObsNoNode : segs.front().node, addr,
+                      std::max<size_t>(segs.size(), 1), data.size()));
   size_t consumed = 0;
   for (const auto& seg : segs) {
     fabric_->node(seg.node).WriteRange(
@@ -88,7 +188,8 @@ Status FarClient::Write(FarAddr addr, std::span<const std::byte> data) {
   stats_.bytes_written += data.size();
   AccountRoundTrip(FarOpKind::kWrite,
                    segs.empty() ? kObsNoNode : segs.front().node, addr,
-                   data.size(), std::max<size_t>(segs.size(), 1), 0);
+                   data.size(), std::max<size_t>(segs.size(), 1), 0,
+                   /*ok=*/true, queue_ns);
   return OkStatus();
 }
 
@@ -97,9 +198,13 @@ Result<uint64_t> FarClient::ReadWord(FarAddr addr) {
     return Status(StatusCode::kInvalidArgument, "unaligned word read");
   }
   FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
+  FMDS_ASSIGN_OR_RETURN(
+      const uint64_t queue_ns,
+      AdmitCongestion(FarOpKind::kReadWord, loc.node, addr, 1, kWordSize));
   const uint64_t value = fabric_->node(loc.node).LoadWord(loc.offset);
   stats_.bytes_read += kWordSize;
-  AccountRoundTrip(FarOpKind::kReadWord, loc.node, addr, kWordSize, 1, 0);
+  AccountRoundTrip(FarOpKind::kReadWord, loc.node, addr, kWordSize, 1, 0,
+                   /*ok=*/true, queue_ns);
   return value;
 }
 
@@ -108,9 +213,13 @@ Status FarClient::WriteWord(FarAddr addr, uint64_t value) {
     return InvalidArgument("unaligned word write");
   }
   FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
+  FMDS_ASSIGN_OR_RETURN(
+      const uint64_t queue_ns,
+      AdmitCongestion(FarOpKind::kWriteWord, loc.node, addr, 1, kWordSize));
   fabric_->node(loc.node).StoreWord(loc.offset, value, clock_.now_ns());
   stats_.bytes_written += kWordSize;
-  AccountRoundTrip(FarOpKind::kWriteWord, loc.node, addr, kWordSize, 1, 0);
+  AccountRoundTrip(FarOpKind::kWriteWord, loc.node, addr, kWordSize, 1, 0,
+                   /*ok=*/true, queue_ns);
   return OkStatus();
 }
 
@@ -120,11 +229,15 @@ Result<uint64_t> FarClient::CompareSwap(FarAddr addr, uint64_t expected,
     return Status(StatusCode::kInvalidArgument, "unaligned CAS");
   }
   FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
+  FMDS_ASSIGN_OR_RETURN(
+      const uint64_t queue_ns,
+      AdmitCongestion(FarOpKind::kCas, loc.node, addr, 1, kWordSize));
   const uint64_t old = fabric_->node(loc.node).CompareSwapWord(
       loc.offset, expected, desired, clock_.now_ns());
   stats_.bytes_written += kWordSize;
   stats_.bytes_read += kWordSize;
-  AccountRoundTrip(FarOpKind::kCas, loc.node, addr, kWordSize, 1, 0);
+  AccountRoundTrip(FarOpKind::kCas, loc.node, addr, kWordSize, 1, 0,
+                   /*ok=*/true, queue_ns);
   return old;
 }
 
@@ -133,11 +246,15 @@ Result<uint64_t> FarClient::FetchAdd(FarAddr addr, uint64_t delta) {
     return Status(StatusCode::kInvalidArgument, "unaligned fetch-add");
   }
   FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(addr));
+  FMDS_ASSIGN_OR_RETURN(
+      const uint64_t queue_ns,
+      AdmitCongestion(FarOpKind::kFetchAdd, loc.node, addr, 1, kWordSize));
   const uint64_t old =
       fabric_->node(loc.node).FetchAddWord(loc.offset, delta, clock_.now_ns());
   stats_.bytes_written += kWordSize;
   stats_.bytes_read += kWordSize;
-  AccountRoundTrip(FarOpKind::kFetchAdd, loc.node, addr, kWordSize, 1, 0);
+  AccountRoundTrip(FarOpKind::kFetchAdd, loc.node, addr, kWordSize, 1, 0,
+                   /*ok=*/true, queue_ns);
   return old;
 }
 
@@ -174,6 +291,12 @@ Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
   }
   FMDS_ASSIGN_OR_RETURN(auto home, fabric_->Translate(ptr_addr));
   MemoryNode& home_node = fabric_->node(home.node);
+  // One queued request at the home node covers the whole indirection; the
+  // dependent access (forwarded or local) is controller work, not a second
+  // NIC arrival.
+  FMDS_ASSIGN_OR_RETURN(const uint64_t queue_ns,
+                        AdmitCongestion(FarOpKind::kIndirect, home.node,
+                                        ptr_addr, 1, kWordSize));
   home_node.stats().indirections.fetch_add(1, std::memory_order_relaxed);
 
   // 2. Fetch (and for faai/saai atomically bump) the pointer.
@@ -188,7 +311,7 @@ Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
     // Completed round trip that found a null pointer; still one far access.
     stats_.bytes_read += kWordSize;
     AccountRoundTrip(FarOpKind::kIndirect, home.node, ptr_addr, kWordSize, 1,
-                     0, /*ok=*/false);
+                     0, /*ok=*/false, queue_ns);
     return Status(StatusCode::kFailedPrecondition, "null indirect pointer");
   }
 
@@ -208,7 +331,7 @@ Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
   if (!seg_status.ok()) {
     stats_.bytes_read += kWordSize;
     AccountRoundTrip(FarOpKind::kIndirect, home.node, ptr_addr, kWordSize, 1,
-                     0, /*ok=*/false);
+                     0, /*ok=*/false, queue_ns);
     return seg_status;
   }
 
@@ -226,7 +349,7 @@ Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
     // (which accounts under its own direct op kind).
     stats_.bytes_read += kWordSize;
     AccountRoundTrip(FarOpKind::kIndirect, home.node, ptr_addr, kWordSize, 1,
-                     0);
+                     0, /*ok=*/true, queue_ns);
     FMDS_RETURN_IF_ERROR(
         DirectAccess(kind, target, read_out, write_value, add_value));
     return pointer;
@@ -267,7 +390,7 @@ Result<FarAddr> FarClient::IndirectOp(IndirectKind kind, IndexMode mode,
     stats_.bytes_written += len;
   }
   AccountRoundTrip(FarOpKind::kIndirect, home.node, ptr_addr, payload,
-                   1 + remote_hops, remote_hops);
+                   1 + remote_hops, remote_hops, /*ok=*/true, queue_ns);
   return pointer;
 }
 
@@ -343,6 +466,11 @@ Status FarClient::RScatter(FarAddr ad, std::span<const LocalBuf> iov) {
   std::vector<std::byte> staging(total);
   std::vector<Fabric::Segment> segs;
   FMDS_RETURN_IF_ERROR(fabric_->Segments(ad, total, segs));
+  FMDS_ASSIGN_OR_RETURN(
+      const uint64_t queue_ns,
+      AdmitCongestion(FarOpKind::kScatterGather,
+                      segs.empty() ? kObsNoNode : segs.front().node, ad,
+                      std::max<size_t>(segs.size(), 1), total));
   size_t produced = 0;
   for (const auto& seg : segs) {
     fabric_->node(seg.node).ReadRange(
@@ -359,7 +487,7 @@ Status FarClient::RScatter(FarAddr ad, std::span<const LocalBuf> iov) {
   stats_.bytes_read += total;
   AccountRoundTrip(FarOpKind::kScatterGather,
                    segs.empty() ? kObsNoNode : segs.front().node, ad, total,
-                   std::max<size_t>(segs.size(), 1), 0);
+                   std::max<size_t>(segs.size(), 1), 0, /*ok=*/true, queue_ns);
   return OkStatus();
 }
 
@@ -371,6 +499,13 @@ Status FarClient::RGather(std::span<const FarSeg> iov,
   }
   if (total > out.size()) {
     return InvalidArgument("rgather output buffer too small");
+  }
+  uint64_t queue_ns = 0;
+  if (!iov.empty()) {
+    FMDS_ASSIGN_OR_RETURN(auto loc0, fabric_->Translate(iov.front().addr));
+    FMDS_ASSIGN_OR_RETURN(queue_ns,
+                          AdmitCongestion(FarOpKind::kScatterGather, loc0.node,
+                                          iov.front().addr, iov.size(), total));
   }
   size_t produced = 0;
   uint64_t messages = 0;
@@ -395,7 +530,7 @@ Status FarClient::RGather(std::span<const FarSeg> iov,
   // One client round trip: the adapter issues the segment reads concurrently.
   AccountRoundTrip(FarOpKind::kScatterGather, first_node,
                    iov.empty() ? kNullFarAddr : iov.front().addr, total,
-                   std::max<uint64_t>(messages, 1), 0);
+                   std::max<uint64_t>(messages, 1), 0, /*ok=*/true, queue_ns);
   return OkStatus();
 }
 
@@ -407,6 +542,13 @@ Status FarClient::WScatter(std::span<const FarSeg> iov,
   }
   if (total > src.size()) {
     return InvalidArgument("wscatter source buffer too small");
+  }
+  uint64_t queue_ns = 0;
+  if (!iov.empty()) {
+    FMDS_ASSIGN_OR_RETURN(auto loc0, fabric_->Translate(iov.front().addr));
+    FMDS_ASSIGN_OR_RETURN(queue_ns,
+                          AdmitCongestion(FarOpKind::kScatterGather, loc0.node,
+                                          iov.front().addr, iov.size(), total));
   }
   size_t consumed = 0;
   uint64_t messages = 0;
@@ -431,7 +573,7 @@ Status FarClient::WScatter(std::span<const FarSeg> iov,
   stats_.bytes_written += total;
   AccountRoundTrip(FarOpKind::kScatterGather, first_node,
                    iov.empty() ? kNullFarAddr : iov.front().addr, total,
-                   std::max<uint64_t>(messages, 1), 0);
+                   std::max<uint64_t>(messages, 1), 0, /*ok=*/true, queue_ns);
   return OkStatus();
 }
 
@@ -445,6 +587,11 @@ Status FarClient::WGather(FarAddr ad, std::span<const ConstLocalBuf> iov) {
   }
   std::vector<Fabric::Segment> segs;
   FMDS_RETURN_IF_ERROR(fabric_->Segments(ad, total, segs));
+  FMDS_ASSIGN_OR_RETURN(
+      const uint64_t queue_ns,
+      AdmitCongestion(FarOpKind::kScatterGather,
+                      segs.empty() ? kObsNoNode : segs.front().node, ad,
+                      std::max<size_t>(segs.size(), 1), total));
   size_t consumed = 0;
   for (const auto& seg : segs) {
     fabric_->node(seg.node).WriteRange(
@@ -457,7 +604,7 @@ Status FarClient::WGather(FarAddr ad, std::span<const ConstLocalBuf> iov) {
   stats_.bytes_written += total;
   AccountRoundTrip(FarOpKind::kScatterGather,
                    segs.empty() ? kObsNoNode : segs.front().node, ad, total,
-                   std::max<size_t>(segs.size(), 1), 0);
+                   std::max<size_t>(segs.size(), 1), 0, /*ok=*/true, queue_ns);
   return OkStatus();
 }
 
@@ -465,6 +612,14 @@ Status FarClient::CasBatch(std::span<const CasTarget> targets,
                            std::span<uint64_t> observed) {
   if (observed.size() < targets.size()) {
     return InvalidArgument("cas batch result buffer too small");
+  }
+  uint64_t queue_ns = 0;
+  if (!targets.empty()) {
+    FMDS_ASSIGN_OR_RETURN(auto loc0, fabric_->Translate(targets.front().addr));
+    FMDS_ASSIGN_OR_RETURN(
+        queue_ns, AdmitCongestion(FarOpKind::kCasBatch, loc0.node,
+                                  targets.front().addr, targets.size(),
+                                  targets.size() * 2 * kWordSize));
   }
   NodeId first_node = kObsNoNode;
   for (size_t i = 0; i < targets.size(); ++i) {
@@ -484,7 +639,8 @@ Status FarClient::CasBatch(std::span<const CasTarget> targets,
   AccountRoundTrip(FarOpKind::kCasBatch, first_node,
                    targets.empty() ? kNullFarAddr : targets.front().addr,
                    targets.size() * 2 * kWordSize,
-                   std::max<size_t>(targets.size(), 1), 0);
+                   std::max<size_t>(targets.size(), 1), 0, /*ok=*/true,
+                   queue_ns);
   return OkStatus();
 }
 
@@ -571,6 +727,19 @@ Status FarClient::ExecuteBatchedOp(
     BatchOpObs* obs) {
   // One node-group contribution: `msgs` fabric messages carrying
   // `payload_bytes` whose occupancy lands on `node`, plus forward hops.
+  // Batch-path admission: one offer per op, no retry — a doorbell cannot
+  // re-time individual sub-ops, so a shed surfaces as a kOverloaded
+  // completion and the caller decides whether to re-post. The group waits
+  // out the worst queueing delay among its admitted ops.
+  auto admit = [&](NodeId node, uint64_t ops, uint64_t bytes) -> Status {
+    FMDS_ASSIGN_OR_RETURN(const uint64_t queue_ns,
+                          OfferOnce(node, ops, bytes));
+    if (queue_ns > 0) {
+      BatchGroup& group = groups[node];
+      group.queue_ns = std::max(group.queue_ns, queue_ns);
+    }
+    return OkStatus();
+  };
   auto charge = [&](NodeId node, uint64_t payload_bytes, uint64_t msgs,
                     uint64_t hops) {
     BatchGroup& group = groups[node];
@@ -604,6 +773,9 @@ Status FarClient::ExecuteBatchedOp(
     case OpKind::kRead: {
       std::vector<Fabric::Segment> segs;
       FMDS_RETURN_IF_ERROR(fabric_->Segments(op.addr, op.out.size(), segs));
+      FMDS_RETURN_IF_ERROR(admit(segs.empty() ? kObsNoNode : segs.front().node,
+                                 std::max<size_t>(segs.size(), 1),
+                                 op.out.size()));
       size_t produced = 0;
       for (const auto& seg : segs) {
         fabric_->node(seg.node).ReadRange(
@@ -620,6 +792,9 @@ Status FarClient::ExecuteBatchedOp(
       std::vector<Fabric::Segment> segs;
       FMDS_RETURN_IF_ERROR(
           fabric_->Segments(op.addr, op.payload.size(), segs));
+      FMDS_RETURN_IF_ERROR(admit(segs.empty() ? kObsNoNode : segs.front().node,
+                                 std::max<size_t>(segs.size(), 1),
+                                 op.payload.size()));
       size_t consumed = 0;
       for (const auto& seg : segs) {
         fabric_->node(seg.node).WriteRange(
@@ -642,6 +817,7 @@ Status FarClient::ExecuteBatchedOp(
         return InvalidArgument("unaligned word op in batch");
       }
       FMDS_ASSIGN_OR_RETURN(auto loc, fabric_->Translate(op.addr));
+      FMDS_RETURN_IF_ERROR(admit(loc.node, 1, kWordSize));
       MemoryNode& node = fabric_->node(loc.node);
       switch (op.kind) {
         case OpKind::kReadWord:
@@ -673,6 +849,8 @@ Status FarClient::ExecuteBatchedOp(
         return InvalidArgument("indirect pointer location must be word-aligned");
       }
       FMDS_ASSIGN_OR_RETURN(auto home, fabric_->Translate(op.addr));
+      FMDS_RETURN_IF_ERROR(
+          admit(home.node, 1, kWordSize + op.out.size()));
       MemoryNode& home_node = fabric_->node(home.node);
       home_node.stats().indirections.fetch_add(1, std::memory_order_relaxed);
       const FarAddr pointer = home_node.LoadWord(home.offset);
@@ -747,6 +925,11 @@ Status FarClient::ExecuteBatchedOp(
       if (total > op.out.size()) {
         return InvalidArgument("rgather output buffer too small");
       }
+      if (!op.iov.empty()) {
+        FMDS_ASSIGN_OR_RETURN(auto loc0,
+                              fabric_->Translate(op.iov.front().addr));
+        FMDS_RETURN_IF_ERROR(admit(loc0.node, op.iov.size(), total));
+      }
       size_t produced = 0;
       for (const auto& far : op.iov) {
         std::vector<Fabric::Segment> segs;
@@ -806,12 +989,20 @@ Status FarClient::Flush() {
   uint64_t batch_ns = 0;
   for (const auto& [node, group] : groups) {
     const LatencyModel& model = ModelFor(node);
+    if (group.contribs == 0) {
+      // Admitted op that failed before any memory effect (e.g. a bad range
+      // in a gather): its queueing delay was still paid.
+      batch_ns = std::max(batch_ns, group.queue_ns);
+      continue;
+    }
     const uint64_t cost =
         model.far_base_ns + static_cast<uint64_t>(group.wire_ns) +
         (group.contribs - 1) * model.batch_op_ns +
         group.hops * latency_.node_hop_ns +
         // A slowed node services each of its sub-batch ops slower.
-        group.contribs * fabric_->node(node).extra_service_ns();
+        group.contribs * fabric_->node(node).extra_service_ns() +
+        // Congestion (§14): the group waits out its worst queueing delay.
+        group.queue_ns;
     batch_ns = std::max(batch_ns, cost);
   }
   ++stats_.batches;

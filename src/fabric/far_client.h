@@ -41,8 +41,32 @@ struct FarSeg {
   uint64_t len;
 };
 
+// Retry policy for kOverloaded bounces from a congested node's service
+// queue (DESIGN.md §14). The default (max_attempts = 1) retries nothing:
+// every shed surfaces to the caller. With retries enabled, each bounce
+// backs the client off for a jittered, exponentially growing interval of
+// *simulated* time — which lets the congested node drain — before the op
+// is re-offered. A per-op deadline bounds the total simulated time spent.
+struct RetryPolicy {
+  // Admission attempts per operation, counting the first (1 = no retry).
+  uint32_t max_attempts = 1;
+  // First backoff; doubles per failed attempt up to backoff_max_ns.
+  uint64_t backoff_base_ns = 2'000;
+  uint64_t backoff_max_ns = 500'000;
+  // Per-op budget in simulated ns, measured from the op's first admission
+  // attempt; 0 = unlimited. A backoff that would cross the deadline fails
+  // the op immediately (kOverloaded) instead of sleeping past it.
+  uint64_t deadline_ns = 0;
+  // Jittered backoff: uniform in [b/2, b). Decorrelates the retry storms
+  // synchronized sheds would otherwise produce.
+  bool jitter = true;
+};
+
 struct ClientOptions {
   size_t channel_capacity = 4096;
+  // What to do when a congested node sheds this client's op; see
+  // RetryPolicy. Ignored while the fabric's congestion model is off.
+  RetryPolicy retry;
   // Flight-recorder gate (histograms / trace ring); defaults fully off so
   // the accounting hot path stays a branch + counter increments.
   ObsOptions obs;
@@ -236,6 +260,21 @@ class FarClient {
   // refresh, §5.3): counted as traffic, does not advance the client clock.
   Result<uint64_t> ReadWordBackground(FarAddr addr);
 
+  // ---------------------- Congestion admission (§14) ----------------------
+  // Offers `ops` operations carrying `bytes` payload to `node`'s congestion
+  // front end, running the client's RetryPolicy on sheds (each bounce is a
+  // completed, failed round trip; each retry advances the clock by the
+  // jittered backoff). Returns the queueing delay to fold into the round
+  // trip, or kOverloaded once the policy gives up. No-op (returns 0) for
+  // kObsNoNode, for the agent's own home node (an on-node agent crosses the
+  // memory controller, not the NIC front end), and while congestion is off.
+  // Sync verbs, the batched Flush path, and RpcClient::Call all come
+  // through here — admission happens BEFORE memory effects everywhere.
+  Result<uint64_t> AdmitCongestion(FarOpKind kind, NodeId node, FarAddr addr,
+                                   uint64_t ops, uint64_t bytes);
+  const RetryPolicy& retry_policy() const { return retry_; }
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
   SimClock& clock() { return clock_; }
   const ClientStats& stats() const { return stats_; }
   ClientStats& mutable_stats() { return stats_; }
@@ -273,12 +312,14 @@ class FarClient {
                       uint64_t add_value);
 
   // Charges one client round trip: bumps ClientStats, advances the clock
-  // by the modelled latency, and (when enabled) feeds the flight recorder
-  // with the op kind, the primary memory node serviced (kObsNoNode when
-  // none applies), and the far address touched.
+  // by the modelled latency plus any congestion queueing delay, and (when
+  // enabled) feeds the flight recorder with the op kind, the primary
+  // memory node serviced (kObsNoNode when none applies), and the far
+  // address touched.
   void AccountRoundTrip(FarOpKind kind, NodeId node, FarAddr addr,
                         uint64_t payload_bytes, uint64_t messages,
-                        uint64_t extra_hops, bool ok = true);
+                        uint64_t extra_hops, bool ok = true,
+                        uint64_t queue_ns = 0);
 
   // ---- Async pipeline internals ----
   enum class OpKind : uint8_t {
@@ -310,6 +351,9 @@ class FarClient {
     uint64_t contribs = 0;
     double wire_ns = 0.0;
     uint64_t hops = 0;
+    // Max congestion queueing delay over the group's admitted ops: the
+    // sub-batch completes when its most-delayed op does.
+    uint64_t queue_ns = 0;
   };
 
   // Recorder-facing view of one batched op, collected during Flush; the
@@ -345,9 +389,18 @@ class FarClient {
                                                            : latency_;
   }
 
+  // One shed-or-retry admission attempt without retry semantics (the batch
+  // path: a doorbell offers each op once; rejected ops complete with
+  // kOverloaded in the same reply). Bumps shed stats on reject.
+  Result<uint64_t> OfferOnce(NodeId node, uint64_t ops, uint64_t bytes);
+  // Deterministic per-client jitter source (xorshift).
+  uint64_t NextJitter();
+
   Fabric* fabric_;
   uint64_t client_id_;
   LatencyModel latency_;
+  RetryPolicy retry_;
+  uint64_t jitter_state_;
   std::optional<NodeId> home_node_;
   LatencyModel local_latency_;
   SimClock clock_;

@@ -5,8 +5,9 @@
 
 namespace fmds {
 
-MemoryNode::MemoryNode(NodeId id, uint64_t capacity_bytes)
-    : id_(id), capacity_(capacity_bytes) {
+MemoryNode::MemoryNode(NodeId id, uint64_t capacity_bytes,
+                       const CongestionOptions& congestion)
+    : id_(id), capacity_(capacity_bytes), service_queue_(congestion) {
   assert(capacity_bytes % kWordSize == 0);
   words_.assign(capacity_bytes / kWordSize, 0);
 }

@@ -21,12 +21,14 @@
 #include "src/fabric/far_addr.h"
 #include "src/fabric/notification.h"
 #include "src/fabric/stats.h"
+#include "src/sim/congestion.h"
 
 namespace fmds {
 
 class MemoryNode {
  public:
-  MemoryNode(NodeId id, uint64_t capacity_bytes);
+  MemoryNode(NodeId id, uint64_t capacity_bytes,
+             const CongestionOptions& congestion = {});
   MemoryNode(const MemoryNode&) = delete;
   MemoryNode& operator=(const MemoryNode&) = delete;
 
@@ -77,6 +79,31 @@ class MemoryNode {
     return extra_service_ns_.load(std::memory_order_relaxed);
   }
 
+  // --- Congestion front end (DESIGN.md §14). ---
+  // Offers `ops` operations carrying `bytes` payload to this node's bounded
+  // service queue. FarClient calls this BEFORE executing memory effects: a
+  // shed operation must not have happened. On admit, queue_ns is the
+  // load-dependent delay the client folds into the round trip; on shed the
+  // node's ops_shed stat bumps and the client surfaces kOverloaded.
+  AdmissionOutcome OfferLoad(uint64_t now_ns, uint64_t ops, uint64_t bytes) {
+    AdmissionOutcome outcome = service_queue_.Offer(now_ns, ops, bytes);
+    if (!outcome.admitted) {
+      stats_.ops_shed.fetch_add(ops, std::memory_order_relaxed);
+    }
+    return outcome;
+  }
+  bool congestion_enabled() const { return service_queue_.enabled(); }
+  // Runtime reconfiguration (scenario phases: slowdown, recovery). Safe
+  // from any thread.
+  void SetCongestion(const CongestionOptions& options) {
+    service_queue_.SetOptions(options);
+  }
+  CongestionOptions congestion() const { return service_queue_.GetOptions(); }
+  // Live gauges for DumpHealth / telemetry: ops waiting for service, and
+  // pending front-end work, at the queue's virtual present.
+  uint64_t queue_depth_ops() const { return service_queue_.DepthOps(); }
+  uint64_t queue_backlog_ns() const { return service_queue_.BacklogNs(); }
+
  private:
   std::atomic_ref<uint64_t> WordRef(uint64_t offset) {
     return std::atomic_ref<uint64_t>(words_[offset / kWordSize]);
@@ -93,6 +120,7 @@ class MemoryNode {
   SubscriptionTable subs_;
   std::atomic<size_t> subs_active_{0};
   std::atomic<uint64_t> extra_service_ns_{0};
+  ServiceQueue service_queue_;
   NodeStats stats_;
 };
 

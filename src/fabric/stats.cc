@@ -14,7 +14,7 @@ std::string ClientStats::ToString() const {
                 "txn_commit=%llu txn_abort=%llu txn_vfail=%llu txn_pfail=%llu "
                 "wb_combined=%llu wb_stages=%llu bg_evict=%llu "
                 "route_1s=%llu route_rpc=%llu route_probe=%llu "
-                "route_flip=%llu",
+                "route_flip=%llu ovl_shed=%llu ovl_retry=%llu ovl_fail=%llu",
                 static_cast<unsigned long long>(far_ops),
                 static_cast<unsigned long long>(messages),
                 static_cast<unsigned long long>(bytes_read),
@@ -42,7 +42,10 @@ std::string ClientStats::ToString() const {
                 static_cast<unsigned long long>(route_one_sided),
                 static_cast<unsigned long long>(route_rpc),
                 static_cast<unsigned long long>(route_probes),
-                static_cast<unsigned long long>(route_flips));
+                static_cast<unsigned long long>(route_flips),
+                static_cast<unsigned long long>(overload_sheds),
+                static_cast<unsigned long long>(overload_retries),
+                static_cast<unsigned long long>(overload_failures));
   return buf;
 }
 
@@ -50,7 +53,8 @@ std::string NodeStats::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "ops=%llu in=%lluB out=%lluB indir=%llu fwd=%llu "
-                "notif_fired=%llu notif_dropped=%llu notif_coalesced=%llu",
+                "notif_fired=%llu notif_dropped=%llu notif_coalesced=%llu "
+                "shed=%llu",
                 static_cast<unsigned long long>(
                     ops_serviced.load(std::memory_order_relaxed)),
                 static_cast<unsigned long long>(
@@ -66,7 +70,9 @@ std::string NodeStats::ToString() const {
                 static_cast<unsigned long long>(
                     notifications_dropped.load(std::memory_order_relaxed)),
                 static_cast<unsigned long long>(
-                    notifications_coalesced.load(std::memory_order_relaxed)));
+                    notifications_coalesced.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    ops_shed.load(std::memory_order_relaxed)));
   return buf;
 }
 

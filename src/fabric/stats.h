@@ -65,6 +65,14 @@ struct ClientStats {
   uint64_t route_rpc = 0;
   uint64_t route_probes = 0;
   uint64_t route_flips = 0;
+  // Congestion control (DESIGN.md §14): sheds counts kOverloaded bounces
+  // this client observed (each one a completed, failed round trip);
+  // retries counts backoff re-offers the retry policy took; failures
+  // counts operations that surfaced kOverloaded to the caller after the
+  // policy gave up.
+  uint64_t overload_sheds = 0;
+  uint64_t overload_retries = 0;
+  uint64_t overload_failures = 0;
 
   ClientStats Delta(const ClientStats& earlier) const {
     ClientStats d;
@@ -98,6 +106,9 @@ struct ClientStats {
     d.route_rpc = route_rpc - earlier.route_rpc;
     d.route_probes = route_probes - earlier.route_probes;
     d.route_flips = route_flips - earlier.route_flips;
+    d.overload_sheds = overload_sheds - earlier.overload_sheds;
+    d.overload_retries = overload_retries - earlier.overload_retries;
+    d.overload_failures = overload_failures - earlier.overload_failures;
     return d;
   }
 
@@ -130,6 +141,9 @@ struct ClientStats {
     route_rpc += other.route_rpc;
     route_probes += other.route_probes;
     route_flips += other.route_flips;
+    overload_sheds += other.overload_sheds;
+    overload_retries += other.overload_retries;
+    overload_failures += other.overload_failures;
   }
 
   std::string ToString() const;
@@ -145,6 +159,8 @@ struct NodeStats {
   std::atomic<uint64_t> notifications_fired{0};
   std::atomic<uint64_t> notifications_dropped{0};
   std::atomic<uint64_t> notifications_coalesced{0};
+  // Operations bounced by the congestion front end (DESIGN.md §14).
+  std::atomic<uint64_t> ops_shed{0};
 
   std::string ToString() const;
 };

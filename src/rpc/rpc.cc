@@ -50,6 +50,15 @@ Status RpcServer::Dispatch(uint32_t method,
 
 Status RpcClient::Call(uint32_t method, std::span<const std::byte> request,
                        std::vector<std::byte>& response) {
+  // Congestion admission (§14): the request is one arrival at the server
+  // node's NIC front end, exactly like a one-sided op. Runs the caller's
+  // retry policy; a shed that exhausts it surfaces as kOverloaded without
+  // dispatching the handler. Agent-local calls (client homed on the server
+  // node) bypass the front end, as do fabrics with congestion disabled.
+  FMDS_ASSIGN_OR_RETURN(
+      const uint64_t queue_ns,
+      client_->AdmitCongestion(FarOpKind::kRpc, server_->node(), kNullFarAddr,
+                               1, request.size()));
   uint64_t service_ns = 0;
   const Status status =
       server_->Dispatch(method, request, response, &service_ns);
@@ -59,8 +68,8 @@ Status RpcClient::Call(uint32_t method, std::span<const std::byte> request,
   stats.bytes_written += request.size();
   stats.bytes_read += response.size();
   const auto& latency = client_->fabric()->options().latency;
-  uint64_t rpc_ns =
-      latency.FarRoundTripNs(request.size() + response.size()) + service_ns;
+  uint64_t rpc_ns = latency.FarRoundTripNs(request.size() + response.size()) +
+                    service_ns + queue_ns;
   const NodeId node = server_->node();
   if (node != kObsNoNode) {
     // A colocated server's requests cross the same degraded link/controller

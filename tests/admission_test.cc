@@ -1,0 +1,131 @@
+// Tests for the client-side admission controller (DESIGN.md §14): token
+// conservation, AIMD rate adaptation from tail reports, and a TSan-stressed
+// multi-threaded arm (this test is in scripts/check.sh's sanitizer set).
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fabric/admission.h"
+
+namespace fmds {
+namespace {
+
+AdmissionOptions SmallBucket(double rate = 1e6, double burst = 4.0) {
+  AdmissionOptions options;
+  options.initial_rate_ops_per_sec = rate;
+  options.burst_ops = burst;
+  return options;
+}
+
+TEST(Admission, BurstThenRefillConservesTokens) {
+  // rate = 1e6 ops/s = 1 op per 1000 ns; burst = 4 tokens.
+  AdmissionController controller(SmallBucket(1e6, 4.0));
+  // The full burst rides through at t=0...
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(controller.Admit(0, 0)) << "burst op " << i;
+  }
+  // ...then the bucket is dry until simulated time refills it.
+  EXPECT_FALSE(controller.Admit(0, 0));
+  EXPECT_FALSE(controller.Admit(0, 500));   // half a token: still dry
+  EXPECT_TRUE(controller.Admit(0, 1'500));  // 1.5 tokens accumulated
+  EXPECT_FALSE(controller.Admit(0, 1'600)); // 0.6 left: dry again
+  EXPECT_EQ(controller.admitted(), 5u);
+  EXPECT_EQ(controller.deferred(), 3u);
+}
+
+TEST(Admission, RefillCapsAtBurst) {
+  AdmissionController controller(SmallBucket(1e6, 4.0));
+  // A long idle period must not bank unbounded tokens.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(controller.Admit(0, 1'000'000'000));
+  }
+  EXPECT_FALSE(controller.Admit(0, 1'000'000'000));
+}
+
+TEST(Admission, AimdCutsOnTailAndProbesBack) {
+  AdmissionOptions options = SmallBucket(1e6, 4.0);
+  options.p99_bound_ns = 10'000;
+  options.decrease_factor = 0.5;
+  options.increase_ops_per_sec = 1e5;
+  options.min_rate_ops_per_sec = 1e5;
+  AdmissionController controller(options);
+  ASSERT_TRUE(controller.Admit(0, 0));  // materialize the bucket
+
+  controller.ReportP99(0, 50'000);  // tail blown: multiplicative cut
+  EXPECT_DOUBLE_EQ(controller.RateFor(0), 5e5);
+  controller.ReportP99(0, 50'000);
+  EXPECT_DOUBLE_EQ(controller.RateFor(0), 2.5e5);
+  // Repeated cuts floor at min_rate, never to zero.
+  for (int i = 0; i < 20; ++i) {
+    controller.ReportP99(0, 50'000);
+  }
+  EXPECT_DOUBLE_EQ(controller.RateFor(0), 1e5);
+  // In-bound tails probe the rate back up additively.
+  controller.ReportP99(0, 2'000);
+  EXPECT_DOUBLE_EQ(controller.RateFor(0), 2e5);
+}
+
+TEST(Admission, NodesAreIndependent) {
+  AdmissionController controller(SmallBucket(1e6, 2.0));
+  ASSERT_TRUE(controller.Admit(0, 0));
+  ASSERT_TRUE(controller.Admit(1, 0));
+  controller.ReportP99(0, 1'000'000);  // node 0 congested
+  EXPECT_LT(controller.RateFor(0), controller.options().initial_rate_ops_per_sec);
+  EXPECT_DOUBLE_EQ(controller.RateFor(1),
+                   controller.options().initial_rate_ops_per_sec);
+  // Unknown nodes report the configured initial rate.
+  EXPECT_DOUBLE_EQ(controller.RateFor(7),
+                   controller.options().initial_rate_ops_per_sec);
+}
+
+TEST(Admission, ThreadedAdmitIsRaceFreeAndConserving) {
+  // The TSan arm: many threads share one controller (the scenario-suite
+  // configuration), hammering Admit while others feed ReportP99. Beyond
+  // data-race freedom, token conservation must hold: admissions over the
+  // run cannot exceed burst + rate * elapsed (with the rate never above
+  // max over any interval).
+  AdmissionOptions options = SmallBucket(/*rate=*/1e6, /*burst=*/32.0);
+  options.max_rate_ops_per_sec = 2e6;
+  AdmissionController controller(options);
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kOpsPerThread = 20'000;
+  constexpr uint64_t kStepNs = 100;  // per-op clock step within a thread
+  std::atomic<uint64_t> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t now = i * kStepNs;
+        if (controller.Admit(/*node=*/t % 2, now)) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 1'000 == 0) {
+          // Alternate healthy / blown tails: exercises both AIMD branches
+          // concurrently with admission.
+          controller.ReportP99(t % 2, (i / 1'000) % 2 == 0 ? 1'000 : 100'000);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(admitted.load(),
+            controller.admitted());
+  EXPECT_EQ(controller.admitted() + controller.deferred(),
+            kThreads * kOpsPerThread);
+  // Conservation per node: elapsed simulated time is (kOpsPerThread-1) *
+  // kStepNs; at most burst + elapsed * max_rate tokens ever existed.
+  const double elapsed_s = (kOpsPerThread - 1) * kStepNs * 1e-9;
+  const double ceiling =
+      2 * (options.burst_ops + elapsed_s * options.max_rate_ops_per_sec);
+  EXPECT_LE(static_cast<double>(controller.admitted()), ceiling + 1.0);
+}
+
+}  // namespace
+}  // namespace fmds
